@@ -1,0 +1,40 @@
+# pchls — power-constrained high-level synthesis.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+# One iteration of every benchmark: regenerates the data behind every
+# table and figure of the paper plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+
+# Full experiment artifacts: Figure 2 CSVs + HTML, Figure 1 report,
+# time-power surface.
+figures:
+	$(GO) run ./cmd/pchls-explore -all -pmin 2.5 -step 2.5 -csvdir results -html results/figure2.html
+	$(GO) run ./cmd/pchls-battery -g hal -P 12 > results/figure1.txt
+	$(GO) run ./cmd/pchls-explore -surface -g hal -html results/surface_hal.html > results/surface_hal.txt
+	$(GO) run ./cmd/pchls-battery -g hal -P 12 -html results/figure1.html > /dev/null
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cdfg/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/library/
+
+cover:
+	$(GO) test ./... -cover
+
+clean:
+	rm -f test_output.txt bench_output.txt

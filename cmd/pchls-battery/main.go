@@ -1,0 +1,88 @@
+// Command pchls-battery regenerates the paper's Figure 1 motivation: the
+// undesired (spiky, classical ASAP) power schedule of a benchmark against
+// the desired (power-capped, pasap) schedule, and the battery-lifetime
+// difference between the two on kinetic (KiBaM) and Peukert battery
+// models.
+//
+// Usage:
+//
+//	pchls-battery -g hal -P 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pchls"
+)
+
+func main() {
+	var (
+		graphArg = flag.String("g", "hal", "benchmark name or .cdfg file path")
+		powerMax = flag.Float64("P", 12, "per-cycle power cap P< of the desired schedule")
+		sweep    = flag.Bool("sweep", false, "sweep caps from the floor to the unconstrained peak and report lifetime extensions")
+		htmlOut  = flag.String("html", "", "write the Figure 1 reproduction as a self-contained HTML page")
+	)
+	flag.Parse()
+
+	g, err := pchls.Benchmark(*graphArg)
+	if err != nil {
+		f, ferr := os.Open(*graphArg)
+		if ferr != nil {
+			fatal(err)
+		}
+		g, err = pchls.ParseGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *sweep {
+		runSweep(g)
+		return
+	}
+	r, err := pchls.Figure1(g, pchls.Table1(), *powerMax)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Figure 1 reproduction on %q:\n\n", g.Name)
+	fmt.Print(r.Report())
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(pchls.Figure1HTML(r)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+}
+
+// runSweep scans caps between the library floor and the unconstrained
+// peak and prints the lifetime extension per cap.
+func runSweep(g *pchls.Graph) {
+	lib := pchls.Table1()
+	base, err := pchls.ASAP(g, pchls.UniformFastest(lib))
+	if err != nil {
+		fatal(err)
+	}
+	peak := base.PeakPower()
+	var caps []float64
+	for c := peak / 4; c <= peak*1.1; c += peak / 12 {
+		caps = append(caps, float64(int(c*10))/10)
+	}
+	curve, err := pchls.BatterySweep(g, lib, caps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("battery sweep on %q (unconstrained peak %.2f, %d cycles):\n\n",
+		g.Name, curve.BasePeak, curve.BaseCycles)
+	fmt.Print(curve.CSV())
+	if best, ok := curve.BestExtension(); ok {
+		fmt.Printf("\nbest: cap %.4g extends KiBaM lifetime by %.1f%% (schedule %d -> %d cycles)\n",
+			best.PowerMax, best.KibamExt, curve.BaseCycles, best.StretchCycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pchls-battery:", err)
+	os.Exit(1)
+}

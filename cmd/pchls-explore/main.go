@@ -1,0 +1,151 @@
+// Command pchls-explore regenerates the paper's Figure 2: datapath area as
+// a function of the per-cycle power constraint, for each benchmark/time-
+// constraint pair. Results are printed as CSV tables and an ASCII plot.
+//
+// Usage:
+//
+//	pchls-explore -all                    # all six Figure 2 curves
+//	pchls-explore -g hal -T 17            # one curve
+//	pchls-explore -all -csvdir results/   # also write one CSV per curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pchls"
+	"pchls/internal/explore"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "sweep all six Figure 2 curves")
+		surface  = flag.Bool("surface", false, "with -g: explore the (T x P<) surface and print the area matrix + Pareto front")
+		graphArg = flag.String("g", "", "benchmark name for a single sweep")
+		deadline = flag.Int("T", 0, "time constraint for a single sweep")
+		pmin     = flag.Float64("pmin", 0, "minimum power budget (default: library-derived)")
+		pmax     = flag.Float64("pmax", 150, "maximum power budget (Figure 2 x-axis end)")
+		step     = flag.Float64("step", 5, "power grid step")
+		single   = flag.Bool("single", false, "use the one-pass paper algorithm (faster, noisier)")
+		raw      = flag.Bool("raw", false, "disable budget subsumption (report raw per-point results)")
+		csvDir   = flag.String("csvdir", "", "write one CSV file per curve into this directory")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML sweep report to this file (with -surface: the heatmap page)")
+		plotW    = flag.Int("plotw", 90, "ASCII plot width")
+		plotH    = flag.Int("ploth", 28, "ASCII plot height")
+	)
+	flag.Parse()
+
+	if *surface {
+		if *graphArg == "" {
+			fmt.Fprintln(os.Stderr, "usage: pchls-explore -surface -g <benchmark>")
+			os.Exit(2)
+		}
+		runSurface(*graphArg, *htmlOut)
+		return
+	}
+	var specs []explore.Figure2Spec
+	switch {
+	case *all:
+		specs = explore.Figure2Specs()
+	case *graphArg != "" && *deadline > 0:
+		specs = []explore.Figure2Spec{{Benchmark: *graphArg, Deadline: *deadline}}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pchls-explore -all | -g <benchmark> -T <cycles> | -surface -g <benchmark>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	lib := pchls.Table1()
+	gridMin := *pmin
+	if gridMin <= 0 {
+		gridMin, _, _ = explore.DefaultGrid()
+	}
+	cfg := pchls.SweepConfig{
+		PowerMin: gridMin, PowerMax: *pmax, Step: *step,
+		SinglePass: *single, NoSubsume: *raw,
+	}
+	var curves []pchls.Curve
+	for _, spec := range specs {
+		g, err := pchls.Benchmark(spec.Benchmark)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweeping %s (T=%d) over P< in [%g,%g] step %g...\n",
+			spec.Benchmark, spec.Deadline, cfg.PowerMin, cfg.PowerMax, cfg.Step)
+		c, err := pchls.Sweep(g, lib, spec.Deadline, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		curves = append(curves, c)
+		fmt.Print(c.CSV())
+		if knee, ok := c.Knee(); ok {
+			plat, _ := c.PlateauArea()
+			fmt.Printf("# %s: tightest feasible P< = %g, plateau area = %.1f\n\n", c.Label(), knee, plat)
+		} else {
+			fmt.Printf("# %s: no feasible point on the grid\n\n", c.Label())
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			name := fmt.Sprintf("%s_T%d.csv", spec.Benchmark, spec.Deadline)
+			if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(c.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Println(pchls.PlotCurves(curves, *plotW, *plotH))
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(pchls.SweepHTML(curves)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
+	}
+}
+
+// runSurface explores the (T x P<) plane of one benchmark around its
+// critical path and library power floor; htmlOut optionally receives the
+// heatmap page.
+func runSurface(name, htmlOut string) {
+	g, err := pchls.Benchmark(name)
+	if err != nil {
+		fatal(err)
+	}
+	lib := pchls.Table1()
+	asap, err := pchls.ASAP(g, pchls.UniformFastest(lib))
+	if err != nil {
+		fatal(err)
+	}
+	cp := asap.Length()
+	cfg := pchls.SurfaceConfig{SinglePass: true}
+	for T := cp; T <= cp*2+4; T += (cp + 5) / 6 {
+		cfg.Deadlines = append(cfg.Deadlines, T)
+	}
+	peak := asap.PeakPower()
+	for P := peak / 5; P <= peak*1.2; P += peak / 8 {
+		cfg.Powers = append(cfg.Powers, float64(int(P*10))/10)
+	}
+	s, err := pchls.ExploreSurface(g, lib, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("time-power surface of %q (area per cell; critical path %d, unconstrained peak %.1f):\n\n", g.Name, cp, peak)
+	fmt.Println(s.Table())
+	fmt.Println("Pareto front (deadline, power, area):")
+	for _, p := range s.ParetoFront() {
+		fmt.Printf("  T=%-3d P<=%-6g area %.1f\n", p.Deadline, p.Power, p.Area)
+	}
+	if htmlOut != "" {
+		if err := os.WriteFile(htmlOut, []byte(pchls.SurfaceHTML(s)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", htmlOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pchls-explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,208 @@
+// Command pchls synthesizes a data-flow graph under latency and per-cycle
+// power constraints and reports the resulting design.
+//
+// Usage:
+//
+//	pchls -g hal -T 10 -P 20
+//	pchls -g design.cdfg -lib mylib.txt -T 12 -P 40 -verilog out.v -dot out.dot
+//	pchls -print-lib
+//
+// The -g argument is either a built-in benchmark name (hal, cosine,
+// elliptic, fir16, ar, diffeq2) or a path to a .cdfg file.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pchls"
+)
+
+func main() {
+	var (
+		graphArg = flag.String("g", "", "benchmark name or .cdfg file path")
+		libPath  = flag.String("lib", "", "functional-unit library file (default: the paper's Table 1)")
+		deadline = flag.Int("T", 0, "latency constraint in clock cycles (required)")
+		powerMax = flag.Float64("P", 0, "per-cycle power constraint P< (0 = unconstrained)")
+		single   = flag.Bool("single", false, "use the one-pass paper algorithm instead of the portfolio")
+		verilog  = flag.String("verilog", "", "write the FSMD Verilog implementation to this file")
+		width    = flag.Int("width", 16, "datapath bit width for -verilog")
+		dotOut   = flag.String("dot", "", "write the scheduled CDFG in DOT format to this file")
+		profile  = flag.Bool("profile", false, "print the per-cycle power profile")
+		printLib = flag.Bool("print-lib", false, "print the functional-unit library (Table 1) and exit")
+		simulate = flag.String("simulate", "", "simulate the FSMD with comma-separated inputs, e.g. \"x=3,y=4\" (also verifies against data-flow evaluation)")
+		vcdOut   = flag.String("vcd", "", "with -simulate: write a VCD waveform trace to this file")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML design report to this file")
+		jsonOut  = flag.String("json", "", "write the design as JSON to this file")
+		tbOut    = flag.String("testbench", "", "with -simulate: write a self-checking Verilog testbench to this file")
+	)
+	flag.Parse()
+
+	lib := pchls.Table1()
+	if *libPath != "" {
+		f, err := os.Open(*libPath)
+		if err != nil {
+			fatal(err)
+		}
+		lib, err = pchls.ParseLibrary(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *printLib {
+		fmt.Print(lib.Table())
+		return
+	}
+	if *graphArg == "" || *deadline <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: pchls -g <benchmark|file.cdfg> -T <cycles> [-P <power>] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	g, err := loadGraph(*graphArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	synth := pchls.SynthesizeBest
+	if *single {
+		synth = pchls.Synthesize
+	}
+	d, err := synth(g, lib, pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}, pchls.Config{})
+	if err != nil {
+		if errors.Is(err, pchls.ErrInfeasible) {
+			fmt.Fprintf(os.Stderr, "pchls: infeasible: %v\n", err)
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	fmt.Print(d.Report())
+	if *profile {
+		fmt.Println("\npower profile:")
+		fmt.Print(d.Schedule.ProfileString(*powerMax))
+	}
+	if *dotOut != "" {
+		s := d.Schedule
+		dot := g.Dot(func(id pchls.NodeID) (int, bool) { return s.Start[id], true })
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(pchls.DesignHTML(d)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+	if *jsonOut != "" {
+		raw, err := d.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *verilog != "" {
+		v, err := pchls.EmitVerilog(d, *width)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*verilog, []byte(v), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *verilog)
+	}
+	if *simulate != "" {
+		inputs, err := parseInputs(*simulate)
+		if err != nil {
+			fatal(err)
+		}
+		outputs, err := pchls.SimulateDesign(d, inputs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pchls.VerifyDesign(d, inputs); err != nil {
+			fatal(fmt.Errorf("FSMD disagrees with data-flow evaluation: %w", err))
+		}
+		fmt.Println("\nsimulation (FSMD matches data-flow evaluation):")
+		names := make([]string, 0, len(outputs))
+		for name := range outputs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-12s = %d\n", name, outputs[name])
+		}
+		if *vcdOut != "" {
+			f, err := os.Create(*vcdOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := pchls.DumpVCD(d, inputs, *width, f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *vcdOut)
+		}
+		if *tbOut != "" {
+			tb, err := pchls.EmitTestbench(d, inputs)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*tbOut, []byte(tb), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *tbOut)
+		}
+	}
+}
+
+// parseInputs parses "name=value,name=value" assignments.
+func parseInputs(s string) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, valStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("pchls: bad input assignment %q (want name=value)", pair)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(valStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pchls: bad input value in %q: %w", pair, err)
+		}
+		out[strings.TrimSpace(name)] = v
+	}
+	return out, nil
+}
+
+// loadGraph resolves a benchmark name or reads a .cdfg file.
+func loadGraph(arg string) (*pchls.Graph, error) {
+	if g, err := pchls.Benchmark(arg); err == nil {
+		return g, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, fmt.Errorf("pchls: %q is neither a benchmark name nor a readable file: %w", arg, err)
+	}
+	defer f.Close()
+	return pchls.ParseGraph(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pchls:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+package pchls_test
+
+import (
+	"fmt"
+	"log"
+
+	"pchls"
+)
+
+// ExampleSynthesize shows the basic synthesis flow: the HAL benchmark
+// under a 17-cycle latency bound and a per-cycle power cap of 8 units.
+func ExampleSynthesize() {
+	g := pchls.MustBenchmark("hal")
+	lib := pchls.Table1()
+	design, err := pchls.Synthesize(g, lib, pchls.Constraints{
+		Deadline: 17,
+		PowerMax: 8,
+	}, pchls.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("area %.0f with %d functional units in %d cycles, peak power %.1f\n",
+		design.Area(), len(design.FUs), design.Schedule.Length(), design.Schedule.PeakPower())
+	// Output:
+	// area 511 with 8 functional units in 16 cycles, peak power 7.9
+}
+
+// ExamplePASAP contrasts the paper's power-constrained ASAP against the
+// classical ASAP: the same graph and modules, but the schedule is
+// stretched until no cycle exceeds the power cap.
+func ExamplePASAP() {
+	g := pchls.MustBenchmark("hal")
+	lib := pchls.Table1()
+	bind := pchls.UniformSmallest(lib) // serial multipliers
+
+	classical, err := pchls.ASAP(g, bind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capped, err := pchls.PASAP(g, bind, pchls.ScheduleOptions{PowerMax: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("asap:  %d cycles, peak %.1f\n", classical.Length(), classical.PeakPower())
+	fmt.Printf("pasap: %d cycles, peak %.1f\n", capped.Length(), capped.PeakPower())
+	// Output:
+	// asap:  12 cycles, peak 15.0
+	// pasap: 17 cycles, peak 5.9
+}
+
+// ExampleFigure1 reproduces the paper's motivation: capping the power
+// profile extends battery lifetime at identical energy.
+func ExampleFigure1() {
+	r, err := pchls.Figure1(pchls.MustBenchmark("hal"), pchls.Table1(), 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KiBaM battery lifetime extension: %.1f%%\n", r.Kibam.ExtensionPercent())
+	// Output:
+	// KiBaM battery lifetime extension: 25.0%
+}
+
+// ExampleSimulateDesign runs the synthesized FSMD on concrete inputs;
+// the result matches direct evaluation of the data-flow graph.
+func ExampleSimulateDesign() {
+	design, err := pchls.Synthesize(pchls.MustBenchmark("hal"), pchls.Table1(),
+		pchls.Constraints{Deadline: 17, PowerMax: 8}, pchls.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := map[string]int64{"x": 3, "y": 4, "u": 5, "dx": 2, "a": 100}
+	out, err := pchls.SimulateDesign(design, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("y1 =", out["out_y1"]) // y + u*dx = 4 + 10
+	// Output:
+	// y1 = 14
+}
+
+// ExampleNewGraph builds a custom data-flow graph and synthesizes it.
+func ExampleNewGraph() {
+	g := pchls.NewGraph("mac")
+	x := g.MustAddNode("x", pchls.Input)
+	y := g.MustAddNode("y", pchls.Input)
+	acc := g.MustAddNode("acc", pchls.Input)
+	mul := g.MustAddNode("mul", pchls.Mul)
+	add := g.MustAddNode("add", pchls.Add)
+	out := g.MustAddNode("out", pchls.Output)
+	g.MustAddEdge(x, mul)
+	g.MustAddEdge(y, mul)
+	g.MustAddEdge(mul, add)
+	g.MustAddEdge(acc, add)
+	g.MustAddEdge(add, out)
+
+	design, err := pchls.Synthesize(g, pchls.Table1(), pchls.Constraints{Deadline: 8}, pchls.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pchls.SimulateDesign(design, map[string]int64{"x": 6, "y": 7, "acc": 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("out =", res["out"])
+	// Output:
+	// out = 50
+}
+
+// ExamplePipelineSchedule folds the HAL loop at an initiation interval of
+// 8 cycles: a new iteration starts every 8 cycles and the power cap
+// applies to the folded steady-state profile.
+func ExamplePipelineSchedule() {
+	g := pchls.MustBenchmark("hal")
+	lib := pchls.Table1()
+	bind := pchls.UniformFastest(lib)
+	r, err := pchls.PipelineSchedule(g, bind, lib, 8, 24, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("II=%d: latency %d, folded peak %.2f, FU area %.0f\n",
+		r.II, r.Schedule.Length(), r.PeakPower(), r.FUArea)
+	// Output:
+	// II=8: latency 9, folded peak 19.60, FU area 972
+}
+
+// ExampleExploreSurface samples the time-power design space and extracts
+// the Pareto-optimal corner points.
+func ExampleExploreSurface() {
+	s, err := pchls.ExploreSurface(pchls.MustBenchmark("hal"), pchls.Table1(), pchls.SurfaceConfig{
+		Deadlines:  []int{10, 17},
+		Powers:     []float64{8, 20},
+		SinglePass: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range s.ParetoFront() {
+		fmt.Printf("T=%d P<=%g area %.0f\n", p.Deadline, p.Power, p.Area)
+	}
+	// Output:
+	// T=10 P<=20 area 1407
+	// T=17 P<=8 area 511
+}

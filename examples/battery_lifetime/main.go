@@ -1,0 +1,51 @@
+// Battery lifetime: reproduce the paper's Figure 1 motivation. The same
+// computation is scheduled twice — classical ASAP (spiky power) and the
+// power-constrained pasap (capped power). Both draw the same energy, but a
+// real battery's usable charge depends on the current profile, so the
+// capped schedule runs the workload more times before the battery dies.
+//
+// Run with: go run ./examples/battery_lifetime
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pchls"
+)
+
+func main() {
+	g := pchls.MustBenchmark("hal")
+	lib := pchls.Table1()
+
+	const cap = 12.0 // P<: per-cycle power cap of the desired schedule
+	result, err := pchls.Figure1(g, lib, cap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(result.Report())
+
+	// The same comparison on a custom battery: a small low-cost cell is
+	// hurt far more by spikes than a large one.
+	fmt.Println("\ncustom batteries (KiBaM, decreasing quality):")
+	spiky := result.Unconstrained.Profile()
+	capped := result.Constrained.Profile()
+	energy := pchls.AnalyzeProfile(spiky).Energy
+	for _, quality := range []struct {
+		label string
+		k     float64 // well-equalization rate: lower = worse chemistry
+	}{{"good", 0.10}, {"mid", 0.05}, {"cheap", 0.02}} {
+		battery, err := pchls.NewKiBaM(energy*50, 0.2, quality.k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := pchls.CompareLifetime(battery, spiky, capped, 1<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s battery: %3d vs %3d task periods (%+.1f%% lifetime)\n",
+			quality.label, cmp.PeriodsA, cmp.PeriodsB, cmp.ExtensionPercent())
+	}
+	fmt.Println("\nLower-quality batteries benefit more from spike elimination,")
+	fmt.Println("matching the paper's low-cost-battery motivation.")
+}

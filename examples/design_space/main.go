@@ -1,0 +1,49 @@
+// Design-space exploration: sweep the per-cycle power constraint for a
+// benchmark at two time constraints and plot area versus power — the
+// experiment behind the paper's Figure 2, driven through the public API.
+//
+// Run with: go run ./examples/design_space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pchls"
+)
+
+func main() {
+	lib := pchls.Table1()
+	cfg := pchls.SweepConfig{PowerMin: 5, PowerMax: 40, Step: 2.5}
+
+	var curves []pchls.Curve
+	for _, deadline := range []int{10, 17} {
+		g := pchls.MustBenchmark("hal")
+		curve, err := pchls.Sweep(g, lib, deadline, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		curves = append(curves, curve)
+
+		knee, ok := curve.Knee()
+		if !ok {
+			fmt.Printf("%s: infeasible everywhere on the grid\n", curve.Label())
+			continue
+		}
+		plateau, _ := curve.PlateauArea()
+		fmt.Printf("%s: feasible from P< = %g; plateau area %.1f\n",
+			curve.Label(), knee, plateau)
+		for _, p := range curve.Points {
+			if p.Feasible {
+				fmt.Printf("  P<=%5.1f  area %7.1f  (peak %5.2f, %d FUs, %d regs)\n",
+					p.Power, p.Area, p.Peak, p.FUs, p.Registers)
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Println(pchls.PlotCurves(curves, 78, 20))
+	fmt.Println("The tighter deadline (T=10) needs fast parallel multipliers and")
+	fmt.Println("more concurrency, so it sits above T=17 at every power budget and")
+	fmt.Println("hits infeasibility at a higher power knee — the Figure 2 story.")
+}

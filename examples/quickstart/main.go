@@ -1,0 +1,39 @@
+// Quickstart: synthesize the HAL differential-equation benchmark under a
+// latency constraint of 10 cycles and a per-cycle power cap of 20 units,
+// then print the full design report.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pchls"
+)
+
+func main() {
+	// The HAL benchmark: one Euler step of y'' + 3xy' + 3y = 0, the
+	// classical high-level-synthesis example (20 nodes).
+	g := pchls.MustBenchmark("hal")
+
+	// The paper's functional-unit library (Table 1): adders, an ALU, a
+	// slow/low-power serial multiplier, a fast/high-power parallel
+	// multiplier, and I/O units.
+	lib := pchls.Table1()
+
+	design, err := pchls.SynthesizeBest(g, lib, pchls.Constraints{
+		Deadline: 10, // T: finish within 10 clock cycles
+		PowerMax: 20, // P<: never draw more than 20 power units per cycle
+	}, pchls.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(design.Report())
+	fmt.Printf("\nresult: area %.1f with %d functional units and %d registers\n",
+		design.Area(), len(design.FUs), len(design.Datapath.Registers))
+	fmt.Printf("peak power %.2f (cap %.2f), makespan %d cycles (cap %d)\n",
+		design.Schedule.PeakPower(), design.Cons.PowerMax,
+		design.Schedule.Length(), design.Cons.Deadline)
+}

@@ -1,0 +1,96 @@
+package pchls
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	g := MustBenchmark("hal")
+	lib := Table1()
+	bind := UniformFastest(lib)
+
+	minII, err := PipelineMinII(g, bind, 20)
+	if err != nil || minII != 6 {
+		t.Fatalf("PipelineMinII = %d, %v; want 6", minII, err)
+	}
+	r, err := PipelineSchedule(g, bind, lib, 8, 24, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.II != 8 || r.PeakPower() > 20 {
+		t.Fatalf("II %d peak %.2f", r.II, r.PeakPower())
+	}
+	results, err := PipelineExplore(g, bind, lib, 12, 24, 20)
+	if err != nil || len(results) == 0 {
+		t.Fatalf("explore: %v (%d results)", err, len(results))
+	}
+	if results[0].II < minII {
+		t.Fatalf("first feasible II %d below the energy bound %d", results[0].II, minII)
+	}
+}
+
+func TestFacadeSurface(t *testing.T) {
+	s, err := ExploreSurface(MustBenchmark("hal"), Table1(), SurfaceConfig{
+		Deadlines:  []int{10, 17},
+		Powers:     []float64{8, 20},
+		SinglePass: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("%d points", len(s.Points))
+	}
+	if len(s.ParetoFront()) == 0 {
+		t.Fatal("empty front")
+	}
+	if !strings.Contains(s.Table(), "T\\P<") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestFacadeBatterySweep(t *testing.T) {
+	c, err := BatterySweep(MustBenchmark("hal"), Table1(), []float64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best, ok := c.BestExtension(); !ok || best.KibamExt <= 0 {
+		t.Fatalf("best = %+v, %v", best, ok)
+	}
+}
+
+func TestFacadeDesignHTMLAndSweepHTML(t *testing.T) {
+	d, err := Synthesize(MustBenchmark("hal"), Table1(), Constraints{Deadline: 17, PowerMax: 8}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if html := DesignHTML(d); !strings.Contains(html, "design report") {
+		t.Fatal("design html malformed")
+	}
+	c, err := Sweep(MustBenchmark("hal"), Table1(), 17, SweepConfig{PowerMin: 8, PowerMax: 16, Step: 4, SinglePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if html := SweepHTML([]Curve{c}); !strings.Contains(html, "exploration") {
+		t.Fatal("sweep html malformed")
+	}
+}
+
+func TestFacadeEmitTestbench(t *testing.T) {
+	d, err := Synthesize(MustBenchmark("hal"), Table1(), Constraints{Deadline: 17, PowerMax: 8}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := EmitTestbench(d, halInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb, "module hal_tb;") {
+		t.Fatal("testbench malformed")
+	}
+	raw, err := d.JSON()
+	if err != nil || !strings.Contains(string(raw), `"graph": "hal"`) {
+		t.Fatalf("json: %v", err)
+	}
+}

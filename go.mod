@@ -1,0 +1,3 @@
+module pchls
+
+go 1.22

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// Cosine returns the "cosine" benchmark, reconstructed as an 8-point fast
+// DCT-II (cosine transform) flow graph in the Chen/Loeffler style:
+//
+//   - a first butterfly stage over the 8 inputs (4 additions,
+//     4 subtractions),
+//   - an even half producing X0, X2, X4, X6 through a second butterfly
+//     stage and two plane rotations (6 multiplications, 4 add/sub),
+//   - an odd half producing X1, X3, X5, X7 through two plane rotations,
+//     a butterfly stage and two sqrt-scalings (10 multiplications,
+//     4 add/sub).
+//
+// Totals: 16 multiplications, 12 additions, 12 subtractions, 8 inputs and
+// 8 outputs (56 nodes). Rotation coefficients are compile-time constants
+// and therefore not graph operands (as with the constant 3 in HAL).
+//
+// The exact netlist of the cosine CDFG used by Nielsen & Madsen is not
+// public; this reconstruction preserves the defining properties relied on
+// by the experiments: a multiply-rich transform with two sequential
+// multiplication levels on its critical path, which is schedulable at
+// T=12 only with parallel multipliers and admits serial multipliers at
+// T=15/19 (cf. Figure 2).
+func Cosine() *cdfg.Graph {
+	g := cdfg.New("cosine")
+	// Inputs x0..x7.
+	in := make([]cdfg.NodeID, 8)
+	for i := range in {
+		in[i] = g.MustAddNode(fmt.Sprintf("x%d", i), cdfg.Input)
+	}
+	add := func(name string, a, b cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Add)
+		g.MustAddEdge(a, id)
+		g.MustAddEdge(b, id)
+		return id
+	}
+	sub := func(name string, a, b cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Sub)
+		g.MustAddEdge(a, id)
+		g.MustAddEdge(b, id)
+		return id
+	}
+	mul1 := func(name string, a cdfg.NodeID) cdfg.NodeID { // multiply by constant coefficient
+		id := g.MustAddNode(name, cdfg.Mul)
+		g.MustAddEdge(a, id)
+		return id
+	}
+	out := func(name string, a cdfg.NodeID) {
+		id := g.MustAddNode(name, cdfg.Output)
+		g.MustAddEdge(a, id)
+	}
+
+	// Stage 1 butterflies: s_i = x_i + x_{7-i}, d_i = x_i - x_{7-i}.
+	s := make([]cdfg.NodeID, 4)
+	d := make([]cdfg.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		s[i] = add(fmt.Sprintf("s%d", i), in[i], in[7-i])
+		d[i] = sub(fmt.Sprintf("d%d", i), in[i], in[7-i])
+	}
+
+	// Even half: 4-point DCT of s0..s3.
+	t0 := add("t0", s[0], s[3])
+	t1 := add("t1", s[1], s[2])
+	t2 := sub("t2", s[1], s[2])
+	t3 := sub("t3", s[0], s[3])
+	ae := add("ae", t0, t1)
+	be := sub("be", t0, t1)
+	x0 := mul1("m_x0", ae) // c4*(t0+t1)
+	x4 := mul1("m_x4", be) // c4*(t0-t1)
+	m1 := mul1("m1", t3)   // c2*t3
+	m2 := mul1("m2", t2)   // c6*t2
+	m3 := mul1("m3", t3)   // c6*t3
+	m4 := mul1("m4", t2)   // c2*t2
+	x2 := add("a_x2", m1, m2)
+	x6 := sub("s_x6", m3, m4)
+
+	// Odd half: two rotations of (d0,d3) and (d1,d2).
+	r1a1 := mul1("r1a1", d[0]) // c3*d0
+	r1a2 := mul1("r1a2", d[3]) // s3*d3
+	r1b1 := mul1("r1b1", d[3]) // c3*d3
+	r1b2 := mul1("r1b2", d[0]) // s3*d0
+	r2a1 := mul1("r2a1", d[1]) // c1*d1
+	r2a2 := mul1("r2a2", d[2]) // s1*d2
+	r2b1 := mul1("r2b1", d[2]) // c1*d2
+	r2b2 := mul1("r2b2", d[1]) // s1*d1
+	r1a := add("r1a", r1a1, r1a2)
+	r1b := sub("r1b", r1b1, r1b2)
+	r2a := add("r2a", r2a1, r2a2)
+	r2b := sub("r2b", r2b1, r2b2)
+	// Butterflies.
+	b1 := add("b1", r1a, r2a)
+	b2 := sub("b2", r1a, r2a)
+	b3 := add("b3", r1b, r2b)
+	b4 := sub("b4", r1b, r2b)
+	// Middle scalings by c4 (sqrt(2)/2).
+	x3 := mul1("m_x3", b2)
+	x5 := mul1("m_x5", b4)
+
+	out("X0", x0)
+	out("X1", b1)
+	out("X2", x2)
+	out("X3", x3)
+	out("X4", x4)
+	out("X5", x5)
+	out("X6", x6)
+	out("X7", b3)
+
+	mustValid(g)
+	return g
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// FIR returns an n-tap finite-impulse-response filter benchmark: n
+// coefficient multiplications of delayed samples followed by a balanced
+// adder tree, with n sample inputs and one output. FIR(16) is the common
+// "fir" secondary benchmark. n must be at least 2.
+func FIR(n int) *cdfg.Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: FIR(%d): need at least 2 taps", n))
+	}
+	g := cdfg.New(fmt.Sprintf("fir%d", n))
+	level := make([]cdfg.NodeID, n)
+	for i := 0; i < n; i++ {
+		x := g.MustAddNode(fmt.Sprintf("x%d", i), cdfg.Input)
+		m := g.MustAddNode(fmt.Sprintf("m%d", i), cdfg.Mul)
+		g.MustAddEdge(x, m)
+		level[i] = m
+	}
+	// Balanced adder tree.
+	layer := 0
+	for len(level) > 1 {
+		var next []cdfg.NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			a := g.MustAddNode(fmt.Sprintf("a%d_%d", layer, i/2), cdfg.Add)
+			g.MustAddEdge(level[i], a)
+			g.MustAddEdge(level[i+1], a)
+			next = append(next, a)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		layer++
+	}
+	o := g.MustAddNode("y", cdfg.Output)
+	g.MustAddEdge(level[0], o)
+	mustValid(g)
+	return g
+}
+
+// AR returns the auto-regressive lattice filter secondary benchmark: a
+// four-stage lattice, each stage performing two cross multiplications and
+// two accumulations (16 multiplications, 12 additions in the classical
+// instance modeled here), with two signal inputs per stage pair and two
+// outputs.
+func AR() *cdfg.Graph {
+	g := cdfg.New("ar")
+	add := func(name string, a, b cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Add)
+		g.MustAddEdge(a, id)
+		g.MustAddEdge(b, id)
+		return id
+	}
+	mul := func(name string, a, b cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Mul)
+		g.MustAddEdge(a, id)
+		if b != cdfg.None {
+			g.MustAddEdge(b, id)
+		}
+		return id
+	}
+	f := g.MustAddNode("f0", cdfg.Input)
+	b := g.MustAddNode("b0", cdfg.Input)
+	fcur, bcur := f, b
+	for s := 0; s < 4; s++ {
+		// Lattice stage: f' = f + k*b ; b' = b + k*f, with reflection
+		// coefficients as constants; each product uses two multiplies
+		// (coefficient scaling then cross scaling) to match the 16-mult
+		// op profile of the classical AR benchmark.
+		p := fmt.Sprintf("s%d_", s)
+		mf1 := mul(p+"mf1", bcur, cdfg.None)
+		mf2 := mul(p+"mf2", mf1, cdfg.None)
+		mb1 := mul(p+"mb1", fcur, cdfg.None)
+		mb2 := mul(p+"mb2", mb1, cdfg.None)
+		fn := add(p+"fa", fcur, mf2)
+		bn := add(p+"ba", bcur, mb2)
+		if s < 2 {
+			// Inter-stage smoothing adds (state updates) on the first two
+			// stages only, matching the 16-multiply/12-add op profile.
+			fcur = add(p+"fs", fn, mf1)
+			bcur = add(p+"bs", bn, mb1)
+		} else {
+			fcur, bcur = fn, bn
+		}
+	}
+	of := g.MustAddNode("fout", cdfg.Output)
+	g.MustAddEdge(fcur, of)
+	ob := g.MustAddNode("bout", cdfg.Output)
+	g.MustAddEdge(bcur, ob)
+	mustValid(g)
+	return g
+}
+
+// Diffeq2 returns a second-order differential-equation integrator in the
+// style of HAL but with a deeper multiply chain (used as an extra stress
+// benchmark): two Euler steps fused, 10 multiplications, 4 additions,
+// 4 subtractions, 1 comparison.
+func Diffeq2() *cdfg.Graph {
+	g := cdfg.New("diffeq2")
+	x := g.MustAddNode("x", cdfg.Input)
+	y := g.MustAddNode("y", cdfg.Input)
+	u := g.MustAddNode("u", cdfg.Input)
+	dx := g.MustAddNode("dx", cdfg.Input)
+	a := g.MustAddNode("a", cdfg.Input)
+
+	add := func(name string, p, q cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Add)
+		g.MustAddEdge(p, id)
+		g.MustAddEdge(q, id)
+		return id
+	}
+	sub := func(name string, p, q cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Sub)
+		g.MustAddEdge(p, id)
+		g.MustAddEdge(q, id)
+		return id
+	}
+	mul := func(name string, p, q cdfg.NodeID) cdfg.NodeID {
+		id := g.MustAddNode(name, cdfg.Mul)
+		g.MustAddEdge(p, id)
+		if q != cdfg.None {
+			g.MustAddEdge(q, id)
+		}
+		return id
+	}
+
+	// First step.
+	x1 := add("x1", x, dx)
+	m1 := mul("m1", x, cdfg.None) // 3*x
+	m2 := mul("m2", u, dx)
+	m3 := mul("m3", y, cdfg.None) // 3*y
+	m4 := mul("m4", m1, m2)
+	m5 := mul("m5", m3, dx)
+	s1 := sub("s1", u, m4)
+	u1 := sub("u1", s1, m5)
+	y1 := add("y1", y, m2)
+	// Second (fused) step reusing first-step results.
+	x2 := add("x2", x1, dx)
+	m6 := mul("m6", x1, cdfg.None) // 3*x1
+	m7 := mul("m7", u1, dx)
+	m8 := mul("m8", y1, cdfg.None) // 3*y1
+	m9 := mul("m9", m6, m7)
+	m10 := mul("m10", m8, dx)
+	s2 := sub("s2", u1, m9)
+	u2 := sub("u2", s2, m10)
+	y2 := add("y2", y1, m7)
+	c := g.MustAddNode("c", cdfg.Cmp)
+	g.MustAddEdge(x2, c)
+	g.MustAddEdge(a, c)
+
+	outputs := []struct {
+		name string
+		src  cdfg.NodeID
+	}{{"out_x2", x2}, {"out_y2", y2}, {"out_u2", u2}, {"out_c", c}}
+	for _, o := range outputs {
+		id := g.MustAddNode(o.name, cdfg.Output)
+		g.MustAddEdge(o.src, id)
+	}
+	mustValid(g)
+	return g
+}
+
+// All returns the full benchmark suite keyed by name, including the three
+// graphs of the paper's Figure 2 and the secondary graphs.
+func All() map[string]*cdfg.Graph {
+	return map[string]*cdfg.Graph{
+		"hal":      HAL(),
+		"cosine":   Cosine(),
+		"elliptic": Elliptic(),
+		"fir16":    FIR(16),
+		"ar":       AR(),
+		"diffeq2":  Diffeq2(),
+		"fft8":     FFT(8),
+	}
+}
+
+// ByName returns the named benchmark graph, or an error listing the
+// available names.
+func ByName(name string) (*cdfg.Graph, error) {
+	switch name {
+	case "hal":
+		return HAL(), nil
+	case "cosine":
+		return Cosine(), nil
+	case "elliptic":
+		return Elliptic(), nil
+	case "fir16":
+		return FIR(16), nil
+	case "ar":
+		return AR(), nil
+	case "diffeq2":
+		return Diffeq2(), nil
+	case "fft8":
+		return FFT(8), nil
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have hal, cosine, elliptic, fir16, ar, diffeq2, fft8)", name)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// FFT returns an n-point decimation-in-time FFT flow graph (n a power of
+// two, n >= 4), modelled over real arithmetic: each butterfly scales its
+// odd input by a twiddle constant (one multiplication) and produces sum
+// and difference (one addition, one subtraction). The graph has
+// (n/2)·log2(n) butterflies — FFT(8) gives 12 multiplications, 12
+// additions and 12 subtractions plus 8 inputs and 8 outputs — and is used
+// as a deep, regular stress benchmark for the synthesizer (it is not one
+// of the paper's three graphs).
+func FFT(n int) *cdfg.Graph {
+	if n < 4 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("bench: FFT(%d): n must be a power of two >= 4", n))
+	}
+	g := cdfg.New(fmt.Sprintf("fft%d", n))
+	cur := make([]cdfg.NodeID, n)
+	for i := range cur {
+		cur[i] = g.MustAddNode(fmt.Sprintf("x%d", i), cdfg.Input)
+	}
+	stage := 0
+	for span := 1; span < n; span *= 2 {
+		next := make([]cdfg.NodeID, n)
+		for base := 0; base < n; base += 2 * span {
+			for k := 0; k < span; k++ {
+				a := cur[base+k]
+				b := cur[base+k+span]
+				// Twiddle scaling of the odd leg (constant coefficient).
+				tw := g.MustAddNode(fmt.Sprintf("s%d_t%d", stage, base+k), cdfg.Mul)
+				g.MustAddEdge(b, tw)
+				sum := g.MustAddNode(fmt.Sprintf("s%d_a%d", stage, base+k), cdfg.Add)
+				g.MustAddEdge(a, sum)
+				g.MustAddEdge(tw, sum)
+				diff := g.MustAddNode(fmt.Sprintf("s%d_s%d", stage, base+k), cdfg.Sub)
+				g.MustAddEdge(a, diff)
+				g.MustAddEdge(tw, diff)
+				next[base+k] = sum
+				next[base+k+span] = diff
+			}
+		}
+		cur = next
+		stage++
+	}
+	for i, id := range cur {
+		out := g.MustAddNode(fmt.Sprintf("X%d", i), cdfg.Output)
+		g.MustAddEdge(id, out)
+	}
+	mustValid(g)
+	return g
+}

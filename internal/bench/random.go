@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pchls/internal/cdfg"
+)
+
+// RandomConfig parameterizes the layered random DAG generator.
+type RandomConfig struct {
+	// Nodes is the number of computation nodes (inputs/outputs are added
+	// on top). Must be >= 1.
+	Nodes int
+	// MaxWidth bounds the number of nodes per layer (default 4).
+	MaxWidth int
+	// MulFraction is the approximate fraction of multiply nodes among the
+	// computations (default 0.3); the rest are adds/subs/compares.
+	MulFraction float64
+}
+
+// Random generates a random layered data-flow DAG: nodes are grouped into
+// layers of at most MaxWidth; each non-source node draws 1-2 predecessors
+// from earlier layers. The result is always a valid (acyclic, arity-
+// respecting) graph. Generation is fully determined by rng.
+func Random(rng *rand.Rand, cfg RandomConfig) *cdfg.Graph {
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("bench: Random: Nodes = %d", cfg.Nodes))
+	}
+	if cfg.MaxWidth <= 0 {
+		cfg.MaxWidth = 4
+	}
+	if cfg.MulFraction <= 0 {
+		cfg.MulFraction = 0.3
+	}
+	g := cdfg.New("random")
+	compOps := []cdfg.Op{cdfg.Add, cdfg.Sub, cdfg.Cmp}
+
+	var all []cdfg.NodeID
+	var prevLayers []cdfg.NodeID // nodes in all earlier layers
+	made := 0
+	layer := 0
+	for made < cfg.Nodes {
+		width := rng.Intn(cfg.MaxWidth) + 1
+		if width > cfg.Nodes-made {
+			width = cfg.Nodes - made
+		}
+		var thisLayer []cdfg.NodeID
+		for k := 0; k < width; k++ {
+			op := compOps[rng.Intn(len(compOps))]
+			if rng.Float64() < cfg.MulFraction {
+				op = cdfg.Mul
+			}
+			id := g.MustAddNode(fmt.Sprintf("n%d_%d", layer, k), op)
+			if len(prevLayers) > 0 {
+				deg := rng.Intn(2) + 1
+				seen := map[cdfg.NodeID]bool{}
+				for e := 0; e < deg; e++ {
+					p := prevLayers[rng.Intn(len(prevLayers))]
+					if !seen[p] {
+						seen[p] = true
+						g.MustAddEdge(p, id)
+					}
+				}
+			}
+			thisLayer = append(thisLayer, id)
+			all = append(all, id)
+			made++
+		}
+		prevLayers = append(prevLayers, thisLayer...)
+		layer++
+	}
+	// Attach explicit transfers: every computation source is fed by an
+	// Input node and every sink drives an Output node, so the generated
+	// graph is always arity-valid.
+	for _, id := range append([]cdfg.NodeID(nil), all...) {
+		n := g.Node(id)
+		if len(g.Preds(id)) == 0 {
+			in := g.MustAddNode("in_"+n.Name, cdfg.Input)
+			g.MustAddEdge(in, id)
+		}
+		if len(g.Succs(id)) == 0 {
+			out := g.MustAddNode("out_"+n.Name, cdfg.Output)
+			g.MustAddEdge(id, out)
+		}
+	}
+	mustValid(g)
+	return g
+}

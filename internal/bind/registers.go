@@ -1,0 +1,116 @@
+package bind
+
+import (
+	"sort"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/clique"
+)
+
+// CliqueRegisters allocates registers by clique partitioning, the
+// historical alternative to the left-edge algorithm (Tseng & Siewiorek):
+// build the value-compatibility graph — two values are compatible when
+// their lifetimes do not overlap — and partition it into cliques, one
+// register per clique, with the common-neighbour heuristic.
+//
+// On interval lifetimes LeftEdge is provably optimal, so this exists for
+// the register-allocation ablation: CliqueRegisters never beats LeftEdge
+// and the test suite pins the comparison.
+func CliqueRegisters(lifetimes []Lifetime) []Register {
+	n := len(lifetimes)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]Lifetime(nil), lifetimes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Birth != sorted[j].Birth {
+			return sorted[i].Birth < sorted[j].Birth
+		}
+		return sorted[i].Producer < sorted[j].Producer
+	})
+	g := clique.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !sorted[i].Overlaps(sorted[j]) {
+				g.SetCompatible(i, j)
+			}
+		}
+	}
+	partition := clique.TsengSiewiorek(g)
+	regs := make([]Register, 0, len(partition))
+	for _, block := range partition {
+		var r Register
+		for _, idx := range block {
+			r.Values = append(r.Values, sorted[idx].Producer)
+		}
+		sort.Slice(r.Values, func(a, b int) bool { return r.Values[a] < r.Values[b] })
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(a, b int) bool { return regs[a].Values[0] < regs[b].Values[0] })
+	return regs
+}
+
+// ValidateRegisters checks that an allocation is sound for the lifetimes:
+// every value is stored exactly once and no register holds two overlapping
+// values.
+func ValidateRegisters(regs []Register, lifetimes []Lifetime) error {
+	byProducer := make(map[cdfg.NodeID]Lifetime, len(lifetimes))
+	for _, lt := range lifetimes {
+		byProducer[lt.Producer] = lt
+	}
+	seen := make(map[cdfg.NodeID]bool, len(lifetimes))
+	for ri, r := range regs {
+		for i := 0; i < len(r.Values); i++ {
+			v := r.Values[i]
+			if _, ok := byProducer[v]; !ok {
+				return errRegister(ri, "stores unknown value")
+			}
+			if seen[v] {
+				return errRegister(ri, "value stored twice")
+			}
+			seen[v] = true
+			for j := i + 1; j < len(r.Values); j++ {
+				if byProducer[v].Overlaps(byProducer[r.Values[j]]) {
+					return errRegister(ri, "holds overlapping lifetimes")
+				}
+			}
+		}
+	}
+	if len(seen) != len(lifetimes) {
+		return errRegister(-1, "allocation does not cover every value")
+	}
+	return nil
+}
+
+type registerError struct {
+	reg int
+	msg string
+}
+
+func errRegister(reg int, msg string) error { return &registerError{reg: reg, msg: msg} }
+
+func (e *registerError) Error() string {
+	if e.reg < 0 {
+		return "bind: register allocation: " + e.msg
+	}
+	return "bind: register " + itoa(e.reg) + ": " + e.msg
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,95 @@
+package bind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pchls/internal/cdfg"
+)
+
+func randomLifetimes(rng *rand.Rand, n int) []Lifetime {
+	lts := make([]Lifetime, n)
+	for i := range lts {
+		birth := rng.Intn(25)
+		lts[i] = Lifetime{Producer: cdfg.NodeID(i), Birth: birth, LastUse: birth + rng.Intn(9)}
+	}
+	return lts
+}
+
+func TestCliqueRegistersValidAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lts := randomLifetimes(rng, 20)
+	regs := CliqueRegisters(lts)
+	if err := ValidateRegisters(regs, lts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueRegistersEmpty(t *testing.T) {
+	if regs := CliqueRegisters(nil); regs != nil {
+		t.Fatalf("CliqueRegisters(nil) = %v", regs)
+	}
+}
+
+func TestQuickLeftEdgeNeverWorseThanClique(t *testing.T) {
+	// Left-edge is optimal on interval lifetimes; the clique heuristic may
+	// tie but never beat it, and both must be valid.
+	f := func(seed int64, szRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lts := randomLifetimes(rng, int(szRaw%25)+1)
+		le := LeftEdge(lts)
+		cq := CliqueRegisters(lts)
+		if ValidateRegisters(le, lts) != nil || ValidateRegisters(cq, lts) != nil {
+			return false
+		}
+		return len(le) <= len(cq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRegistersCatchesBadAllocations(t *testing.T) {
+	lts := []Lifetime{
+		{Producer: 0, Birth: 0, LastUse: 2},
+		{Producer: 1, Birth: 1, LastUse: 3},
+	}
+	cases := []struct {
+		name string
+		regs []Register
+	}{
+		{"overlap in one register", []Register{{Values: []cdfg.NodeID{0, 1}}}},
+		{"value stored twice", []Register{{Values: []cdfg.NodeID{0}}, {Values: []cdfg.NodeID{0, 1}}}},
+		{"unknown value", []Register{{Values: []cdfg.NodeID{0}}, {Values: []cdfg.NodeID{9}}}},
+		{"missing value", []Register{{Values: []cdfg.NodeID{0}}}},
+	}
+	for _, tc := range cases {
+		if err := ValidateRegisters(tc.regs, lts); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	good := []Register{{Values: []cdfg.NodeID{0}}, {Values: []cdfg.NodeID{1}}}
+	if err := ValidateRegisters(good, lts); err != nil {
+		t.Fatalf("good allocation rejected: %v", err)
+	}
+}
+
+func TestLeftEdgeAllocationsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		lts := randomLifetimes(rng, 15)
+		if err := ValidateRegisters(LeftEdge(lts), lts); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 100: "100"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package cdfg
+
+import "fmt"
+
+// Operand conventions for evaluation: a computation node may have fewer
+// graph predecessors than its maximum fan-in when one operand is a
+// compile-time constant of the source program (e.g. the literal 3 in the
+// HAL benchmark). Since the constant's value is not part of the graph,
+// evaluation substitutes the operation's identity element — 1 for
+// multiplication, 0 otherwise — so that a graph's meaning is well defined
+// and the RTL back end can be verified against it bit for bit.
+
+// IdentityOperand returns the value substituted for a missing (constant)
+// operand of the operation during evaluation.
+func IdentityOperand(op Op) int64 {
+	if op == Mul {
+		return 1
+	}
+	return 0
+}
+
+// EvalOp applies the operation to two operand values.
+func EvalOp(op Op, a, b int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Cmp:
+		if a > b {
+			return 1
+		}
+		return 0
+	}
+	return a // transfers pass their (first) operand through
+}
+
+// Eval executes the data-flow graph on concrete values: inputs supplies
+// the value of every Input node; the result maps every node to its
+// computed value (Output nodes carry the value they transfer). Operand
+// order follows edge insertion order, matching the RTL back end.
+func (g *Graph) Eval(inputs map[NodeID]int64) (map[NodeID]int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[NodeID]int64, g.N())
+	for _, id := range order {
+		n := g.Node(id)
+		if n.Op == Input {
+			v, ok := inputs[id]
+			if !ok {
+				return nil, fmt.Errorf("cdfg: Eval: no value for input node %q", n.Name)
+			}
+			vals[id] = v
+			continue
+		}
+		preds := g.Preds(id)
+		a := IdentityOperand(n.Op)
+		b := IdentityOperand(n.Op)
+		if len(preds) > 0 {
+			a = vals[preds[0]]
+		}
+		if len(preds) > 1 {
+			b = vals[preds[1]]
+		}
+		if n.Op.IsTransfer() {
+			vals[id] = a
+			continue
+		}
+		vals[id] = EvalOp(n.Op, a, b)
+	}
+	return vals, nil
+}
+
+// EvalOutputs is Eval restricted to the Output nodes, keyed by node name.
+func (g *Graph) EvalOutputs(inputs map[NodeID]int64) (map[string]int64, error) {
+	vals, err := g.Eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64)
+	for _, n := range g.Nodes() {
+		if n.Op == Output {
+			out[n.Name] = vals[n.ID]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package cdfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalOp(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{Add, 3, 4, 7},
+		{Sub, 3, 4, -1},
+		{Mul, 3, 4, 12},
+		{Cmp, 5, 4, 1},
+		{Cmp, 4, 5, 0},
+		{Cmp, 4, 4, 0},
+		{Input, 9, 0, 9},
+		{Output, 9, 0, 9},
+	}
+	for _, tc := range cases {
+		if got := EvalOp(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("EvalOp(%v, %d, %d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestIdentityOperand(t *testing.T) {
+	if IdentityOperand(Mul) != 1 {
+		t.Fatal("mul identity should be 1")
+	}
+	for _, op := range []Op{Add, Sub, Cmp, Input, Output} {
+		if IdentityOperand(op) != 0 {
+			t.Fatalf("%v identity should be 0", op)
+		}
+	}
+}
+
+func TestEvalDiamond(t *testing.T) {
+	// a(imp)=6 -> b = 6+0... b has single pred: 6+identity(0) = 6;
+	// c = 6*1 = 6; d = b - c = 0.
+	g := diamond(t)
+	a, _ := g.Lookup("a")
+	vals, err := g.Eval(map[NodeID]int64{a.ID: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.Lookup("b")
+	c, _ := g.Lookup("c")
+	d, _ := g.Lookup("d")
+	if vals[b.ID] != 6 || vals[c.ID] != 6 || vals[d.ID] != 0 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestEvalTwoOperandChain(t *testing.T) {
+	g := New("t")
+	x := g.MustAddNode("x", Input)
+	y := g.MustAddNode("y", Input)
+	m := g.MustAddNode("m", Mul)
+	s := g.MustAddNode("s", Sub)
+	o := g.MustAddNode("o", Output)
+	g.MustAddEdge(x, m)
+	g.MustAddEdge(y, m)
+	g.MustAddEdge(m, s)
+	g.MustAddEdge(y, s)
+	g.MustAddEdge(s, o)
+	out, err := g.EvalOutputs(map[NodeID]int64{x: 7, y: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["o"] != 7*3-3 {
+		t.Fatalf("o = %d, want 18", out["o"])
+	}
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.Eval(nil); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestEvalCyclicGraphFails(t *testing.T) {
+	g := New("cyc")
+	a := g.MustAddNode("a", Add)
+	b := g.MustAddNode("b", Add)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := g.Eval(nil); err == nil {
+		t.Fatal("cyclic graph evaluated")
+	}
+}
+
+func TestQuickEvalDeterministic(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%30) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		in := map[NodeID]int64{}
+		for _, node := range g.Nodes() {
+			if len(g.Preds(node.ID)) == 0 {
+				in[node.ID] = seed % 97
+			}
+		}
+		// randomDAG uses Add nodes (min fan-in satisfied only when preds
+		// exist); source Add nodes have no preds and are not Input ops,
+		// so Eval treats both operands as identity.
+		v1, err1 := g.Eval(in)
+		v2, err2 := g.Eval(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for k, a := range v1 {
+			if v2[k] != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

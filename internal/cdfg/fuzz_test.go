@@ -1,0 +1,45 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the .cdfg text parser with arbitrary input: it must
+// never panic, and anything it accepts must be a valid graph that
+// round-trips through the serializer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"graph g\nnode a imp\nnode b add\nedge a b\n",
+		"node a imp\nnode o xpt\nedge a o\n",
+		"# only a comment\n",
+		"graph g\nnode a *\nnode b *\nedge a b\nedge b a\n",
+		"node x add\nedge x x\n",
+		"graph\n",
+		"node a bogusop\n",
+		"edge a b\n",
+		strings.Repeat("node n add\n", 3),
+		"graph g\r\nnode a imp\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid graph: %v\ninput: %q", err, input)
+		}
+		// Round trip.
+		g2, err := ParseString(g.Text())
+		if err != nil {
+			t.Fatalf("serialized graph does not reparse: %v\ntext: %q", err, g.Text())
+		}
+		if g2.N() != g.N() || g2.E() != g.E() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}

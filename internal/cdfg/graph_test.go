@@ -1,0 +1,435 @@
+package cdfg
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the four-node diamond a -> {b, c} -> d.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("diamond")
+	a := g.MustAddNode("a", Input)
+	b := g.MustAddNode("b", Add)
+	c := g.MustAddNode("c", Mul)
+	d := g.MustAddNode("d", Sub)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New("t")
+	for i := 0; i < 5; i++ {
+		id := g.MustAddNode(string(rune('a'+i)), Add)
+		if int(id) != i {
+			t.Fatalf("node %d got id %d", i, id)
+		}
+	}
+	if g.N() != 5 {
+		t.Fatalf("N() = %d, want 5", g.N())
+	}
+}
+
+func TestAddNodeRejectsDuplicateName(t *testing.T) {
+	g := New("t")
+	g.MustAddNode("x", Add)
+	if _, err := g.AddNode("x", Mul); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("duplicate name error = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestAddNodeRejectsInvalidOp(t *testing.T) {
+	g := New("t")
+	if _, err := g.AddNode("x", Invalid); err == nil {
+		t.Fatal("AddNode with Invalid op succeeded")
+	}
+	if _, err := g.AddNode("", Add); err == nil {
+		t.Fatal("AddNode with empty name succeeded")
+	}
+}
+
+func TestAddEdgeRejectsBadEndpoints(t *testing.T) {
+	g := New("t")
+	a := g.MustAddNode("a", Add)
+	if err := g.AddEdge(a, a); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if err := g.AddEdge(-1, a); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	b := g.MustAddNode("b", Add)
+	g.MustAddEdge(a, b)
+	if err := g.AddEdge(a, b); err == nil {
+		t.Fatal("parallel edge accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := diamond(t)
+	n, ok := g.Lookup("c")
+	if !ok || n.Op != Mul || n.Name != "c" {
+		t.Fatalf("Lookup(c) = %+v, %v", n, ok)
+	}
+	if _, ok := g.Lookup("zz"); ok {
+		t.Fatal("Lookup of missing name succeeded")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if src := g.Sources(); len(src) != 1 || g.Node(src[0]).Name != "a" {
+		t.Fatalf("Sources() = %v", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || g.Node(snk[0]).Name != "d" {
+		t.Fatalf("Sinks() = %v", snk)
+	}
+}
+
+func TestTopoOrderIsTopological(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, v := range g.Succs(n.ID) {
+			if pos[n.ID] >= pos[v] {
+				t.Fatalf("edge %d->%d violates topo order %v", n.ID, v, order)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New("cyc")
+	a := g.MustAddNode("a", Add)
+	b := g.MustAddNode("b", Add)
+	c := g.MustAddNode("c", Add)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(c, a)
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("TopoOrder on cycle = %v, want ErrCycle", err)
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate on cycle = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	g := New("t")
+	a := g.MustAddNode("a", Input)
+	b := g.MustAddNode("b", Input)
+	c := g.MustAddNode("c", Input)
+	d := g.MustAddNode("d", Add)
+	g.MustAddEdge(a, d)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d) // fan-in 3 > max 2 for Add
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "fan-in") {
+		t.Fatalf("Validate = %v, want fan-in violation", err)
+	}
+}
+
+func TestValidateOutputHasNoSuccessors(t *testing.T) {
+	g := New("t")
+	a := g.MustAddNode("a", Input)
+	o := g.MustAddNode("o", Output)
+	b := g.MustAddNode("b", Add)
+	g.MustAddEdge(a, o)
+	g.MustAddEdge(o, b)
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted output node with successor")
+	}
+}
+
+func TestValidateInputHasNoPredecessors(t *testing.T) {
+	g := New("t")
+	a := g.MustAddNode("a", Input)
+	b := g.MustAddNode("b", Input)
+	g.MustAddEdge(a, b)
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted input node with predecessor")
+	}
+}
+
+func TestCriticalPathUnitDelays(t *testing.T) {
+	g := diamond(t)
+	length, path := g.CriticalPath(func(Node) int { return 1 })
+	if length != 3 {
+		t.Fatalf("critical path length = %d, want 3", length)
+	}
+	if len(path) != 3 || g.Node(path[0]).Name != "a" || g.Node(path[2]).Name != "d" {
+		t.Fatalf("critical path = %v", path)
+	}
+}
+
+func TestCriticalPathWeightedDelays(t *testing.T) {
+	g := diamond(t)
+	// Mul (node c) takes 4 cycles: path a-c-d has length 1+4+1 = 6.
+	length, path := g.CriticalPath(func(n Node) int {
+		if n.Op == Mul {
+			return 4
+		}
+		return 1
+	})
+	if length != 6 {
+		t.Fatalf("critical path length = %d, want 6", length)
+	}
+	if g.Node(path[1]).Name != "c" {
+		t.Fatalf("critical path should route through c, got %v", path)
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	g := New("empty")
+	if length, path := g.CriticalPath(func(Node) int { return 1 }); length != 0 || path != nil {
+		t.Fatalf("empty graph critical path = %d, %v", length, path)
+	}
+}
+
+func TestReverseFlipsEdges(t *testing.T) {
+	g := diamond(t)
+	r := g.Reverse()
+	if r.N() != g.N() || r.E() != g.E() {
+		t.Fatalf("reverse changed size: %v vs %v", r, g)
+	}
+	for _, n := range g.Nodes() {
+		for _, v := range g.Succs(n.ID) {
+			found := false
+			for _, w := range r.Succs(v) {
+				if w == n.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not reversed", n.ID, v)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.MustAddNode("extra", Add)
+	x, _ := c.Lookup("a")
+	y, _ := c.Lookup("extra")
+	c.MustAddEdge(x.ID, y.ID)
+	if g.N() == c.N() || g.E() == c.E() {
+		t.Fatal("mutating clone affected original size")
+	}
+	if _, ok := g.Lookup("extra"); ok {
+		t.Fatal("clone shares name index with original")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := diamond(t)
+	m, err := g.Reachability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	c, _ := g.Lookup("c")
+	d, _ := g.Lookup("d")
+	cases := []struct {
+		u, v NodeID
+		want bool
+	}{
+		{a.ID, d.ID, true},
+		{a.ID, b.ID, true},
+		{b.ID, d.ID, true},
+		{d.ID, a.ID, false},
+		{b.ID, c.ID, false},
+		{a.ID, a.ID, false},
+	}
+	for _, tc := range cases {
+		if got := m.Get(int(tc.u), int(tc.v)); got != tc.want {
+			t.Errorf("reach(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	g := diamond(t)
+	counts := g.OpCounts()
+	if counts[Add] != 1 || counts[Mul] != 1 || counts[Sub] != 1 || counts[Input] != 1 {
+		t.Fatalf("OpCounts = %v", counts)
+	}
+}
+
+func TestNodesOf(t *testing.T) {
+	g := diamond(t)
+	muls := g.NodesOf(Mul)
+	if len(muls) != 1 || g.Node(muls[0]).Name != "c" {
+		t.Fatalf("NodesOf(Mul) = %v", muls)
+	}
+	if got := g.NodesOf(Output); got != nil {
+		t.Fatalf("NodesOf(Output) = %v, want nil", got)
+	}
+}
+
+// randomDAG builds a random layered DAG with edges only from lower to
+// higher IDs, so it is acyclic by construction.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := New("rand")
+	for i := 0; i < n; i++ {
+		g.MustAddNode(nodeName(i), Add)
+	}
+	for v := 1; v < n; v++ {
+		deg := rng.Intn(2) + 1
+		seen := map[int]bool{}
+		for k := 0; k < deg; k++ {
+			u := rng.Intn(v)
+			if !seen[u] && len(g.Preds(NodeID(v))) < 2 {
+				seen[u] = true
+				g.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/100%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+func TestQuickTopoOrderPermutation(t *testing.T) {
+	// Property: TopoOrder returns each node exactly once and respects all
+	// edges on arbitrary random DAGs.
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%60) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make([]int, n)
+		seen := make([]bool, n)
+		for i, id := range order {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			pos[id] = i
+		}
+		for _, node := range g.Nodes() {
+			for _, v := range g.Succs(node.ID) {
+				if pos[node.ID] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReachabilityMatchesDFS(t *testing.T) {
+	// Property: the bitset transitive closure agrees with a plain DFS.
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%40) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		m, err := g.Reachability()
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			reach := make([]bool, n)
+			var dfs func(x NodeID)
+			dfs = func(x NodeID) {
+				for _, v := range g.Succs(x) {
+					if !reach[v] {
+						reach[v] = true
+						dfs(v)
+					}
+				}
+			}
+			dfs(NodeID(u))
+			for v := 0; v < n; v++ {
+				if m.Get(u, v) != reach[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReverseTwiceIsIdentity(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%40) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		rr := g.Reverse().Reverse()
+		if rr.N() != g.N() || rr.E() != g.E() {
+			return false
+		}
+		for _, node := range g.Nodes() {
+			a := append([]NodeID(nil), g.Succs(node.ID)...)
+			b := append([]NodeID(nil), rr.Succs(node.ID)...)
+			if len(a) != len(b) {
+				return false
+			}
+			set := map[NodeID]bool{}
+			for _, x := range a {
+				set[x] = true
+			}
+			for _, x := range b {
+				if !set[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmat(t *testing.T) {
+	m := NewBitmat(70) // spans two words per row
+	m.Set(0, 0)
+	m.Set(0, 69)
+	m.Set(3, 64)
+	if !m.Get(0, 0) || !m.Get(0, 69) || !m.Get(3, 64) {
+		t.Fatal("set bits not readable")
+	}
+	if m.Get(0, 1) || m.Get(1, 0) {
+		t.Fatal("unset bits read as set")
+	}
+	m.OrRow(1, 0)
+	if !m.Get(1, 0) || !m.Get(1, 69) {
+		t.Fatal("OrRow did not merge")
+	}
+	if m.N() != 70 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := diamond(t)
+	s := g.String()
+	if !strings.Contains(s, "diamond") || !strings.Contains(s, "4 nodes") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,113 @@
+// Package cdfg provides the control/data-flow graph substrate used by the
+// power-constrained high-level synthesis engine. A Graph is a directed
+// acyclic graph whose nodes are primitive operations (arithmetic operators
+// plus explicit input and output transfers) and whose edges are data
+// dependencies. The package supplies construction, validation, traversal,
+// reachability, a line-oriented text format and DOT export.
+package cdfg
+
+import "fmt"
+
+// Op identifies the primitive operation a node performs. The operation
+// alphabet matches the functional-unit library of the paper's Table 1:
+// addition, subtraction, comparison, multiplication, plus explicit input
+// ("imp") and output ("xpt") transfer operations.
+type Op int
+
+// The supported operations.
+const (
+	// Invalid is the zero Op; it never appears in a valid graph.
+	Invalid Op = iota
+	// Add is two's-complement addition ("+").
+	Add
+	// Sub is two's-complement subtraction ("-").
+	Sub
+	// Cmp is magnitude comparison (">").
+	Cmp
+	// Mul is multiplication ("*").
+	Mul
+	// Input is an input transfer from the environment ("imp").
+	Input
+	// Output is an output transfer to the environment ("xpt").
+	Output
+)
+
+// NumOps is the number of distinct valid operations.
+const NumOps = 6
+
+// opInfo carries the per-operation static attributes.
+var opInfo = [...]struct {
+	str     string // canonical text-format token
+	maxIn   int    // maximum fan-in of a node with this op
+	minIn   int    // minimum fan-in
+	mayFanO bool   // whether fan-out is permitted
+}{
+	Invalid: {"?", 0, 0, false},
+	Add:     {"+", 2, 1, true},
+	Sub:     {"-", 2, 1, true},
+	Cmp:     {">", 2, 1, true},
+	Mul:     {"*", 2, 1, true},
+	Input:   {"imp", 0, 0, true},
+	Output:  {"xpt", 1, 1, false},
+}
+
+// String returns the canonical text-format token for the operation, e.g.
+// "+" for Add and "imp" for Input.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opInfo) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opInfo[o].str
+}
+
+// Valid reports whether o is one of the defined operations (not Invalid).
+func (o Op) Valid() bool { return o > Invalid && int(o) < len(opInfo) }
+
+// IsTransfer reports whether the operation is an environment transfer
+// (Input or Output) rather than a computation.
+func (o Op) IsTransfer() bool { return o == Input || o == Output }
+
+// MaxFanIn returns the maximum number of data-dependency predecessors a node
+// with this operation may have.
+func (o Op) MaxFanIn() int {
+	if !o.Valid() {
+		return 0
+	}
+	return opInfo[o].maxIn
+}
+
+// MinFanIn returns the minimum number of data-dependency predecessors a node
+// with this operation must have in a validated graph.
+func (o Op) MinFanIn() int {
+	if !o.Valid() {
+		return 0
+	}
+	return opInfo[o].minIn
+}
+
+// ParseOp converts a text-format token into an Op. It accepts the canonical
+// tokens "+", "-", ">", "*", "imp", "xpt" as well as the spelled-out
+// aliases "add", "sub", "cmp", "comp", "mul", "mult", "input", "in",
+// "output", "out".
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "+", "add":
+		return Add, nil
+	case "-", "sub":
+		return Sub, nil
+	case ">", "cmp", "comp":
+		return Cmp, nil
+	case "*", "mul", "mult":
+		return Mul, nil
+	case "imp", "input", "in":
+		return Input, nil
+	case "xpt", "output", "out":
+		return Output, nil
+	}
+	return Invalid, fmt.Errorf("cdfg: unknown operation token %q", s)
+}
+
+// AllOps returns the valid operations in a fixed, deterministic order.
+func AllOps() []Op {
+	return []Op{Add, Sub, Cmp, Mul, Input, Output}
+}

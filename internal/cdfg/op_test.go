@@ -1,0 +1,85 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStringRoundTrip(t *testing.T) {
+	for _, op := range AllOps() {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Fatalf("round trip %v -> %q -> %v", op, op.String(), got)
+		}
+	}
+}
+
+func TestParseOpAliases(t *testing.T) {
+	cases := map[string]Op{
+		"add": Add, "sub": Sub, "cmp": Cmp, "comp": Cmp,
+		"mul": Mul, "mult": Mul, "input": Input, "in": Input,
+		"output": Output, "out": Output,
+	}
+	for s, want := range cases {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp("bogus"); err == nil {
+		t.Fatal("ParseOp accepted bogus token")
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if Invalid.Valid() {
+		t.Fatal("Invalid reported valid")
+	}
+	for _, op := range AllOps() {
+		if !op.Valid() {
+			t.Fatalf("%v reported invalid", op)
+		}
+	}
+	if Op(99).Valid() {
+		t.Fatal("out-of-range op reported valid")
+	}
+	if s := Op(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("out-of-range String = %q", s)
+	}
+}
+
+func TestOpTransfer(t *testing.T) {
+	if !Input.IsTransfer() || !Output.IsTransfer() {
+		t.Fatal("transfers not recognized")
+	}
+	if Add.IsTransfer() || Mul.IsTransfer() {
+		t.Fatal("computations flagged as transfers")
+	}
+}
+
+func TestOpFanIn(t *testing.T) {
+	if Input.MaxFanIn() != 0 || Input.MinFanIn() != 0 {
+		t.Fatal("input fan-in bounds wrong")
+	}
+	if Output.MaxFanIn() != 1 || Output.MinFanIn() != 1 {
+		t.Fatal("output fan-in bounds wrong")
+	}
+	if Add.MaxFanIn() != 2 {
+		t.Fatal("add fan-in bound wrong")
+	}
+	if Invalid.MaxFanIn() != 0 || Invalid.MinFanIn() != 0 {
+		t.Fatal("invalid op fan-in should be zero")
+	}
+	if Op(99).MaxFanIn() != 0 {
+		t.Fatal("out-of-range op fan-in should be zero")
+	}
+}
+
+func TestNumOpsMatchesAllOps(t *testing.T) {
+	if len(AllOps()) != NumOps {
+		t.Fatalf("AllOps has %d entries, NumOps = %d", len(AllOps()), NumOps)
+	}
+}

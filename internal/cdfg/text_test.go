@@ -1,0 +1,143 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleText = `
+# tiny test graph
+graph tiny
+node i1 imp
+node i2 imp
+node m  *      ; a multiply
+node s  +
+node o  xpt
+edge i1 m
+edge i2 m
+edge m  s
+edge s  o
+`
+
+func TestParseSample(t *testing.T) {
+	g, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "tiny" {
+		t.Fatalf("name = %q", g.Name)
+	}
+	if g.N() != 5 || g.E() != 4 {
+		t.Fatalf("size = %d nodes %d edges", g.N(), g.E())
+	}
+	m, ok := g.Lookup("m")
+	if !ok || m.Op != Mul {
+		t.Fatalf("node m = %+v, %v", m, ok)
+	}
+	if len(g.Preds(m.ID)) != 2 {
+		t.Fatalf("m preds = %v", g.Preds(m.ID))
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	g, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseString(g.Text())
+	if err != nil {
+		t.Fatalf("reparsing serialized graph: %v\ntext:\n%s", err, g.Text())
+	}
+	if g2.Name != g.Name || g2.N() != g.N() || g2.E() != g.E() {
+		t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+	}
+	for _, n := range g.Nodes() {
+		n2, ok := g2.Lookup(n.Name)
+		if !ok || n2.Op != n.Op || n2.ID != n.ID {
+			t.Fatalf("node %q: %+v vs %+v", n.Name, n2, n)
+		}
+		s1 := g.Succs(n.ID)
+		s2 := g2.Succs(n2.ID)
+		if len(s1) != len(s2) {
+			t.Fatalf("node %q succ count differs", n.Name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown directive", "blah x y", "unknown directive"},
+		{"bad graph arity", "graph a b", "graph <name>"},
+		{"dup graph", "graph a\ngraph b", "duplicate graph"},
+		{"graph after node", "node a imp\ngraph g", "must precede"},
+		{"bad node arity", "node a", "node <name> <op>"},
+		{"bad op", "node a bogus", "unknown operation"},
+		{"dup node", "node a imp\nnode a imp", "duplicate node name"},
+		{"bad edge arity", "node a imp\nedge a", "edge <from> <to>"},
+		{"unknown from", "node a imp\nedge b a", "unknown node"},
+		{"unknown to", "node a imp\nedge a b", "unknown node"},
+		{"self loop", "node a add\nedge a a", "self-loop"},
+		{"cycle", "node a add\nnode b add\nedge a b\nedge b a", "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse(%q) error = %q, want substring %q", tc.in, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	g, err := ParseString("  \n# nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 {
+		t.Fatalf("empty input produced %d nodes", g.N())
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.Dot(nil)
+	for _, want := range []string{"digraph", `"i1" -> "m"`, `"m" -> "s"`, "shape=box", "shape=ellipse"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDotWithRanks(t *testing.T) {
+	g, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank everything by a trivial two-level schedule.
+	dot := g.Dot(func(id NodeID) (int, bool) {
+		if g.Node(id).Op == Input {
+			return 0, true
+		}
+		return 1, true
+	})
+	if !strings.Contains(dot, "rank=same") {
+		t.Fatalf("dot output missing rank groups:\n%s", dot)
+	}
+}
+
+func TestDotUnnamedGraph(t *testing.T) {
+	g := New("")
+	g.MustAddNode("a", Add)
+	if dot := g.Dot(nil); !strings.Contains(dot, `digraph "cdfg"`) {
+		t.Fatalf("unnamed dot header: %s", dot)
+	}
+}

@@ -1,0 +1,265 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pentagon builds C5: 0-1-2-3-4-0 compatible pairs only. Its minimum
+// clique partition has 3 blocks (two edges + one singleton).
+func pentagon() *Graph {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		g.SetCompatible(i, (i+1)%5)
+	}
+	return g
+}
+
+// complete builds K_n (everything compatible).
+func complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetCompatible(i, j)
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New(4)
+	g.SetCompatible(0, 1)
+	g.SetCompatible(1, 1) // self pair ignored
+	if !g.Compatible(0, 1) || !g.Compatible(1, 0) {
+		t.Fatal("compatibility not symmetric")
+	}
+	if !g.Compatible(2, 2) {
+		t.Fatal("vertex should be compatible with itself")
+	}
+	if g.Compatible(0, 2) {
+		t.Fatal("unset pair reported compatible")
+	}
+	if g.Degree(1) != 1 || g.Degree(3) != 0 {
+		t.Fatalf("degrees: %d %d", g.Degree(1), g.Degree(3))
+	}
+	if g.Edges() != 1 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	if g.N() != 4 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := pentagon()
+	if !g.IsClique([]int{0, 1}) || !g.IsClique([]int{3}) || !g.IsClique(nil) {
+		t.Fatal("valid cliques rejected")
+	}
+	if g.IsClique([]int{0, 1, 2}) {
+		t.Fatal("path of C5 accepted as clique")
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	g := pentagon()
+	good := Partition{{0, 1}, {2, 3}, {4}}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("good partition rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    Partition
+	}{
+		{"not a clique", Partition{{0, 2}, {1, 3}, {4}}},
+		{"missing vertex", Partition{{0, 1}, {2, 3}}},
+		{"duplicate vertex", Partition{{0, 1}, {1, 2}, {3}, {4}}},
+		{"empty block", Partition{{0, 1}, {}, {2, 3}, {4}}},
+		{"out of range", Partition{{0, 1}, {2, 3}, {9}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(g); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestGreedyCompleteGraphSingleClique(t *testing.T) {
+	g := complete(6)
+	p := Greedy(g, nil)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || len(p[0]) != 6 {
+		t.Fatalf("K6 partition = %v", p)
+	}
+}
+
+func TestGreedyEmptyGraphSingletons(t *testing.T) {
+	g := New(4) // no compatibilities
+	p := Greedy(g, nil)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("edgeless graph partition = %v", p)
+	}
+}
+
+func TestGreedyGainVeto(t *testing.T) {
+	g := complete(4)
+	// Gain function forbids blocks larger than 2.
+	gain := func(a, b []int) (float64, bool) {
+		if len(a)+len(b) > 2 {
+			return 0, false
+		}
+		return 1, true
+	}
+	p := Greedy(g, gain)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p {
+		if len(b) > 2 {
+			t.Fatalf("gain veto ignored: %v", p)
+		}
+	}
+	if len(p) != 2 {
+		t.Fatalf("K4 pair partition = %v", p)
+	}
+}
+
+func TestGreedyPrefersHighestGain(t *testing.T) {
+	// Vertices 0,1,2: 0-1 and 0-2 compatible; 1-2 not. Gain prefers {0,2}.
+	g := New(3)
+	g.SetCompatible(0, 1)
+	g.SetCompatible(0, 2)
+	gain := func(a, b []int) (float64, bool) {
+		for _, u := range a {
+			for _, v := range b {
+				if (u == 0 && v == 2) || (u == 2 && v == 0) {
+					return 10, true
+				}
+			}
+		}
+		return 1, true
+	}
+	p := Greedy(g, gain)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range p {
+		if len(b) == 2 && b[0] == 0 && b[1] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected {0,2} block, got %v", p)
+	}
+}
+
+func TestTsengSiewiorekPentagon(t *testing.T) {
+	p := TsengSiewiorek(pentagon())
+	if err := p.Validate(pentagon()); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("C5 partition = %v, want 3 blocks", p)
+	}
+}
+
+func TestExactMinCliquesPentagon(t *testing.T) {
+	p, err := ExactMinCliques(pentagon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(pentagon()); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("optimal C5 partition has %d blocks, want 3", len(p))
+	}
+}
+
+func TestExactMinCliquesComplete(t *testing.T) {
+	p, err := ExactMinCliques(complete(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 {
+		t.Fatalf("K8 optimal = %v", p)
+	}
+}
+
+func TestExactMinCliquesEmpty(t *testing.T) {
+	p, err := ExactMinCliques(New(0))
+	if err != nil || len(p) != 0 {
+		t.Fatalf("empty graph: %v, %v", p, err)
+	}
+}
+
+func TestExactRefusesLargeGraphs(t *testing.T) {
+	if _, err := ExactMinCliques(New(MaxExactVertices + 1)); err == nil {
+		t.Fatal("exact solver accepted oversized graph")
+	}
+}
+
+func randomCompat(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.SetCompatible(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickHeuristicsValidAndExactNoWorse(t *testing.T) {
+	f := func(seed int64, szRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(szRaw%10) + 2 // small enough for exact
+		p := float64(pRaw%90+5) / 100
+		g := randomCompat(rng, n, p)
+
+		greedy := Greedy(g, nil)
+		if greedy.Validate(g) != nil {
+			return false
+		}
+		ts := TsengSiewiorek(g)
+		if ts.Validate(g) != nil {
+			return false
+		}
+		exact, err := ExactMinCliques(g)
+		if err != nil || exact.Validate(g) != nil {
+			return false
+		}
+		// Optimality: exact never uses more cliques than either heuristic.
+		return len(exact) <= len(greedy) && len(exact) <= len(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTsengSiewiorekNearOptimalOnSmall(t *testing.T) {
+	// On tiny graphs the common-neighbour heuristic is usually optimal;
+	// we assert it is never more than 1 clique worse (a known property on
+	// graphs this small, acting as a regression tripwire for the
+	// implementation).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomCompat(rng, 8, 0.5)
+		ts := TsengSiewiorek(g)
+		exact, err := ExactMinCliques(g)
+		if err != nil {
+			return false
+		}
+		return len(ts) <= len(exact)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package compat reconstructs the "time-extended compatibility graph" (V1)
+// of Jou, Kuang & Chen, extended with the power-feasible mobility windows
+// of Nielsen & Madsen: a graph whose vertices are (operation, module)
+// candidates and whose edges join candidates that can provably share one
+// functional-unit instance of that module under some schedule within the
+// operations' windows.
+//
+// A clique of V1 restricted to one module therefore corresponds to one
+// functional-unit instance executing all member operations; minimal-cost
+// clique partitioning of V1 is the combined allocation/binding problem.
+package compat
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// Candidate is one vertex of the time-extended compatibility graph: an
+// operation considered for implementation on a specific library module.
+type Candidate struct {
+	// Node is the operation.
+	Node cdfg.NodeID
+	// Module indexes the library module implementing the operation.
+	Module int
+	// Window is the operation's feasible start-time range when bound to
+	// this module (from pasap/palap under the active constraints).
+	Window sched.Window
+}
+
+// CanShare reports whether two operations can share one functional-unit
+// instance, given their start-time windows, execution delays on that
+// instance's module, and their dependency relation. Operations can share
+// iff some pair of in-window start times executes them on disjoint cycle
+// intervals in dependency-consistent order:
+//
+//   - if a must precede b (a path a -> b exists), sharing requires
+//     b.Window.Late >= a.Window.Early + delay (b can start after a ends);
+//     the data dependency itself already forces disjoint execution;
+//   - if they are independent, sharing requires one of them to be able to
+//     finish before the other starts in some window choice.
+//
+// aBeforeB / bBeforeA describe reachability (both false for independent
+// operations; both true is impossible in a DAG).
+func CanShare(a, b sched.Window, delay int, aBeforeB, bBeforeA bool) bool {
+	switch {
+	case aBeforeB:
+		return b.Late >= a.Early+delay
+	case bBeforeA:
+		return a.Late >= b.Early+delay
+	default:
+		return a.Early+delay <= b.Late || b.Early+delay <= a.Late
+	}
+}
+
+// WindowFunc supplies the feasible window of an operation when bound to a
+// given library module; ok=false means the binding is infeasible (e.g. the
+// module's power exceeds the constraint, or no schedule meets the deadline
+// with this choice).
+type WindowFunc func(node cdfg.NodeID, module int) (w sched.Window, ok bool)
+
+// Graph is the time-extended compatibility graph V1.
+type Graph struct {
+	// Cands are the candidate vertices in deterministic order (node-major,
+	// module-minor).
+	Cands []Candidate
+	// lib is the module library the candidates reference.
+	lib *library.Library
+	adj []bool
+	n   int
+}
+
+// Build constructs V1 for graph g over library lib. windows supplies
+// per-(operation, module) feasible windows; infeasible pairs produce no
+// vertex. Returns an error if some operation has no candidate at all (the
+// synthesis problem is infeasible) or if g is cyclic.
+func Build(g *cdfg.Graph, lib *library.Library, windows WindowFunc) (*Graph, error) {
+	reach, err := g.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	var cands []Candidate
+	perNode := make([]int, g.N())
+	for _, n := range g.Nodes() {
+		for _, mi := range lib.Candidates(n.Op) {
+			if w, ok := windows(n.ID, mi); ok {
+				cands = append(cands, Candidate{Node: n.ID, Module: mi, Window: w})
+				perNode[n.ID]++
+			}
+		}
+	}
+	for _, n := range g.Nodes() {
+		if perNode[n.ID] == 0 {
+			return nil, fmt.Errorf("compat: operation %q has no feasible (module, window) candidate", n.Name)
+		}
+	}
+	cg := &Graph{Cands: cands, lib: lib, n: len(cands)}
+	cg.adj = make([]bool, cg.n*cg.n)
+	for i := 0; i < cg.n; i++ {
+		for j := i + 1; j < cg.n; j++ {
+			a, b := cands[i], cands[j]
+			if a.Node == b.Node || a.Module != b.Module {
+				continue
+			}
+			d := lib.Module(a.Module).Delay
+			ab := reach.Get(int(a.Node), int(b.Node))
+			ba := reach.Get(int(b.Node), int(a.Node))
+			if CanShare(a.Window, b.Window, d, ab, ba) {
+				cg.adj[i*cg.n+j] = true
+				cg.adj[j*cg.n+i] = true
+			}
+		}
+	}
+	return cg, nil
+}
+
+// N returns the number of candidate vertices.
+func (cg *Graph) N() int { return cg.n }
+
+// Compatible reports whether candidates i and j may share an instance.
+func (cg *Graph) Compatible(i, j int) bool {
+	return cg.adj[i*cg.n+j]
+}
+
+// Library returns the module library the graph was built over.
+func (cg *Graph) Library() *library.Library { return cg.lib }
+
+// CandidatesOf returns the indices of all candidates for the given node.
+func (cg *Graph) CandidatesOf(node cdfg.NodeID) []int {
+	var out []int
+	for i, c := range cg.Cands {
+		if c.Node == node {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the graph for reports: vertices, edges, and per-module
+// candidate counts keyed by module name.
+func (cg *Graph) Stats() (vertices, edges int, perModule map[string]int) {
+	perModule = make(map[string]int)
+	for _, c := range cg.Cands {
+		perModule[cg.lib.Module(c.Module).Name]++
+	}
+	for i := 0; i < cg.n; i++ {
+		for j := i + 1; j < cg.n; j++ {
+			if cg.adj[i*cg.n+j] {
+				edges++
+			}
+		}
+	}
+	return cg.n, edges, perModule
+}

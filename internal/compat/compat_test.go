@@ -1,0 +1,203 @@
+package compat
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+func TestCanShareDependent(t *testing.T) {
+	// a -> b, delay 2. b can start at a.Early+2 iff its Late allows.
+	a := sched.Window{Early: 0, Late: 4}
+	b := sched.Window{Early: 2, Late: 6}
+	if !CanShare(a, b, 2, true, false) {
+		t.Fatal("dependent pair with room rejected")
+	}
+	// b locked before a can possibly finish.
+	b = sched.Window{Early: 1, Late: 1}
+	if CanShare(a, b, 2, true, false) {
+		t.Fatal("dependent pair without room accepted")
+	}
+	// Same pair presented in swapped argument order (b first, a second,
+	// with a preceding b): still not shareable.
+	if CanShare(b, a, 2, false, true) {
+		t.Fatal("swapped dependent pair without room accepted")
+	}
+	// Reversed dependency with room: first op {2,6}, preceded by {0,4}.
+	if !CanShare(sched.Window{Early: 2, Late: 6}, a, 2, false, true) {
+		t.Fatal("reversed dependency with room rejected")
+	}
+}
+
+func TestCanShareIndependent(t *testing.T) {
+	// Disjoint windows always shareable.
+	a := sched.Window{Early: 0, Late: 0}
+	b := sched.Window{Early: 5, Late: 5}
+	if !CanShare(a, b, 2, false, false) {
+		t.Fatal("disjoint independent pair rejected")
+	}
+	// Forced overlap: both locked to the same cycle.
+	a = sched.Window{Early: 3, Late: 3}
+	b = sched.Window{Early: 3, Late: 3}
+	if CanShare(a, b, 2, false, false) {
+		t.Fatal("forced-overlap pair accepted")
+	}
+	// One can slide after the other.
+	b = sched.Window{Early: 3, Late: 5}
+	if !CanShare(a, b, 2, false, false) {
+		t.Fatal("slidable pair rejected")
+	}
+}
+
+// twoMuls builds i -> {m1, m2} -> a -> o with independent muls.
+func twoMuls(t *testing.T) *cdfg.Graph {
+	t.Helper()
+	g := cdfg.New("twomuls")
+	i := g.MustAddNode("i", cdfg.Input)
+	m1 := g.MustAddNode("m1", cdfg.Mul)
+	m2 := g.MustAddNode("m2", cdfg.Mul)
+	a := g.MustAddNode("a", cdfg.Add)
+	o := g.MustAddNode("o", cdfg.Output)
+	g.MustAddEdge(i, m1)
+	g.MustAddEdge(i, m2)
+	g.MustAddEdge(m1, a)
+	g.MustAddEdge(m2, a)
+	g.MustAddEdge(a, o)
+	return g
+}
+
+// classicWindows builds a WindowFunc from unconstrained ASAP/ALAP with the
+// module under test substituted for the node.
+func classicWindows(t *testing.T, g *cdfg.Graph, lib *library.Library, deadline int) WindowFunc {
+	t.Helper()
+	return func(node cdfg.NodeID, module int) (sched.Window, bool) {
+		bind := func(n cdfg.Node) *library.Module {
+			if n.ID == node {
+				return lib.Module(module)
+			}
+			m, err := lib.Fastest(n.Op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		early, err := sched.ASAP(g, bind)
+		if err != nil || early.Length() > deadline {
+			return sched.Window{}, false
+		}
+		late, err := sched.ALAP(g, bind, deadline)
+		if err != nil {
+			return sched.Window{}, false
+		}
+		return sched.Window{Early: early.Start[node], Late: late.Start[node]}, true
+	}
+}
+
+func TestBuildTwoMuls(t *testing.T) {
+	g := twoMuls(t)
+	lib := library.Table1()
+	// Deadline 10: both serial and parallel multipliers feasible.
+	cg, err := Build(g, lib, classicWindows(t, g, lib, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates: i (input), m1 (ser+par), m2 (ser+par), a (add+ALU), o (output) = 8.
+	if cg.N() != 8 {
+		t.Fatalf("V1 has %d candidates, want 8", cg.N())
+	}
+	m1, _ := g.Lookup("m1")
+	m2, _ := g.Lookup("m2")
+	// m1/m2 on the parallel multiplier: windows [1,?] with delay 2 and
+	// independence; deadline 10 leaves room to serialize: compatible.
+	var m1par, m2par, m1ser int = -1, -1, -1
+	for i, c := range cg.Cands {
+		mod := lib.Module(c.Module)
+		if c.Node == m1.ID && mod.Name == library.NameMulPar {
+			m1par = i
+		}
+		if c.Node == m2.ID && mod.Name == library.NameMulPar {
+			m2par = i
+		}
+		if c.Node == m1.ID && mod.Name == library.NameMulSer {
+			m1ser = i
+		}
+	}
+	if m1par < 0 || m2par < 0 || m1ser < 0 {
+		t.Fatalf("missing multiplier candidates: %v", cg.Cands)
+	}
+	if !cg.Compatible(m1par, m2par) {
+		t.Error("independent muls with slack should share a parallel multiplier")
+	}
+	// Different modules are never compatible (an instance has one type).
+	if cg.Compatible(m1ser, m2par) {
+		t.Error("serial and parallel candidates must not share an instance")
+	}
+	// Same node's candidates are not compatible with each other.
+	if cg.Compatible(m1par, m1ser) {
+		t.Error("candidates of one node must not be adjacent")
+	}
+}
+
+func TestBuildTightDeadlineRemovesSharing(t *testing.T) {
+	g := twoMuls(t)
+	lib := library.Table1()
+	// Deadline 5 = critical path with parallel muls: no slack, muls must
+	// run concurrently, so they cannot share; serial muls are infeasible.
+	cg, err := Build(g, lib, classicWindows(t, g, lib, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := g.Lookup("m1")
+	m2, _ := g.Lookup("m2")
+	for _, i := range cg.CandidatesOf(m1.ID) {
+		if lib.Module(cg.Cands[i].Module).Name == library.NameMulSer {
+			t.Error("serial multiplier should be infeasible at deadline 5")
+		}
+		for _, j := range cg.CandidatesOf(m2.ID) {
+			if cg.Compatible(i, j) {
+				t.Error("muls without slack should not be shareable")
+			}
+		}
+	}
+}
+
+func TestBuildFailsWhenNoCandidate(t *testing.T) {
+	g := twoMuls(t)
+	lib := library.Table1()
+	// Deadline 3 < critical path for every module choice: m1 has no
+	// feasible candidate.
+	_, err := Build(g, lib, classicWindows(t, g, lib, 3))
+	if err == nil || !strings.Contains(err.Error(), "no feasible") {
+		t.Fatalf("Build = %v, want no-candidate error", err)
+	}
+}
+
+func TestCandidatesOfAndStats(t *testing.T) {
+	g := twoMuls(t)
+	lib := library.Table1()
+	cg, err := Build(g, lib, classicWindows(t, g, lib, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Lookup("a")
+	cands := cg.CandidatesOf(a.ID)
+	if len(cands) != 2 { // add and ALU
+		t.Fatalf("a has %d candidates, want 2", len(cands))
+	}
+	v, e, perMod := cg.Stats()
+	if v != 8 {
+		t.Fatalf("stats vertices = %d", v)
+	}
+	if e == 0 {
+		t.Fatal("stats edges = 0, expected some compatibility")
+	}
+	if perMod[library.NameMulSer] != 2 || perMod[library.NameMulPar] != 2 {
+		t.Fatalf("per-module counts: %v", perMod)
+	}
+	if cg.Library() != lib {
+		t.Fatal("Library() mismatch")
+	}
+}

@@ -1,0 +1,458 @@
+// Package core implements the paper's primary contribution: a heuristic
+// high-level synthesis algorithm that solves scheduling, allocation and
+// binding simultaneously, minimizing datapath area under both a latency
+// constraint T and a maximum power-per-clock-cycle constraint P<.
+//
+// The algorithm is the power-constrained partial clique partitioning of
+// Nielsen & Madsen (DATE 2003): the design space is bounded by the
+// power-feasible mobility windows of the pasap/palap schedulers
+// (internal/sched); candidate (operation, module) vertices and their
+// sharing compatibility form the time-extended compatibility graph V1
+// (internal/compat); synthesis repeatedly evaluates the current graph and
+// greedily commits the cheapest decision — bind an operation onto an
+// already-allocated functional unit, or allocate a new one — re-deriving
+// the windows after every commitment. When a commitment strands a
+// remaining operation (empty window), the algorithm backtracks one step
+// and locks all uncommitted operations to the last valid pasap schedule,
+// after which only binding decisions remain.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pchls/internal/bind"
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// Constraints are the synthesis constraints of the paper: a latency bound
+// in clock cycles and a per-cycle power cap.
+type Constraints struct {
+	// Deadline is the latency constraint T in cycles (> 0).
+	Deadline int
+	// PowerMax is the per-cycle power constraint P<; <= 0 disables it.
+	PowerMax float64
+}
+
+// Config tunes the synthesizer beyond the constraints.
+type Config struct {
+	// Cost holds the interconnect/register area coefficients; zero value
+	// means bind.DefaultCostModel().
+	Cost bind.CostModel
+	// DisableRepair turns off the backtrack-and-lock feasibility repair
+	// (for the ablation experiments). Synthesis then fails where the
+	// repair would have rescued it.
+	DisableRepair bool
+	// SkipAreaDescent turns off the initial area-driven module descent
+	// (for the ablation experiments and as a portfolio variant): module
+	// assumptions then stay at the fastest power-feasible choice.
+	SkipAreaDescent bool
+}
+
+func (c Config) cost() bind.CostModel {
+	if c.Cost == (bind.CostModel{}) {
+		return bind.DefaultCostModel()
+	}
+	return c.Cost
+}
+
+// Decision records one committed synthesis step, for reports.
+type Decision struct {
+	Node   cdfg.NodeID
+	Module string
+	FU     int  // instance index
+	NewFU  bool // whether the instance was allocated by this decision
+	Start  int  // committed start cycle
+	Cost   float64
+}
+
+// Design is a complete synthesis result.
+type Design struct {
+	Graph    *cdfg.Graph
+	Library  *library.Library
+	Cons     Constraints
+	Schedule *sched.Schedule
+	Datapath *bind.Datapath
+	FUs      []bind.FU
+	FUOf     []int
+	// Locked reports whether the backtrack-and-lock repair was triggered.
+	Locked bool
+	// Decisions is the commit log in order.
+	Decisions []Decision
+}
+
+// Area returns the total datapath area (the synthesis objective).
+func (d *Design) Area() float64 { return d.Datapath.TotalArea() }
+
+// Synthesis errors.
+var (
+	// ErrInfeasible indicates no power- and latency-feasible design exists
+	// within the heuristic's search space.
+	ErrInfeasible = errors.New("no feasible design under the constraints")
+	// ErrUncovered indicates the library lacks a module for some operation.
+	ErrUncovered = errors.New("library does not cover all operations")
+)
+
+// state is the synthesizer's working state.
+type state struct {
+	g    *cdfg.Graph
+	lib  *library.Library
+	cons Constraints
+	cfg  Config
+
+	committed []bool
+	start     []int // valid where committed (or locked)
+	moduleOf  []int // committed module, or assumed module while open
+	fuOf      []int // instance index, -1 while uncommitted
+	fus       []instance
+
+	locked    bool
+	decisions []Decision
+}
+
+type instance struct {
+	module int
+	ops    []cdfg.NodeID
+}
+
+// Synthesize runs the combined scheduling/allocation/binding algorithm.
+func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid graph: %w", err)
+	}
+	if cons.Deadline <= 0 {
+		return nil, fmt.Errorf("core: deadline %d must be positive", cons.Deadline)
+	}
+	if missing := lib.Covers(g); missing != nil {
+		return nil, fmt.Errorf("core: operations %v: %w", missing, ErrUncovered)
+	}
+
+	st := &state{
+		g: g, lib: lib, cons: cons, cfg: cfg,
+		committed: make([]bool, g.N()),
+		start:     make([]int, g.N()),
+		moduleOf:  make([]int, g.N()),
+		fuOf:      make([]int, g.N()),
+	}
+	for i := range st.fuOf {
+		st.fuOf[i] = -1
+	}
+	// Assume, per operation, the fastest power-feasible module; this is
+	// the most latency-optimistic assumption, so if it misses the deadline
+	// no uniform refinement can meet it either.
+	for _, n := range g.Nodes() {
+		mi, err := st.fastestFeasible(n.Op)
+		if err != nil {
+			return nil, err
+		}
+		st.moduleOf[n.ID] = mi
+	}
+	if err := st.refineInitialModules(); err != nil {
+		return nil, err
+	}
+
+	for remaining := g.N(); remaining > 0; remaining-- {
+		dec, ok := st.bestDecision()
+		if !ok {
+			if err := st.repair(); err != nil {
+				return nil, err
+			}
+			dec, ok = st.bestDecision()
+			if !ok {
+				return nil, fmt.Errorf("core: no decision available after repair: %w", ErrInfeasible)
+			}
+		}
+		st.commit(dec)
+		if !st.locked {
+			if _, err := st.currentPASAP(); err != nil {
+				// The commitment stranded the remaining operations:
+				// backtrack one step and lock (the paper's repair).
+				st.uncommit(dec)
+				if err := st.repair(); err != nil {
+					return nil, err
+				}
+				// Re-evaluate under the locked schedule.
+				dec, ok = st.bestDecision()
+				if !ok {
+					return nil, fmt.Errorf("core: no decision available after repair: %w", ErrInfeasible)
+				}
+				st.commit(dec)
+			}
+		}
+	}
+	// Post-pass: merge instances whenever that reduces the exact area.
+	st.mergePass()
+	return st.finish()
+}
+
+// SynthesizeBest wraps Synthesize with two cheap meta-heuristics and
+// returns the smallest-area feasible design:
+//
+//   - a two-point portfolio over the initial module assumptions (with and
+//     without the area-driven descent), and
+//   - iterative peak shaving: the per-cycle power cap is repeatedly
+//     tightened to just below the peak of the best design found, which
+//     narrows the pasap/palap windows and often steers the greedy search
+//     to a cheaper design. Every candidate is synthesized under a cap at
+//     or below cons.PowerMax, so the result always satisfies the original
+//     constraints (which it reports).
+//
+// The single-pass Synthesize is the paper's algorithm; SynthesizeBest is
+// the recommended entry point when area quality matters more than a ~10x
+// constant in synthesis time.
+func SynthesizeBest(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	best, firstErr := Synthesize(g, lib, cons, cfg)
+	maxPeak := 0.0
+	if best != nil {
+		maxPeak = best.Schedule.PeakPower()
+	}
+	altCfg := cfg
+	altCfg.SkipAreaDescent = !cfg.SkipAreaDescent
+	if alt, err := Synthesize(g, lib, cons, altCfg); err == nil {
+		if p := alt.Schedule.PeakPower(); p > maxPeak {
+			maxPeak = p
+		}
+		if best == nil || alt.Area() < best.Area() {
+			best = alt
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	// Peak shaving over a geometric ladder of internal caps, from the
+	// loosest meaningful cap down to the feasibility floor. Tighter caps
+	// narrow the pasap/palap windows, which often steers the greedy search
+	// to a cheaper design even when the cap itself is slack.
+	top := cons.PowerMax
+	if top <= 0 || top > maxPeak/0.95 {
+		// Unconstrained (or very loose): no cap above the portfolio peak
+		// can change anything.
+		top = maxPeak / 0.95
+	}
+	failures := 0
+	for cap := top * 0.95; failures < 3 && cap > 0.1; cap *= 0.95 {
+		shaved, err := Synthesize(g, lib, Constraints{Deadline: cons.Deadline, PowerMax: cap}, cfg)
+		if err != nil {
+			failures++
+			continue
+		}
+		failures = 0
+		if shaved.Area() < best.Area() {
+			best = shaved
+		}
+	}
+	best.Cons = cons
+	return best, nil
+}
+
+// fastestFeasible picks the minimum-delay module for op whose power fits
+// the constraint, breaking ties toward smaller area.
+func (st *state) fastestFeasible(op cdfg.Op) (int, error) {
+	best := -1
+	for _, mi := range st.lib.Candidates(op) {
+		m := st.lib.Module(mi)
+		if st.cons.PowerMax > 0 && m.Power > st.cons.PowerMax+1e-9 {
+			continue
+		}
+		if best < 0 {
+			best = mi
+			continue
+		}
+		b := st.lib.Module(best)
+		if m.Delay < b.Delay || (m.Delay == b.Delay && m.Area < b.Area) {
+			best = mi
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("core: no module for %s fits P< = %.3g: %w", op, st.cons.PowerMax, ErrInfeasible)
+	}
+	return best, nil
+}
+
+// binding returns the scheduling Binding reflecting the current module
+// assumptions, with an optional single-node override (override < 0 for
+// none).
+func (st *state) binding(override cdfg.NodeID, mod int) sched.Binding {
+	return func(n cdfg.Node) *library.Module {
+		if n.ID == override {
+			return st.lib.Module(mod)
+		}
+		return st.lib.Module(st.moduleOf[n.ID])
+	}
+}
+
+// schedOpts returns the scheduler options with committed (or locked)
+// operations fixed.
+func (st *state) schedOpts() sched.Options {
+	fixed := make(map[cdfg.NodeID]int)
+	for i, c := range st.committed {
+		if c || st.locked {
+			fixed[cdfg.NodeID(i)] = st.start[i]
+		}
+	}
+	return sched.Options{PowerMax: st.cons.PowerMax, Fixed: fixed}
+}
+
+// currentPASAP computes the pasap schedule of the whole graph under the
+// current state and verifies it meets the deadline; it is the validity
+// probe run after every commitment.
+func (st *state) currentPASAP() (*sched.Schedule, error) {
+	s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrInfeasible, err)
+	}
+	if s.Length() > st.cons.Deadline {
+		return nil, fmt.Errorf("core: pasap length %d exceeds T = %d: %w", s.Length(), st.cons.Deadline, ErrInfeasible)
+	}
+	return s, nil
+}
+
+// windowFor computes the power-feasible mobility window of node v when
+// bound to module mi, under the current committed state. ok=false means
+// the candidate is infeasible.
+func (st *state) windowFor(v cdfg.NodeID, mi int) (sched.Window, bool) {
+	if st.locked {
+		if mi != st.moduleOf[v] {
+			return sched.Window{}, false
+		}
+		return sched.Window{Early: st.start[v], Late: st.start[v]}, true
+	}
+	m := st.lib.Module(mi)
+	if st.cons.PowerMax > 0 && m.Power > st.cons.PowerMax+1e-9 {
+		return sched.Window{}, false
+	}
+	opts := st.schedOpts()
+	b := st.binding(v, mi)
+	early, err := sched.PASAP(st.g, b, opts)
+	if err != nil || early.Length() > st.cons.Deadline {
+		return sched.Window{}, false
+	}
+	late, err := sched.PALAP(st.g, b, st.cons.Deadline, opts)
+	if err != nil {
+		return sched.Window{}, false
+	}
+	w := sched.Window{Early: early.Start[v], Late: late.Start[v]}
+	if w.Width() < 1 {
+		return sched.Window{}, false
+	}
+	return w, true
+}
+
+// committedProfile returns the per-cycle power drawn by committed
+// operations over [0, horizon).
+func (st *state) committedProfile(horizon int) []float64 {
+	p := make([]float64, horizon)
+	for i, c := range st.committed {
+		if !c {
+			continue
+		}
+		m := st.lib.Module(st.moduleOf[i])
+		for cyc := st.start[i]; cyc < st.start[i]+m.Delay && cyc < horizon; cyc++ {
+			p[cyc] += m.Power
+		}
+	}
+	return p
+}
+
+// commit applies a decision.
+func (st *state) commit(d Decision) {
+	mi := st.moduleIndexOf(d)
+	st.committed[d.Node] = true
+	st.start[d.Node] = d.Start
+	st.moduleOf[d.Node] = mi
+	if d.NewFU {
+		st.fus = append(st.fus, instance{module: mi})
+	}
+	st.fuOf[d.Node] = d.FU
+	st.fus[d.FU].ops = append(st.fus[d.FU].ops, d.Node)
+	st.decisions = append(st.decisions, d)
+}
+
+// uncommit reverts the most recent decision (must be d).
+func (st *state) uncommit(d Decision) {
+	st.committed[d.Node] = false
+	st.fuOf[d.Node] = -1
+	f := &st.fus[d.FU]
+	f.ops = f.ops[:len(f.ops)-1]
+	if d.NewFU {
+		st.fus = st.fus[:len(st.fus)-1]
+	}
+	st.decisions = st.decisions[:len(st.decisions)-1]
+	// Restore the assumed module for the node.
+	if mi, err := st.fastestFeasible(st.g.Node(d.Node).Op); err == nil {
+		st.moduleOf[d.Node] = mi
+	}
+}
+
+func (st *state) moduleIndexOf(d Decision) int {
+	for _, mi := range st.lib.Candidates(st.g.Node(d.Node).Op) {
+		if st.lib.Module(mi).Name == d.Module {
+			return mi
+		}
+	}
+	panic("core: decision references unknown module " + d.Module)
+}
+
+// repair implements the paper's feasibility repair: lock every uncommitted
+// operation to the last valid pasap schedule, so that only allocation and
+// binding decisions remain.
+func (st *state) repair() error {
+	if st.cfg.DisableRepair {
+		return fmt.Errorf("core: stranded operation with repair disabled: %w", ErrInfeasible)
+	}
+	if st.locked {
+		return fmt.Errorf("core: stranded operation in locked mode: %w", ErrInfeasible)
+	}
+	s, err := st.currentPASAP()
+	if err != nil {
+		return err
+	}
+	for i := range st.committed {
+		if !st.committed[i] {
+			st.start[i] = s.Start[i]
+		}
+	}
+	st.locked = true
+	return nil
+}
+
+// finish validates and assembles the Design.
+func (st *state) finish() (*Design, error) {
+	s := sched.Schedule{
+		G:      st.g,
+		Start:  append([]int(nil), st.start...),
+		Delay:  make([]int, st.g.N()),
+		Power:  make([]float64, st.g.N()),
+		Module: make([]string, st.g.N()),
+	}
+	for i := range st.moduleOf {
+		m := st.lib.Module(st.moduleOf[i])
+		s.Delay[i] = m.Delay
+		s.Power[i] = m.Power
+		s.Module[i] = m.Name
+	}
+	if err := s.Validate(st.cons.PowerMax, st.cons.Deadline); err != nil {
+		return nil, fmt.Errorf("core: internal error: final schedule invalid: %w", err)
+	}
+	fus := make([]bind.FU, len(st.fus))
+	for i, f := range st.fus {
+		fus[i] = bind.FU{Module: st.lib.Module(f.module), Ops: append([]cdfg.NodeID(nil), f.ops...)}
+	}
+	dp, err := bind.Build(st.g, &s, fus, st.fuOf, st.cfg.cost())
+	if err != nil {
+		return nil, fmt.Errorf("core: internal error: %w", err)
+	}
+	return &Design{
+		Graph:     st.g,
+		Library:   st.lib,
+		Cons:      st.cons,
+		Schedule:  &s,
+		Datapath:  dp,
+		FUs:       fus,
+		FUOf:      append([]int(nil), st.fuOf...),
+		Locked:    st.locked,
+		Decisions: st.decisions,
+	}, nil
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"pchls/internal/cdfg"
+	"pchls/internal/sched"
+)
+
+// candidateWindows computes, once per iteration, the feasible window of
+// every (uncommitted op, module) candidate. The assumed-module windows all
+// come from one pasap/palap pair; only overrides need extra runs.
+func (st *state) candidateWindows() map[cdfg.NodeID]map[int]sched.Window {
+	out := make(map[cdfg.NodeID]map[int]sched.Window)
+	addWindow := func(v cdfg.NodeID, mi int, w sched.Window) {
+		if out[v] == nil {
+			out[v] = make(map[int]sched.Window)
+		}
+		out[v][mi] = w
+	}
+	if st.locked {
+		for i, c := range st.committed {
+			if !c {
+				v := cdfg.NodeID(i)
+				addWindow(v, st.moduleOf[v], sched.Window{Early: st.start[v], Late: st.start[v]})
+			}
+		}
+		return out
+	}
+	// Base run under the assumed modules.
+	opts := st.schedOpts()
+	base := st.binding(cdfg.None, 0)
+	early, err1 := sched.PASAP(st.g, base, opts)
+	var late *sched.Schedule
+	var err2 error
+	if err1 == nil && early.Length() <= st.cons.Deadline {
+		late, err2 = sched.PALAP(st.g, base, st.cons.Deadline, opts)
+	}
+	baseOK := err1 == nil && early.Length() <= st.cons.Deadline && err2 == nil
+
+	for i, c := range st.committed {
+		if c {
+			continue
+		}
+		v := cdfg.NodeID(i)
+		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+			if mi == st.moduleOf[v] && baseOK {
+				w := sched.Window{Early: early.Start[v], Late: late.Start[v]}
+				if w.Width() >= 1 {
+					addWindow(v, mi, w)
+				}
+				continue
+			}
+			if w, ok := st.windowFor(v, mi); ok {
+				addWindow(v, mi, w)
+			}
+		}
+	}
+	return out
+}
+
+// muxEstimate approximates the interconnect cost of binding v onto
+// instance f: one new multiplexer input for every operand port of v whose
+// producer differs from the producers already feeding that port of f, and
+// one for the result port when f already has operations (its output fans
+// to a new destination register). This mirrors bind.Build's mux model
+// using producer nodes as register proxies (registers do not exist yet at
+// decision time).
+func (st *state) muxEstimate(v cdfg.NodeID, f int) float64 {
+	fu := st.fus[f]
+	if len(fu.ops) == 0 {
+		return 0
+	}
+	cm := st.cfg.cost()
+	inputs := 0
+	preds := st.g.Preds(v)
+	for port, p := range preds {
+		seen := false
+		fresh := false
+		for _, op := range fu.ops {
+			ep := st.g.Preds(op)
+			if port < len(ep) {
+				seen = true
+				if ep[port] != p {
+					fresh = true
+				}
+			}
+		}
+		if seen && fresh {
+			inputs++
+		}
+	}
+	// Result-side fan-out: sharing adds one register-write source.
+	inputs++
+	return float64(inputs) * cm.MuxInputArea
+}
+
+// amortizedArea estimates the effective cost of allocating a new instance
+// of module mi: its area divided by the number of operations it could
+// plausibly end up serving — the uncommitted operations of matching type,
+// capped by the number of executions that fit in the deadline.
+func (st *state) amortizedArea(mi int) float64 {
+	m := st.lib.Module(mi)
+	potential := 0
+	for i, c := range st.committed {
+		if !c && m.Implements(st.g.Node(cdfg.NodeID(i)).Op) {
+			potential++
+		}
+	}
+	slots := st.cons.Deadline / m.Delay
+	if slots < 1 {
+		slots = 1
+	}
+	share := potential
+	if slots < share {
+		share = slots
+	}
+	if share < 1 {
+		share = 1
+	}
+	return m.Area / float64(share)
+}
+
+type interval struct{ s, e int }
+
+// reservations returns the busy intervals of instance f.
+func (st *state) reservations(f int) []interval {
+	var busy []interval
+	for _, op := range st.fus[f].ops {
+		m := st.lib.Module(st.moduleOf[op])
+		busy = append(busy, interval{st.start[op], st.start[op] + m.Delay})
+	}
+	return busy
+}
+
+// freeSlot returns the earliest start t within w at which none of the busy
+// intervals overlap an execution of d cycles and the committed power
+// profile leaves room for the module's power, or ok=false.
+func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64) (int, bool) {
+	horizon := st.cons.Deadline
+	var prof []float64
+	if st.cons.PowerMax > 0 {
+		prof = st.committedProfile(horizon)
+	}
+	for t := w.Early; t <= w.Late; t++ {
+		if t+d > horizon {
+			break
+		}
+		ok := true
+		for _, b := range busy {
+			if t < b.e && b.s < t+d {
+				ok = false
+				break
+			}
+		}
+		if ok && prof != nil {
+			for c := t; c < t+d; c++ {
+				if prof[c]+power > st.cons.PowerMax+1e-9 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// bestDecision evaluates the current compatibility structure and returns
+// the cheapest admissible decision: bind an uncommitted operation onto an
+// existing instance, or allocate a new instance for it. Ties break toward
+// the most schedule-constrained operation (smallest window), then the
+// smallest node ID, then the smallest module area — all deterministic.
+func (st *state) bestDecision() (Decision, bool) {
+	windows := st.candidateWindows()
+	best := Decision{FU: -1}
+	bestWidth, bestWeight := 0, 0.0
+	found := false
+
+	// weight ranks operations by how expensive their resource class is
+	// (the cheapest module that could implement them): multiplications
+	// before ALU operations before transfers. Binding the expensive
+	// resources first keeps their sharing opportunities intact; cheap
+	// transfers adapt around them.
+	weight := func(d Decision) float64 {
+		m, err := st.lib.Smallest(st.g.Node(d.Node).Op)
+		if err != nil {
+			return 0
+		}
+		return m.Area
+	}
+
+	consider := func(d Decision, width int) {
+		w := weight(d)
+		if !found {
+			best, bestWidth, bestWeight, found = d, width, w, true
+			return
+		}
+		if w != bestWeight {
+			if w > bestWeight {
+				best, bestWidth, bestWeight = d, width, w
+			}
+			return
+		}
+		if d.Cost != best.Cost {
+			if d.Cost < best.Cost {
+				best, bestWidth, bestWeight = d, width, w
+			}
+			return
+		}
+		if width != bestWidth {
+			if width < bestWidth {
+				best, bestWidth, bestWeight = d, width, w
+			}
+			return
+		}
+		if d.Node != best.Node {
+			if d.Node < best.Node {
+				best, bestWidth, bestWeight = d, width, w
+			}
+			return
+		}
+		if st.lib.Module(st.moduleIndexOf(d)).Area < st.lib.Module(st.moduleIndexOf(best)).Area {
+			best, bestWidth, bestWeight = d, width, w
+		}
+	}
+
+	for i := 0; i < st.g.N(); i++ {
+		v := cdfg.NodeID(i)
+		if st.committed[v] {
+			continue
+		}
+		// Best new-instance module for v, chosen by amortized area so that
+		// a slightly larger multi-function unit (the ALU) beats several
+		// single-function units — the effect the clique formulation
+		// captures globally. Ranked against other decisions at FULL area,
+		// so sharing an existing instance always wins when feasible.
+		newMi, newStart, newWidth := -1, 0, 0
+		var newAmort float64
+		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+			w, ok := windows[v][mi]
+			if !ok {
+				continue
+			}
+			m := st.lib.Module(mi)
+			// Share an existing instance of the same module.
+			for f := range st.fus {
+				if st.fus[f].module != mi {
+					continue
+				}
+				if t, ok := st.freeSlot(st.reservations(f), w, m.Delay, m.Power); ok {
+					consider(Decision{
+						Node: v, Module: m.Name, FU: f, NewFU: false,
+						Start: t, Cost: st.muxEstimate(v, f),
+					}, w.Width())
+				}
+			}
+			if t, ok := st.freeSlot(nil, w, m.Delay, m.Power); ok {
+				a := st.amortizedArea(mi)
+				if newMi < 0 || a < newAmort {
+					newMi, newStart, newWidth, newAmort = mi, t, w.Width(), a
+				}
+			}
+		}
+		if newMi >= 0 {
+			m := st.lib.Module(newMi)
+			consider(Decision{
+				Node: v, Module: m.Name, FU: len(st.fus), NewFU: true,
+				Start: newStart, Cost: m.Area,
+			}, newWidth)
+		}
+	}
+	return best, found
+}

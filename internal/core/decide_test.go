@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// newState builds an initialized synthesizer state without running the
+// main loop, for unit-testing the decision internals.
+func newState(t *testing.T, g *cdfg.Graph, cons Constraints) *state {
+	t.Helper()
+	lib := library.Table1()
+	st := &state{
+		g: g, lib: lib, cons: cons, cfg: Config{},
+		committed: make([]bool, g.N()),
+		start:     make([]int, g.N()),
+		moduleOf:  make([]int, g.N()),
+		fuOf:      make([]int, g.N()),
+	}
+	for i := range st.fuOf {
+		st.fuOf[i] = -1
+	}
+	for _, n := range g.Nodes() {
+		mi, err := st.fastestFeasible(n.Op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.moduleOf[n.ID] = mi
+	}
+	return st
+}
+
+func TestAmortizedArea(t *testing.T) {
+	g := bench.HAL() // 6 muls, 2 adds, 2 subs, 1 cmp
+	st := newState(t, g, Constraints{Deadline: 10})
+	var parIdx, serIdx, aluIdx int
+	for _, mi := range st.lib.Candidates(cdfg.Mul) {
+		switch st.lib.Module(mi).Name {
+		case library.NameMulPar:
+			parIdx = mi
+		case library.NameMulSer:
+			serIdx = mi
+		}
+	}
+	for _, mi := range st.lib.Candidates(cdfg.Add) {
+		if st.lib.Module(mi).Name == library.NameALU {
+			aluIdx = mi
+		}
+	}
+	// Parallel mult: potential 6 muls, slots 10/2 = 5 -> 339/5.
+	if got := st.amortizedArea(parIdx); got != 339.0/5 {
+		t.Errorf("parallel mult amortized = %g, want %g", got, 339.0/5)
+	}
+	// Serial mult: slots 10/4 = 2 -> 103/2.
+	if got := st.amortizedArea(serIdx); got != 103.0/2 {
+		t.Errorf("serial mult amortized = %g, want %g", got, 103.0/2)
+	}
+	// ALU: potential 2+2+1 = 5 ops, slots 10 -> 97/5.
+	if got := st.amortizedArea(aluIdx); got != 97.0/5 {
+		t.Errorf("ALU amortized = %g, want %g", got, 97.0/5)
+	}
+	// Committing operations shrinks the potential.
+	muls := g.NodesOf(cdfg.Mul)
+	for _, id := range muls[:4] {
+		st.committed[id] = true
+	}
+	if got := st.amortizedArea(parIdx); got != 339.0/2 {
+		t.Errorf("parallel mult amortized after commits = %g, want %g", got, 339.0/2)
+	}
+}
+
+func TestMuxEstimate(t *testing.T) {
+	// Two adds with different producers sharing one FU: both operand
+	// ports change sources (+2) plus the result-side write (+1) = 3 mux
+	// inputs at 4 area each.
+	g := cdfg.New("t")
+	i1 := g.MustAddNode("i1", cdfg.Input)
+	i2 := g.MustAddNode("i2", cdfg.Input)
+	i3 := g.MustAddNode("i3", cdfg.Input)
+	i4 := g.MustAddNode("i4", cdfg.Input)
+	a1 := g.MustAddNode("a1", cdfg.Add)
+	a2 := g.MustAddNode("a2", cdfg.Add)
+	g.MustAddEdge(i1, a1)
+	g.MustAddEdge(i2, a1)
+	g.MustAddEdge(i3, a2)
+	g.MustAddEdge(i4, a2)
+	st := newState(t, g, Constraints{Deadline: 10})
+	addIdx := st.moduleOf[a1]
+	st.fus = append(st.fus, instance{module: addIdx, ops: []cdfg.NodeID{a1}})
+	st.committed[a1] = true
+	st.fuOf[a1] = 0
+	if got := st.muxEstimate(a2, 0); got != 3*4.0 {
+		t.Errorf("muxEstimate = %g, want 12", got)
+	}
+	// Empty instance: free.
+	st.fus = append(st.fus, instance{module: addIdx})
+	if got := st.muxEstimate(a2, 1); got != 0 {
+		t.Errorf("muxEstimate on empty FU = %g, want 0", got)
+	}
+}
+
+func TestFreeSlot(t *testing.T) {
+	g := bench.HAL()
+	st := newState(t, g, Constraints{Deadline: 10, PowerMax: 100})
+	// One busy interval [2,4): a 2-cycle op with window [0,6] fits at 0.
+	busy := []interval{{2, 4}}
+	if tt, ok := st.freeSlot(busy, sched.Window{Early: 0, Late: 6}, 2, 8.1); !ok || tt != 0 {
+		t.Fatalf("freeSlot = %d, %v; want 0", tt, ok)
+	}
+	// Window starting at 1: [1,3) overlaps, [2,4) overlaps, 4 is free.
+	if tt, ok := st.freeSlot(busy, sched.Window{Early: 1, Late: 6}, 2, 8.1); !ok || tt != 4 {
+		t.Fatalf("freeSlot = %d, %v; want 4", tt, ok)
+	}
+	// No room before the deadline: a 2-cycle op at window [9,9] ends at 11.
+	if _, ok := st.freeSlot(nil, sched.Window{Early: 9, Late: 9}, 2, 8.1); ok {
+		t.Fatal("slot beyond deadline accepted")
+	}
+	// Power-blocked: commit an op drawing 8.1 at cycles 0-1, cap 10.
+	st.cons.PowerMax = 10
+	mul := g.NodesOf(cdfg.Mul)[0]
+	st.committed[mul] = true
+	st.start[mul] = 0
+	if tt, ok := st.freeSlot(nil, sched.Window{Early: 0, Late: 6}, 1, 8.1); !ok || tt != 2 {
+		t.Fatalf("power-blocked freeSlot = %d, %v; want 2", tt, ok)
+	}
+}
+
+func TestFastestFeasibleRespectsPowerCap(t *testing.T) {
+	g := bench.HAL()
+	st := newState(t, g, Constraints{Deadline: 20, PowerMax: 5})
+	mi, err := st.fastestFeasible(cdfg.Mul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.lib.Module(mi).Name != library.NameMulSer {
+		t.Fatalf("under P<=5 the serial mult is the only feasible one, got %q", st.lib.Module(mi).Name)
+	}
+	st.cons.PowerMax = 1
+	if _, err := st.fastestFeasible(cdfg.Mul); err == nil {
+		t.Fatal("P<=1 accepted for multiplication")
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+)
+
+// tinyGraph builds a small random graph with IO transfers.
+func tinyGraph(seed int64, nodes int) *cdfg.Graph {
+	return bench.Random(rand.New(rand.NewSource(seed)), bench.RandomConfig{Nodes: nodes, MaxWidth: 2})
+}
+
+func TestExactSynthesizeChain(t *testing.T) {
+	// i -> a1(+) -> a2(+) -> o at T=6: one adder suffices (sequential),
+	// plus one input and one output unit: 87 + 16 + 16 = 119.
+	g := cdfg.New("t")
+	i := g.MustAddNode("i", cdfg.Input)
+	a1 := g.MustAddNode("a1", cdfg.Add)
+	a2 := g.MustAddNode("a2", cdfg.Add)
+	o := g.MustAddNode("o", cdfg.Output)
+	g.MustAddEdge(i, a1)
+	g.MustAddEdge(a1, a2)
+	g.MustAddEdge(a2, o)
+	lib := library.Table1()
+	res, err := ExactSynthesize(g, lib, Constraints{Deadline: 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FUArea != 119 {
+		t.Fatalf("exact FU area = %g, want 119", res.FUArea)
+	}
+	if err := res.Validate(g, lib, Constraints{Deadline: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactSynthesizePrefersSerialMultWhenTimeAllows(t *testing.T) {
+	// One multiply with plenty of slack: the serial multiplier (103) beats
+	// the parallel one (339).
+	g := cdfg.New("t")
+	i := g.MustAddNode("i", cdfg.Input)
+	m := g.MustAddNode("m", cdfg.Mul)
+	o := g.MustAddNode("o", cdfg.Output)
+	g.MustAddEdge(i, m)
+	g.MustAddEdge(m, o)
+	lib := library.Table1()
+	res, err := ExactSynthesize(g, lib, Constraints{Deadline: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FUArea != 103+16+16 {
+		t.Fatalf("exact FU area = %g, want 135", res.FUArea)
+	}
+	// At T=4 only the parallel multiplier fits.
+	res, err = ExactSynthesize(g, lib, Constraints{Deadline: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FUArea != 339+16+16 {
+		t.Fatalf("tight-T exact FU area = %g, want 371", res.FUArea)
+	}
+}
+
+func TestExactSynthesizeInfeasible(t *testing.T) {
+	g := cdfg.New("t")
+	i := g.MustAddNode("i", cdfg.Input)
+	m := g.MustAddNode("m", cdfg.Mul)
+	g.MustAddEdge(i, m)
+	if _, err := ExactSynthesize(g, library.Table1(), Constraints{Deadline: 2}, 0); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := ExactSynthesize(g, library.Table1(), Constraints{Deadline: 0}, 0); err == nil {
+		t.Fatal("accepted zero deadline")
+	}
+}
+
+func TestExactSynthesizeBudget(t *testing.T) {
+	g := bench.Cosine() // far too large for an exact search
+	_, err := ExactSynthesize(g, library.Table1(), Constraints{Deadline: 12}, 10000)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestGreedyOptimalityGapOnTinyInstances measures the greedy against the
+// exact optimum: the greedy must never beat it (or the oracle is broken),
+// and on these instances it should stay within 40 % FU area.
+func TestGreedyOptimalityGapOnTinyInstances(t *testing.T) {
+	lib := library.Table1()
+	checked := 0
+	for seed := int64(0); seed < 12; seed++ {
+		g := tinyGraph(seed, 4)
+		cp, _ := g.CriticalPath(func(n cdfg.Node) int {
+			if n.Op == cdfg.Mul {
+				return 2
+			}
+			return 1
+		})
+		cons := Constraints{Deadline: cp + 3}
+		exact, err := ExactSynthesize(g, lib, cons, 2_000_000)
+		if errors.Is(err, ErrTooLarge) {
+			continue
+		}
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if err := exact.Validate(g, lib, cons); err != nil {
+			t.Fatalf("seed %d: exact result invalid: %v", seed, err)
+		}
+		greedy, err := SynthesizeBest(g, lib, cons, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: greedy failed where exact succeeded: %v", seed, err)
+		}
+		if greedy.Datapath.FUArea < exact.FUArea-1e-9 {
+			t.Fatalf("seed %d: greedy FU area %.1f beats the exact optimum %.1f",
+				seed, greedy.Datapath.FUArea, exact.FUArea)
+		}
+		if greedy.Datapath.FUArea > exact.FUArea*1.4+1e-9 {
+			t.Errorf("seed %d: greedy FU area %.1f vs optimum %.1f (gap > 40%%)",
+				seed, greedy.Datapath.FUArea, exact.FUArea)
+		}
+		checked++
+	}
+	if checked < 6 {
+		t.Fatalf("only %d instances checked; oracle budget too small", checked)
+	}
+}

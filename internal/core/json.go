@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+
+	"pchls/internal/cdfg"
+)
+
+// designJSON is the machine-readable export schema of a Design. Field
+// names are part of the tool's public output contract.
+type designJSON struct {
+	Graph       string          `json:"graph"`
+	Deadline    int             `json:"deadline"`
+	PowerMax    float64         `json:"power_max"`
+	Area        areaJSON        `json:"area"`
+	Makespan    int             `json:"makespan"`
+	PeakPower   float64         `json:"peak_power"`
+	Energy      float64         `json:"energy"`
+	Locked      bool            `json:"repair_locked"`
+	Operations  []operationJSON `json:"operations"`
+	FUs         []fuJSON        `json:"functional_units"`
+	Registers   [][]string      `json:"registers"`
+	MuxInputsFU int             `json:"fu_mux_inputs"`
+	MuxInputsRg int             `json:"reg_mux_inputs"`
+}
+
+type areaJSON struct {
+	Total     float64 `json:"total"`
+	FUs       float64 `json:"functional_units"`
+	Registers float64 `json:"registers"`
+	Mux       float64 `json:"interconnect"`
+}
+
+type operationJSON struct {
+	Name   string  `json:"name"`
+	Op     string  `json:"op"`
+	Module string  `json:"module"`
+	FU     int     `json:"fu"`
+	Start  int     `json:"start"`
+	Delay  int     `json:"delay"`
+	Power  float64 `json:"power"`
+}
+
+type fuJSON struct {
+	Module string   `json:"module"`
+	Area   float64  `json:"area"`
+	Ops    []string `json:"ops"`
+}
+
+// JSON renders the design as indented JSON for downstream tooling.
+func (d *Design) JSON() ([]byte, error) {
+	out := designJSON{
+		Graph:       d.Graph.Name,
+		Deadline:    d.Cons.Deadline,
+		PowerMax:    d.Cons.PowerMax,
+		Makespan:    d.Schedule.Length(),
+		PeakPower:   d.Schedule.PeakPower(),
+		Energy:      d.Schedule.Energy(),
+		Locked:      d.Locked,
+		MuxInputsFU: d.Datapath.FUMuxInputs,
+		MuxInputsRg: d.Datapath.RegMuxInputs,
+		Area: areaJSON{
+			Total:     d.Area(),
+			FUs:       d.Datapath.FUArea,
+			Registers: d.Datapath.RegArea,
+			Mux:       d.Datapath.MuxArea,
+		},
+	}
+	for _, n := range d.Graph.Nodes() {
+		out.Operations = append(out.Operations, operationJSON{
+			Name:   n.Name,
+			Op:     n.Op.String(),
+			Module: d.Schedule.Module[n.ID],
+			FU:     d.FUOf[n.ID],
+			Start:  d.Schedule.Start[n.ID],
+			Delay:  d.Schedule.Delay[n.ID],
+			Power:  d.Schedule.Power[n.ID],
+		})
+	}
+	for _, fu := range d.FUs {
+		fj := fuJSON{Module: fu.Module.Name, Area: fu.Module.Area}
+		for _, op := range fu.Ops {
+			fj.Ops = append(fj.Ops, d.Graph.Node(op).Name)
+		}
+		out.FUs = append(out.FUs, fj)
+	}
+	for _, r := range d.Datapath.Registers {
+		names := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			names[i] = d.Graph.Node(cdfg.NodeID(v)).Name
+		}
+		out.Registers = append(out.Registers, names)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

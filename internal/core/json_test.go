@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+)
+
+func TestDesignJSON(t *testing.T) {
+	d := mustSynth(t, bench.HAL(), 17, 8)
+	raw, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if back["graph"] != "hal" {
+		t.Fatalf("graph = %v", back["graph"])
+	}
+	if back["deadline"].(float64) != 17 || back["power_max"].(float64) != 8 {
+		t.Fatalf("constraints: %v %v", back["deadline"], back["power_max"])
+	}
+	area := back["area"].(map[string]any)
+	if area["total"].(float64) != d.Area() {
+		t.Fatalf("area total %v != %v", area["total"], d.Area())
+	}
+	ops := back["operations"].([]any)
+	if len(ops) != d.Graph.N() {
+		t.Fatalf("%d operations exported, want %d", len(ops), d.Graph.N())
+	}
+	first := ops[0].(map[string]any)
+	for _, key := range []string{"name", "op", "module", "fu", "start", "delay", "power"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("operation missing key %q", key)
+		}
+	}
+	fus := back["functional_units"].([]any)
+	if len(fus) != len(d.FUs) {
+		t.Fatalf("%d FUs exported, want %d", len(fus), len(d.FUs))
+	}
+	regs := back["registers"].([]any)
+	if len(regs) != len(d.Datapath.Registers) {
+		t.Fatalf("%d registers exported, want %d", len(regs), len(d.Datapath.Registers))
+	}
+}
+
+func TestDesignJSONDeterministic(t *testing.T) {
+	d := mustSynth(t, bench.Elliptic(), 22, 15)
+	a, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Synthesize(bench.Elliptic(), library.Table1(), Constraints{Deadline: 22, PowerMax: 15}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("JSON export is not deterministic across identical syntheses")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// MinFUAreaForSchedule computes the provably minimal functional-unit area
+// that can implement the given schedule with its module assignment. For a
+// fixed schedule, operations bound to the same module type may share an
+// instance exactly when their execution intervals are disjoint; the
+// conflict graph per module type is an interval graph, whose minimum
+// partition into instances equals its clique number — the maximum number
+// of simultaneously executing operations of that type. The result is the
+// per-module instance counts and their total area.
+//
+// It is the test oracle for the greedy binder: any valid design built on
+// this schedule has FUArea >= the returned area.
+func MinFUAreaForSchedule(s *sched.Schedule, lib *library.Library) (float64, map[string]int, error) {
+	// Events per module: +1 at start, -1 at end.
+	type event struct {
+		t     int
+		delta int
+	}
+	events := make(map[string][]event)
+	for i := range s.Start {
+		name := s.Module[i]
+		if _, ok := lib.Lookup(name); !ok {
+			return 0, nil, fmt.Errorf("core: oracle: schedule references unknown module %q", name)
+		}
+		events[name] = append(events[name],
+			event{t: s.Start[i], delta: +1},
+			event{t: s.Start[i] + s.Delay[i], delta: -1})
+	}
+	counts := make(map[string]int, len(events))
+	total := 0.0
+	for name, evs := range events {
+		// Sort by time with ends before starts at equal time (an op may
+		// start exactly when another ends on the same instance).
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0; j-- {
+				a, b := evs[j-1], evs[j]
+				if b.t < a.t || (b.t == a.t && b.delta < a.delta) {
+					evs[j-1], evs[j] = b, a
+				} else {
+					break
+				}
+			}
+		}
+		cur, peak := 0, 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > peak {
+				peak = cur
+			}
+		}
+		counts[name] = peak
+		m, _ := lib.Lookup(name)
+		total += float64(peak) * m.Area
+	}
+	return total, counts, nil
+}
+
+// FUAreaGap reports how far a design's functional-unit area is from the
+// oracle minimum for its own schedule (0 = provably optimal binding for
+// that schedule; the schedule itself may of course be improvable).
+func FUAreaGap(d *Design) (gap float64, err error) {
+	minArea, _, err := MinFUAreaForSchedule(d.Schedule, d.Library)
+	if err != nil {
+		return 0, err
+	}
+	return d.Datapath.FUArea - minArea, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a complete human-readable synthesis report: constraints,
+// decision log, schedule, datapath and area breakdown.
+func (d *Design) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design %q: T = %d cycles, P< = %s\n",
+		d.Graph.Name, d.Cons.Deadline, powerString(d.Cons.PowerMax))
+	if d.Locked {
+		sb.WriteString("note: backtrack-and-lock repair was triggered\n")
+	}
+	fmt.Fprintf(&sb, "\ndecisions (%d):\n", len(d.Decisions))
+	for i, dec := range d.Decisions {
+		kind := "bind to"
+		if dec.NewFU {
+			kind = "allocate"
+		}
+		fmt.Fprintf(&sb, "  %3d: %-10s %s FU%-3d (%-12s) at cycle %2d, cost %6.1f\n",
+			i, d.Graph.Node(dec.Node).Name, kind, dec.FU, dec.Module, dec.Start, dec.Cost)
+	}
+	sb.WriteString("\nschedule:\n")
+	sb.WriteString(d.Schedule.Table())
+	sb.WriteString("\ndatapath:\n")
+	sb.WriteString(d.Datapath.Report(d.Graph))
+	return sb.String()
+}
+
+// Summary returns a one-line result summary for sweep tables.
+func (d *Design) Summary() string {
+	return fmt.Sprintf("%s T=%d P<=%s: area %.1f (FU %.1f, reg %.1f, mux %.1f), %d FUs, %d regs, peak %.2f, len %d",
+		d.Graph.Name, d.Cons.Deadline, powerString(d.Cons.PowerMax),
+		d.Area(), d.Datapath.FUArea, d.Datapath.RegArea, d.Datapath.MuxArea,
+		len(d.FUs), len(d.Datapath.Registers), d.Schedule.PeakPower(), d.Schedule.Length())
+}
+
+func powerString(p float64) string {
+	if p <= 0 {
+		return "unconstrained"
+	}
+	return fmt.Sprintf("%.4g", p)
+}
+
+// Utilization returns, per functional-unit instance, the fraction of the
+// schedule's cycles the instance is executing (0..1), in instance order.
+func (d *Design) Utilization() []float64 {
+	length := d.Schedule.Length()
+	out := make([]float64, len(d.FUs))
+	if length == 0 {
+		return out
+	}
+	for i, fu := range d.FUs {
+		busy := 0
+		for _, op := range fu.Ops {
+			busy += d.Schedule.Delay[op]
+		}
+		out[i] = float64(busy) / float64(length)
+	}
+	return out
+}
+
+// MeanUtilization returns the average instance utilization — a proxy for
+// how well the binding time-shares the allocated hardware.
+func (d *Design) MeanUtilization() float64 {
+	u := d.Utilization()
+	if len(u) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range u {
+		sum += x
+	}
+	return sum / float64(len(u))
+}

@@ -1,0 +1,113 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/power"
+	"pchls/internal/sched"
+)
+
+// BatteryPoint is one sample of a battery sweep: the lifetime extension
+// obtained by capping the schedule at the given power budget.
+type BatteryPoint struct {
+	// PowerMax is the cap applied to the pasap schedule.
+	PowerMax float64
+	// Feasible reports whether a capped schedule exists.
+	Feasible bool
+	// StretchCycles is the capped schedule length (the unconstrained
+	// length is in BatteryCurve.BaseCycles).
+	StretchCycles int
+	// KibamExt and PeukertExt are the lifetime extensions in percent
+	// (task periods, equal work) over the unconstrained schedule.
+	KibamExt, PeukertExt float64
+}
+
+// BatteryCurve is the lifetime-extension-versus-cap series for one graph.
+type BatteryCurve struct {
+	// Benchmark is the CDFG name.
+	Benchmark string
+	// BasePeak and BaseCycles describe the unconstrained ASAP schedule.
+	BasePeak   float64
+	BaseCycles int
+	// Points are the samples in increasing cap order.
+	Points []BatteryPoint
+}
+
+// BatterySweep quantifies the paper's motivation across the power axis:
+// for each cap on the grid, schedule the graph with pasap under that cap
+// and measure the battery-lifetime extension (KiBaM and Peukert, equal
+// work per period) relative to the unconstrained ASAP schedule. Caps at or
+// above the unconstrained peak yield zero extension by construction.
+func BatterySweep(g *cdfg.Graph, lib *library.Library, caps []float64) (BatteryCurve, error) {
+	if len(caps) == 0 {
+		return BatteryCurve{}, fmt.Errorf("%w: no caps", ErrBadGrid)
+	}
+	bind := sched.UniformFastest(lib)
+	base, err := sched.ASAP(g, bind)
+	if err != nil {
+		return BatteryCurve{}, err
+	}
+	curve := BatteryCurve{
+		Benchmark:  g.Name,
+		BasePeak:   base.PeakPower(),
+		BaseCycles: base.Length(),
+	}
+	baseProfile := base.Profile()
+	energy := 0.0
+	for _, p := range baseProfile {
+		energy += p
+	}
+	capacity := energy * 50
+	kb, err := power.NewKiBaM(capacity, 0.2, 0.03)
+	if err != nil {
+		return BatteryCurve{}, err
+	}
+	pk, err := power.NewPeukert(capacity, 1.25)
+	if err != nil {
+		return BatteryCurve{}, err
+	}
+	for _, cap := range caps {
+		pt := BatteryPoint{PowerMax: cap}
+		s, err := sched.PASAP(g, bind, sched.Options{PowerMax: cap})
+		if err == nil {
+			pt.Feasible = true
+			pt.StretchCycles = s.Length()
+			prof := s.Profile()
+			if cmp, err := power.Compare(kb, baseProfile, prof, 1<<20); err == nil {
+				pt.KibamExt = cmp.ExtensionPercent()
+			}
+			if cmp, err := power.Compare(pk, baseProfile, prof, 1<<20); err == nil {
+				pt.PeukertExt = cmp.ExtensionPercent()
+			}
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}
+
+// CSV renders the battery curve with a header.
+func (c BatteryCurve) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,cap,feasible,cycles,kibam_ext_pct,peukert_ext_pct\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(&sb, "%s,%g,%t,%d,%.1f,%.1f\n",
+			c.Benchmark, p.PowerMax, p.Feasible, p.StretchCycles, p.KibamExt, p.PeukertExt)
+	}
+	return sb.String()
+}
+
+// BestExtension returns the cap with the highest KiBaM lifetime extension.
+func (c BatteryCurve) BestExtension() (BatteryPoint, bool) {
+	best := BatteryPoint{}
+	found := false
+	for _, p := range c.Points {
+		if p.Feasible && (!found || p.KibamExt > best.KibamExt) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

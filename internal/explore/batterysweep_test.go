@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+)
+
+func TestBatterySweepHal(t *testing.T) {
+	caps := []float64{2, 9, 12, 16, 24, 40}
+	c, err := BatterySweep(bench.HAL(), library.Table1(), caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Benchmark != "hal" || len(c.Points) != len(caps) {
+		t.Fatalf("curve: %s, %d points", c.Benchmark, len(c.Points))
+	}
+	if c.BasePeak <= 0 || c.BaseCycles <= 0 {
+		t.Fatalf("base: peak %g cycles %d", c.BasePeak, c.BaseCycles)
+	}
+	// Cap 2 < any multiplier power: infeasible.
+	if c.Points[0].Feasible {
+		t.Error("cap 2 should be infeasible")
+	}
+	// A cap above the unconstrained peak changes nothing: zero extension.
+	last := c.Points[len(c.Points)-1]
+	if !last.Feasible {
+		t.Fatal("loose cap infeasible")
+	}
+	if last.PowerMax > c.BasePeak && (last.KibamExt != 0 || last.PeukertExt != 0) {
+		t.Errorf("cap above peak should give 0%% extension, got %g/%g", last.KibamExt, last.PeukertExt)
+	}
+	// A meaningful cap yields positive extension and a stretched schedule.
+	var mid BatteryPoint
+	for _, p := range c.Points {
+		if p.Feasible && p.PowerMax == 12 {
+			mid = p
+		}
+	}
+	if mid.KibamExt <= 0 || mid.PeukertExt <= 0 {
+		t.Fatalf("cap 12 extension = %g/%g, want positive", mid.KibamExt, mid.PeukertExt)
+	}
+	if mid.StretchCycles <= c.BaseCycles {
+		t.Fatalf("cap 12 cycles %d should exceed base %d", mid.StretchCycles, c.BaseCycles)
+	}
+	best, ok := c.BestExtension()
+	if !ok || best.KibamExt < mid.KibamExt {
+		t.Fatalf("best extension %v, %v", best, ok)
+	}
+	csv := c.CSV()
+	if !strings.HasPrefix(csv, "benchmark,cap,feasible") || strings.Count(csv, "\n") != len(caps)+1 {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestBatterySweepEmptyCaps(t *testing.T) {
+	if _, err := BatterySweep(bench.HAL(), library.Table1(), nil); !errors.Is(err, ErrBadGrid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBatterySweepBestExtensionEmpty(t *testing.T) {
+	c := BatteryCurve{Points: []BatteryPoint{{PowerMax: 1, Feasible: false}}}
+	if _, ok := c.BestExtension(); ok {
+		t.Fatal("best extension on all-infeasible curve")
+	}
+}

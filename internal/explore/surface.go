@@ -1,0 +1,187 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+// SurfacePoint is one sample of the two-dimensional time-power design
+// space: the best area found at a (deadline, power budget) pair.
+type SurfacePoint struct {
+	Deadline int
+	Power    float64
+	Feasible bool
+	Area     float64
+}
+
+// Surface is a grid over the time-power-constraint space — the space the
+// paper's conclusion says it investigated "different regions" of.
+type Surface struct {
+	Benchmark string
+	Points    []SurfacePoint
+}
+
+// SurfaceConfig parameterizes a time-power surface exploration.
+type SurfaceConfig struct {
+	// Deadlines are the T values to sample.
+	Deadlines []int
+	// Powers are the P< values to sample.
+	Powers []float64
+	// SinglePass uses the one-shot Synthesize instead of SynthesizeBest.
+	SinglePass bool
+	// Config is passed through to the synthesizer.
+	Config core.Config
+}
+
+// ExploreSurface synthesizes the graph at every (T, P<) pair of the grid.
+// Within each deadline the power axis is swept tight-to-loose with budget
+// subsumption, and for each power budget the time axis inherits designs
+// from tighter deadlines (a design meeting a tighter T also meets a looser
+// one), so the surface is monotone in both axes by construction.
+func ExploreSurface(g *cdfg.Graph, lib *library.Library, cfg SurfaceConfig) (Surface, error) {
+	if len(cfg.Deadlines) == 0 || len(cfg.Powers) == 0 {
+		return Surface{}, fmt.Errorf("%w: empty surface grid", ErrBadGrid)
+	}
+	deadlines := append([]int(nil), cfg.Deadlines...)
+	sort.Ints(deadlines)
+	powers := append([]float64(nil), cfg.Powers...)
+	sort.Float64s(powers)
+	synth := core.SynthesizeBest
+	if cfg.SinglePass {
+		synth = core.Synthesize
+	}
+	surface := Surface{Benchmark: g.Name}
+	// bestAtPower[i] carries the best area seen for powers[i] across the
+	// deadlines processed so far (deadline subsumption).
+	bestAtPower := make([]float64, len(powers))
+	for i := range bestAtPower {
+		bestAtPower[i] = -1
+	}
+	for _, T := range deadlines {
+		carried := -1.0 // power subsumption within this deadline
+		for pi, P := range powers {
+			pt := SurfacePoint{Deadline: T, Power: P}
+			if d, err := synth(g, lib, core.Constraints{Deadline: T, PowerMax: P}, cfg.Config); err == nil {
+				pt.Feasible = true
+				pt.Area = d.Area()
+			}
+			if carried >= 0 && (!pt.Feasible || carried < pt.Area) {
+				pt.Feasible = true
+				pt.Area = carried
+			}
+			if bestAtPower[pi] >= 0 && (!pt.Feasible || bestAtPower[pi] < pt.Area) {
+				pt.Feasible = true
+				pt.Area = bestAtPower[pi]
+			}
+			if pt.Feasible {
+				if carried < 0 || pt.Area < carried {
+					carried = pt.Area
+				}
+				if bestAtPower[pi] < 0 || pt.Area < bestAtPower[pi] {
+					bestAtPower[pi] = pt.Area
+				}
+			}
+			surface.Points = append(surface.Points, pt)
+		}
+	}
+	return surface, nil
+}
+
+// CSV renders the surface with a header.
+func (s Surface) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,deadline,power,feasible,area\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%s,%d,%g,%t,%.1f\n", s.Benchmark, p.Deadline, p.Power, p.Feasible, p.Area)
+	}
+	return sb.String()
+}
+
+// ParetoFront extracts the Pareto-optimal (deadline, power, area) triples:
+// a point survives when no feasible point is at least as good on all three
+// axes and strictly better on one.
+func (s Surface) ParetoFront() []SurfacePoint {
+	var feas []SurfacePoint
+	for _, p := range s.Points {
+		if p.Feasible {
+			feas = append(feas, p)
+		}
+	}
+	var front []SurfacePoint
+	for _, p := range feas {
+		dominated := false
+		for _, q := range feas {
+			if q.Deadline <= p.Deadline && q.Power <= p.Power && q.Area <= p.Area &&
+				(q.Deadline < p.Deadline || q.Power < p.Power || q.Area < p.Area) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Deadline != front[j].Deadline {
+			return front[i].Deadline < front[j].Deadline
+		}
+		if front[i].Power != front[j].Power {
+			return front[i].Power < front[j].Power
+		}
+		return front[i].Area < front[j].Area
+	})
+	return front
+}
+
+// Table renders the surface as an aligned area matrix (rows: deadlines,
+// columns: power budgets; "-" marks infeasible cells).
+func (s Surface) Table() string {
+	deadlines := []int{}
+	powers := []float64{}
+	seenT := map[int]bool{}
+	seenP := map[float64]bool{}
+	for _, p := range s.Points {
+		if !seenT[p.Deadline] {
+			seenT[p.Deadline] = true
+			deadlines = append(deadlines, p.Deadline)
+		}
+		if !seenP[p.Power] {
+			seenP[p.Power] = true
+			powers = append(powers, p.Power)
+		}
+	}
+	sort.Ints(deadlines)
+	sort.Float64s(powers)
+	cell := map[[2]int]SurfacePoint{}
+	pIndex := map[float64]int{}
+	for i, p := range powers {
+		pIndex[p] = i
+	}
+	for _, p := range s.Points {
+		cell[[2]int{p.Deadline, pIndex[p.Power]}] = p
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", "T\\P<")
+	for _, p := range powers {
+		fmt.Fprintf(&sb, "%9g", p)
+	}
+	sb.WriteByte('\n')
+	for _, T := range deadlines {
+		fmt.Fprintf(&sb, "%-6d", T)
+		for i := range powers {
+			pt, ok := cell[[2]int{T, i}]
+			if !ok || !pt.Feasible {
+				fmt.Fprintf(&sb, "%9s", "-")
+			} else {
+				fmt.Fprintf(&sb, "%9.0f", pt.Area)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package explore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+)
+
+func halSurface(t *testing.T) Surface {
+	t.Helper()
+	s, err := ExploreSurface(bench.HAL(), library.Table1(), SurfaceConfig{
+		Deadlines:  []int{9, 12, 17},
+		Powers:     []float64{6, 10, 20, 30},
+		SinglePass: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExploreSurfaceMonotone(t *testing.T) {
+	s := halSurface(t)
+	if len(s.Points) != 12 {
+		t.Fatalf("%d points, want 12", len(s.Points))
+	}
+	area := map[[2]float64]SurfacePoint{}
+	for _, p := range s.Points {
+		area[[2]float64{float64(p.Deadline), p.Power}] = p
+	}
+	// Monotone in P< at fixed T, and in T at fixed P<.
+	for _, T := range []float64{9, 12, 17} {
+		prev := -1.0
+		for _, P := range []float64{6, 10, 20, 30} {
+			pt := area[[2]float64{T, P}]
+			if !pt.Feasible {
+				continue
+			}
+			if prev > 0 && pt.Area > prev+1e-9 {
+				t.Fatalf("T=%g: area rose from %.1f to %.1f at P=%g", T, prev, pt.Area, P)
+			}
+			prev = pt.Area
+		}
+	}
+	for _, P := range []float64{6, 10, 20, 30} {
+		prev := -1.0
+		for _, T := range []float64{9, 12, 17} {
+			pt := area[[2]float64{T, P}]
+			if !pt.Feasible {
+				continue
+			}
+			if prev > 0 && pt.Area > prev+1e-9 {
+				t.Fatalf("P=%g: area rose from %.1f to %.1f at T=%g", P, prev, pt.Area, T)
+			}
+			prev = pt.Area
+		}
+	}
+	// T=9 is below hal's critical path (with IO) at low power: some cells
+	// infeasible; T=17 at P=30 must be feasible.
+	if !area[[2]float64{17, 30}].Feasible {
+		t.Fatal("loose corner infeasible")
+	}
+}
+
+func TestSurfaceParetoFront(t *testing.T) {
+	s := halSurface(t)
+	front := s.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// No point on the front dominates another.
+	for i, p := range front {
+		for j, q := range front {
+			if i == j {
+				continue
+			}
+			if q.Deadline <= p.Deadline && q.Power <= p.Power && q.Area <= p.Area &&
+				(q.Deadline < p.Deadline || q.Power < p.Power || q.Area < p.Area) {
+				t.Fatalf("front point %+v dominated by %+v", p, q)
+			}
+		}
+	}
+}
+
+func TestSurfaceCSVAndTable(t *testing.T) {
+	s := halSurface(t)
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "benchmark,deadline,power") || strings.Count(csv, "\n") != 13 {
+		t.Fatalf("csv malformed")
+	}
+	table := s.Table()
+	if !strings.Contains(table, "T\\P<") {
+		t.Fatalf("table header missing:\n%s", table)
+	}
+	// Three deadline rows plus the header.
+	if strings.Count(table, "\n") != 4 {
+		t.Fatalf("table rows:\n%s", table)
+	}
+	if !strings.Contains(table, "-") {
+		t.Fatalf("expected at least one infeasible cell:\n%s", table)
+	}
+}
+
+func TestExploreSurfaceBadGrid(t *testing.T) {
+	if _, err := ExploreSurface(bench.HAL(), library.Table1(), SurfaceConfig{}); !errors.Is(err, ErrBadGrid) {
+		t.Fatalf("err = %v", err)
+	}
+}

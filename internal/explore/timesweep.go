@@ -1,0 +1,116 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+// TimePoint is one sample of an area-versus-latency sweep.
+type TimePoint struct {
+	// Deadline is the time constraint T of this sample.
+	Deadline int
+	// Feasible reports whether a design was found.
+	Feasible bool
+	// Area is the datapath area of the best design (valid when Feasible).
+	Area float64
+	// Peak is the achieved per-cycle power peak.
+	Peak float64
+	// FUs and Registers are allocation counts.
+	FUs, Registers int
+}
+
+// TimeCurve is an area-versus-latency series at a fixed power constraint.
+type TimeCurve struct {
+	// Benchmark is the CDFG name.
+	Benchmark string
+	// PowerMax is the fixed power constraint (<= 0 unconstrained).
+	PowerMax float64
+	// Points are the samples in increasing deadline order.
+	Points []TimePoint
+}
+
+// Label renders the legend label, e.g. "hal (P<=20)".
+func (c TimeCurve) Label() string {
+	if c.PowerMax <= 0 {
+		return fmt.Sprintf("%s (P< unconstrained)", c.Benchmark)
+	}
+	return fmt.Sprintf("%s (P<=%g)", c.Benchmark, c.PowerMax)
+}
+
+// TimeSweepConfig parameterizes a latency sweep.
+type TimeSweepConfig struct {
+	// TMin, TMax and Step define the deadline grid (inclusive).
+	TMin, TMax, Step int
+	// SinglePass uses the one-shot Synthesize instead of SynthesizeBest.
+	SinglePass bool
+	// NoSubsume disables deadline subsumption (a design meeting a tighter
+	// deadline also meets a looser one; by default curves are made
+	// non-increasing in T by carrying the best design forward).
+	NoSubsume bool
+	// Config is passed through to the synthesizer.
+	Config core.Config
+}
+
+// TimeSweep synthesizes g at a fixed power constraint for every deadline
+// on the grid — the orthogonal cut through the time-power-constraint space
+// the paper's evaluation explores.
+func TimeSweep(g *cdfg.Graph, lib *library.Library, powerMax float64, cfg TimeSweepConfig) (TimeCurve, error) {
+	if cfg.Step <= 0 || cfg.TMax < cfg.TMin || cfg.TMin <= 0 {
+		return TimeCurve{}, fmt.Errorf("%w: tmin %d tmax %d step %d", ErrBadGrid, cfg.TMin, cfg.TMax, cfg.Step)
+	}
+	synth := core.SynthesizeBest
+	if cfg.SinglePass {
+		synth = core.Synthesize
+	}
+	curve := TimeCurve{Benchmark: g.Name, PowerMax: powerMax}
+	var carried *TimePoint
+	for T := cfg.TMin; T <= cfg.TMax; T += cfg.Step {
+		pt := TimePoint{Deadline: T}
+		d, err := synth(g, lib, core.Constraints{Deadline: T, PowerMax: powerMax}, cfg.Config)
+		if err == nil {
+			pt.Feasible = true
+			pt.Area = d.Area()
+			pt.Peak = d.Schedule.PeakPower()
+			pt.FUs = len(d.FUs)
+			pt.Registers = len(d.Datapath.Registers)
+		}
+		if !cfg.NoSubsume {
+			if carried != nil && (!pt.Feasible || carried.Area < pt.Area) {
+				c := *carried
+				c.Deadline = T
+				pt = c
+			}
+			if pt.Feasible && (carried == nil || pt.Area < carried.Area) {
+				cp := pt
+				carried = &cp
+			}
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}
+
+// CSV renders the time curve with a header.
+func (c TimeCurve) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,powermax,deadline,feasible,area,peak,fus,registers\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(&sb, "%s,%g,%d,%t,%.1f,%.2f,%d,%d\n",
+			c.Benchmark, c.PowerMax, p.Deadline, p.Feasible, p.Area, p.Peak, p.FUs, p.Registers)
+	}
+	return sb.String()
+}
+
+// MinFeasibleDeadline returns the tightest feasible T on the grid.
+func (c TimeCurve) MinFeasibleDeadline() (int, bool) {
+	for _, p := range c.Points {
+		if p.Feasible {
+			return p.Deadline, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,37 @@
+package library
+
+import "testing"
+
+// FuzzParse exercises the library text parser with arbitrary input: it
+// must never panic, and anything it accepts must be a validated library.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module ALU +,-,> 97 1 2.5\n",
+		"module m * 103 4 2.7\nmodule in imp 16 1 0.2\n",
+		"module x + -1 1 1\n",
+		"module x + 1 0 1\n",
+		"module x + 1 1 nan\n",
+		"module x %% 1 1 1\n",
+		"# comment\nmodule a + 1 1 1 ; trailing\n",
+		"module dup + 1 1 1\nmodule dup - 1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		lib, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		if lib.Len() == 0 {
+			t.Fatalf("parser accepted an empty library\ninput: %q", input)
+		}
+		for i := 0; i < lib.Len(); i++ {
+			m := lib.Module(i)
+			if m.Delay < 1 || m.Area < 0 || m.Power < 0 || len(m.Ops) == 0 {
+				t.Fatalf("parser accepted invalid module %v\ninput: %q", m, input)
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package library
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Field-by-field check against Table 1 of Nielsen & Madsen, DATE 2003.
+	lib := Table1()
+	want := []struct {
+		name  string
+		ops   []cdfg.Op
+		area  float64
+		delay int
+		power float64
+	}{
+		{NameAdd, []cdfg.Op{cdfg.Add}, 87, 1, 2.5},
+		{NameSub, []cdfg.Op{cdfg.Sub}, 87, 1, 2.5},
+		{NameComp, []cdfg.Op{cdfg.Cmp}, 8, 1, 2.5},
+		{NameALU, []cdfg.Op{cdfg.Add, cdfg.Sub, cdfg.Cmp}, 97, 1, 2.5},
+		{NameMulSer, []cdfg.Op{cdfg.Mul}, 103, 4, 2.7},
+		{NameMulPar, []cdfg.Op{cdfg.Mul}, 339, 2, 8.1},
+		{NameInput, []cdfg.Op{cdfg.Input}, 16, 1, 0.2},
+		{NameOutput, []cdfg.Op{cdfg.Output}, 16, 1, 1.7},
+	}
+	if lib.Len() != len(want) {
+		t.Fatalf("Table1 has %d modules, want %d", lib.Len(), len(want))
+	}
+	for i, w := range want {
+		m := lib.Module(i)
+		if m.Name != w.name || m.Area != w.area || m.Delay != w.delay || m.Power != w.power {
+			t.Errorf("module %d = %v, want %+v", i, m, w)
+		}
+		if len(m.Ops) != len(w.ops) {
+			t.Errorf("module %q ops = %v, want %v", w.name, m.Ops, w.ops)
+			continue
+		}
+		for j, op := range w.ops {
+			if m.Ops[j] != op {
+				t.Errorf("module %q op[%d] = %v, want %v", w.name, j, m.Ops[j], op)
+			}
+		}
+	}
+}
+
+func TestModuleImplementsAndEnergy(t *testing.T) {
+	lib := Table1()
+	alu, ok := lib.Lookup(NameALU)
+	if !ok {
+		t.Fatal("ALU missing")
+	}
+	for _, op := range []cdfg.Op{cdfg.Add, cdfg.Sub, cdfg.Cmp} {
+		if !alu.Implements(op) {
+			t.Errorf("ALU should implement %s", op)
+		}
+	}
+	if alu.Implements(cdfg.Mul) {
+		t.Error("ALU should not implement *")
+	}
+	ser, _ := lib.Lookup(NameMulSer)
+	if got := ser.Energy(); got != 2.7*4 {
+		t.Errorf("serial mult energy = %g, want %g", got, 2.7*4)
+	}
+}
+
+func TestCandidatesOrder(t *testing.T) {
+	lib := Table1()
+	cand := lib.Candidates(cdfg.Mul)
+	if len(cand) != 2 {
+		t.Fatalf("mul candidates = %v", cand)
+	}
+	if lib.Module(cand[0]).Name != NameMulSer || lib.Module(cand[1]).Name != NameMulPar {
+		t.Fatalf("mul candidate order: %q, %q", lib.Module(cand[0]).Name, lib.Module(cand[1]).Name)
+	}
+	addCands := lib.Candidates(cdfg.Add)
+	if len(addCands) != 2 { // add and ALU
+		t.Fatalf("add candidates = %v", addCands)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	lib := Table1()
+	fast, err := lib.Fastest(cdfg.Mul)
+	if err != nil || fast.Name != NameMulPar {
+		t.Fatalf("Fastest(*) = %v, %v; want parallel mult", fast, err)
+	}
+	small, err := lib.Smallest(cdfg.Mul)
+	if err != nil || small.Name != NameMulSer {
+		t.Fatalf("Smallest(*) = %v, %v; want serial mult", small, err)
+	}
+	lowP, err := lib.LowestPower(cdfg.Mul)
+	if err != nil || lowP.Name != NameMulSer {
+		t.Fatalf("LowestPower(*) = %v, %v; want serial mult", lowP, err)
+	}
+	// Add: "add" (87) beats ALU (97) on area; both delay 1 so Fastest ties
+	// break by area to "add".
+	small, _ = lib.Smallest(cdfg.Add)
+	if small.Name != NameAdd {
+		t.Fatalf("Smallest(+) = %q", small.Name)
+	}
+	fast, _ = lib.Fastest(cdfg.Add)
+	if fast.Name != NameAdd {
+		t.Fatalf("Fastest(+) tie-break = %q", fast.Name)
+	}
+}
+
+func TestSelectorNoModule(t *testing.T) {
+	lib, err := Table1Without(NameMulSer, NameMulPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Fastest(cdfg.Mul); !errors.Is(err, ErrNoModule) {
+		t.Fatalf("Fastest(*) err = %v, want ErrNoModule", err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	g := cdfg.New("t")
+	a := g.MustAddNode("a", cdfg.Input)
+	m := g.MustAddNode("m", cdfg.Mul)
+	g.MustAddEdge(a, m)
+
+	if missing := Table1().Covers(g); missing != nil {
+		t.Fatalf("Table1 should cover, missing %v", missing)
+	}
+	lib, _ := Table1Without(NameMulSer, NameMulPar)
+	missing := lib.Covers(g)
+	if len(missing) != 1 || missing[0] != cdfg.Mul {
+		t.Fatalf("missing = %v, want [*]", missing)
+	}
+}
+
+func TestMinPowerFloor(t *testing.T) {
+	g := cdfg.New("t")
+	a := g.MustAddNode("a", cdfg.Input)
+	m := g.MustAddNode("m", cdfg.Mul)
+	o := g.MustAddNode("o", cdfg.Output)
+	g.MustAddEdge(a, m)
+	g.MustAddEdge(m, o)
+	floor, err := Table1().MinPowerFloor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest multiplier is the serial one at 2.7; inputs/outputs are lower.
+	if floor != 2.7 {
+		t.Fatalf("floor = %g, want 2.7", floor)
+	}
+	// Parallel-only library: floor rises to 8.1.
+	lib, _ := Table1Without(NameMulSer)
+	floor, err = lib.MinPowerFloor(g)
+	if err != nil || floor != 8.1 {
+		t.Fatalf("parallel-only floor = %g, %v; want 8.1", floor, err)
+	}
+}
+
+func TestMaxDelay(t *testing.T) {
+	if d := Table1().MaxDelay(); d != 4 {
+		t.Fatalf("MaxDelay = %d, want 4 (serial mult)", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := Table1().Table()
+	for _, want := range []string{"Module", "ALU", "{+,-,>}", "339", "Mult(ser.)", "2.7", "8.1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mods []Module
+	}{
+		{"empty list", nil},
+		{"empty name", []Module{{Name: "", Ops: []cdfg.Op{cdfg.Add}, Area: 1, Delay: 1}}},
+		{"no ops", []Module{{Name: "x", Area: 1, Delay: 1}}},
+		{"dup op", []Module{{Name: "x", Ops: []cdfg.Op{cdfg.Add, cdfg.Add}, Area: 1, Delay: 1}}},
+		{"invalid op", []Module{{Name: "x", Ops: []cdfg.Op{cdfg.Invalid}, Area: 1, Delay: 1}}},
+		{"negative area", []Module{{Name: "x", Ops: []cdfg.Op{cdfg.Add}, Area: -1, Delay: 1}}},
+		{"zero delay", []Module{{Name: "x", Ops: []cdfg.Op{cdfg.Add}, Area: 1, Delay: 0}}},
+		{"negative power", []Module{{Name: "x", Ops: []cdfg.Op{cdfg.Add}, Area: 1, Delay: 1, Power: -2}}},
+		{"dup name", []Module{
+			{Name: "x", Ops: []cdfg.Op{cdfg.Add}, Area: 1, Delay: 1},
+			{Name: "x", Ops: []cdfg.Op{cdfg.Sub}, Area: 1, Delay: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.mods); err == nil {
+				t.Fatalf("New accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := `
+# test library
+module ALU +,-,> 97 1 2.5
+module mser * 103 4 2.7
+module in imp 16 1 0.2
+`
+	lib, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 3 {
+		t.Fatalf("parsed %d modules", lib.Len())
+	}
+	alu, ok := lib.Lookup("ALU")
+	if !ok || alu.Area != 97 || len(alu.Ops) != 3 {
+		t.Fatalf("ALU = %v", alu)
+	}
+	mser, _ := lib.Lookup("mser")
+	if mser.Delay != 4 || mser.Power != 2.7 {
+		t.Fatalf("mser = %v", mser)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad directive", "mod x + 1 1 1"},
+		{"bad arity", "module x + 1 1"},
+		{"bad op", "module x %% 1 1 1"},
+		{"bad area", "module x + abc 1 1"},
+		{"bad delay", "module x + 1 abc 1"},
+		{"bad power", "module x + 1 1 abc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.in); err == nil {
+				t.Fatalf("ParseString(%q) succeeded", tc.in)
+			}
+		})
+	}
+}
+
+func TestTable1WithoutUnknownNameIgnored(t *testing.T) {
+	lib, err := Table1Without("nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != Table1().Len() {
+		t.Fatalf("dropping unknown name changed library size: %d", lib.Len())
+	}
+}
+
+func TestModulesReturnsCopy(t *testing.T) {
+	lib := Table1()
+	mods := lib.Modules()
+	mods[0].Area = 99999
+	if lib.Module(0).Area == 99999 {
+		t.Fatal("Modules() exposes internal storage")
+	}
+}

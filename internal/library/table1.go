@@ -1,0 +1,51 @@
+package library
+
+import "pchls/internal/cdfg"
+
+// Table 1 module names, exported so callers can select variants by name
+// without hard-coding strings.
+const (
+	NameAdd    = "add"
+	NameSub    = "sub"
+	NameComp   = "comp"
+	NameALU    = "ALU"
+	NameMulSer = "Mult(ser.)"
+	NameMulPar = "Mult(par.)"
+	NameInput  = "input"
+	NameOutput = "output"
+)
+
+// table1Modules is the functional-unit library of the paper's Table 1,
+// verbatim: module name, implemented operations, area, clock cycles, and
+// per-cycle power.
+var table1Modules = []Module{
+	{Name: NameAdd, Ops: []cdfg.Op{cdfg.Add}, Area: 87, Delay: 1, Power: 2.5},
+	{Name: NameSub, Ops: []cdfg.Op{cdfg.Sub}, Area: 87, Delay: 1, Power: 2.5},
+	{Name: NameComp, Ops: []cdfg.Op{cdfg.Cmp}, Area: 8, Delay: 1, Power: 2.5},
+	{Name: NameALU, Ops: []cdfg.Op{cdfg.Add, cdfg.Sub, cdfg.Cmp}, Area: 97, Delay: 1, Power: 2.5},
+	{Name: NameMulSer, Ops: []cdfg.Op{cdfg.Mul}, Area: 103, Delay: 4, Power: 2.7},
+	{Name: NameMulPar, Ops: []cdfg.Op{cdfg.Mul}, Area: 339, Delay: 2, Power: 8.1},
+	{Name: NameInput, Ops: []cdfg.Op{cdfg.Input}, Area: 16, Delay: 1, Power: 0.2},
+	{Name: NameOutput, Ops: []cdfg.Op{cdfg.Output}, Area: 16, Delay: 1, Power: 1.7},
+}
+
+// Table1 returns the paper's functional-unit library (Table 1). Each call
+// returns a fresh Library; the underlying data is immutable.
+func Table1() *Library { return MustNew(table1Modules) }
+
+// Table1Without returns Table 1 with the named modules removed, for library
+// ablations (e.g. serial-only or parallel-only multipliers, or no ALU).
+// Unknown names are ignored.
+func Table1Without(names ...string) (*Library, error) {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	var keep []Module
+	for _, m := range table1Modules {
+		if !drop[m.Name] {
+			keep = append(keep, m)
+		}
+	}
+	return New(keep)
+}

@@ -1,0 +1,266 @@
+// Package pipeline analyzes functionally pipelined (loop-folded)
+// implementations of a data-flow graph: successive iterations of the loop
+// body start every II cycles (the initiation interval), so at steady state
+// the per-cycle power and the functional-unit occupancy fold modulo II.
+//
+// The paper's benchmarks are DSP loop bodies, making throughput (1/II)
+// the natural third axis next to latency T and power P<. This package is
+// a documented extension beyond the two-page paper: it computes feasible
+// initiation intervals under a power cap, modulo-scheduled start times,
+// the folded steady-state power profile, and the modulo-reservation
+// functional-unit demand (and implied area) per II.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// Result describes one modulo-scheduled pipelined implementation.
+type Result struct {
+	// II is the initiation interval in cycles.
+	II int
+	// Schedule holds the iteration-local start times (latency T is its
+	// makespan); the folded constraints are already satisfied.
+	Schedule *sched.Schedule
+	// FoldedProfile is the steady-state per-cycle power over [0, II).
+	FoldedProfile []float64
+	// FUNeed is the modulo-reservation demand per module name.
+	FUNeed map[string]int
+	// FUArea is the implied functional-unit area.
+	FUArea float64
+}
+
+// PeakPower returns the steady-state peak of the folded profile.
+func (r *Result) PeakPower() float64 {
+	peak := 0.0
+	for _, p := range r.FoldedProfile {
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// ErrNoSchedule is returned when no modulo schedule exists for the given
+// II within the latency bound.
+var ErrNoSchedule = errors.New("no modulo schedule for this initiation interval")
+
+// Schedule computes a power-constrained modulo schedule at the given
+// initiation interval: operations are placed critical-path-first at the
+// earliest precedence-feasible cycle whose FOLDED power profile (the sum
+// over all in-flight iterations) stays within powerMax, within a latency
+// bound of deadline cycles. DAG loop bodies carry no loop-carried
+// dependence, so any II >= 1 is precedence-admissible; power and the
+// latency bound decide feasibility.
+func Schedule(g *cdfg.Graph, bind sched.Binding, lib *library.Library, ii, deadline int, powerMax float64) (*Result, error) {
+	if ii < 1 {
+		return nil, fmt.Errorf("pipeline: II %d must be >= 1", ii)
+	}
+	if deadline < ii {
+		return nil, fmt.Errorf("pipeline: deadline %d below II %d", deadline, ii)
+	}
+	asap, err := sched.ASAP(g, bind)
+	if err != nil {
+		return nil, err
+	}
+	if asap.Length() > deadline {
+		return nil, fmt.Errorf("pipeline: critical path %d exceeds deadline %d: %w", asap.Length(), deadline, sched.ErrDeadline)
+	}
+	s := asap.Clone() // correct Delay/Power/Module; starts are rewritten below
+	for i := range s.Start {
+		s.Start[i] = -1 // unplaced
+	}
+	if powerMax > 0 {
+		for i, p := range s.Power {
+			if p > powerMax+1e-9 {
+				return nil, fmt.Errorf("pipeline: node %q draws %.3g > %.3g: %w",
+					g.Node(cdfg.NodeID(i)).Name, p, powerMax, sched.ErrPowerInfeasible)
+			}
+		}
+	}
+
+	folded := make([]float64, ii)
+	place := func(id cdfg.NodeID, start int) {
+		for c := start; c < start+s.Delay[id]; c++ {
+			folded[c%ii] += s.Power[id]
+		}
+	}
+	fits := func(id cdfg.NodeID, start int) bool {
+		if powerMax <= 0 {
+			return true
+		}
+		if s.Delay[id] >= ii {
+			// The op occupies every folded slot; check total plus its own
+			// multiplicity per slot.
+			for c := 0; c < ii; c++ {
+				occ := 0
+				for k := start; k < start+s.Delay[id]; k++ {
+					if k%ii == c {
+						occ++
+					}
+				}
+				if folded[c]+float64(occ)*s.Power[id] > powerMax+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		for c := start; c < start+s.Delay[id]; c++ {
+			if folded[c%ii]+s.Power[id] > powerMax+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Critical-path-first ready order, mirroring pasap.
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	prio := make([]int, g.N())
+	for i := len(topo) - 1; i >= 0; i-- {
+		u := topo[i]
+		best := 0
+		for _, v := range g.Succs(u) {
+			if prio[v] > best {
+				best = prio[v]
+			}
+		}
+		prio[u] = best + s.Delay[u]
+	}
+	indeg := make([]int, g.N())
+	for i := range indeg {
+		indeg[i] = len(g.Preds(cdfg.NodeID(i)))
+	}
+	remaining := g.N()
+	for remaining > 0 {
+		pick := -1
+		for i := 0; i < g.N(); i++ {
+			if indeg[i] == 0 && s.Start[i] < 0 {
+				if pick < 0 || prio[i] > prio[pick] {
+					pick = i
+				}
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("pipeline: no ready operation (internal error)")
+		}
+		id := cdfg.NodeID(pick)
+		earliest := 0
+		for _, p := range g.Preds(id) {
+			if e := s.Start[p] + s.Delay[p]; e > earliest {
+				earliest = e
+			}
+		}
+		start := earliest
+		for !fits(id, start) {
+			start++
+			if start+s.Delay[id] > deadline {
+				return nil, fmt.Errorf("pipeline: II=%d: %q does not fit by %d: %w",
+					ii, g.Node(id).Name, deadline, ErrNoSchedule)
+			}
+		}
+		s.Start[id] = start
+		place(id, start)
+		indeg[pick] = -1 // consumed
+		for _, v := range g.Succs(id) {
+			indeg[v]--
+		}
+		remaining--
+	}
+
+	res := &Result{II: ii, Schedule: s, FoldedProfile: folded}
+	res.FUNeed = moduloReservation(g, s, ii)
+	names := make([]string, 0, len(res.FUNeed))
+	for name := range res.FUNeed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m, ok := lib.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: unknown module %q", name)
+		}
+		res.FUArea += float64(res.FUNeed[name]) * m.Area
+	}
+	return res, nil
+}
+
+// moduloReservation computes, per module, the maximum number of operations
+// occupying any folded cycle — the instance count a modulo-reservation
+// table requires.
+func moduloReservation(g *cdfg.Graph, s *sched.Schedule, ii int) map[string]int {
+	need := make(map[string]int)
+	perSlot := make(map[string][]int)
+	for i := range s.Start {
+		name := s.Module[i]
+		if perSlot[name] == nil {
+			perSlot[name] = make([]int, ii)
+		}
+		for c := s.Start[i]; c < s.Start[i]+s.Delay[i]; c++ {
+			perSlot[name][c%ii]++
+		}
+	}
+	for name, slots := range perSlot {
+		peak := 0
+		for _, k := range slots {
+			if k > peak {
+				peak = k
+			}
+		}
+		need[name] = peak
+	}
+	return need
+}
+
+// MinII returns the smallest initiation interval that could possibly admit
+// a schedule under the power cap: the total energy per iteration divided
+// by the cap, rounded up (energy must fit in II cycles of at most powerMax
+// each). powerMax <= 0 gives 1.
+func MinII(g *cdfg.Graph, bind sched.Binding, powerMax float64) (int, error) {
+	if powerMax <= 0 {
+		return 1, nil
+	}
+	s, err := sched.ASAP(g, bind)
+	if err != nil {
+		return 0, err
+	}
+	energy := s.Energy()
+	ii := int(energy / powerMax)
+	for float64(ii)*powerMax < energy-1e-9 {
+		ii++
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	return ii, nil
+}
+
+// Explore sweeps initiation intervals from MinII up to maxII and returns
+// the feasible designs in increasing II order — the throughput/area/power
+// trade-off curve of the pipelined implementation.
+func Explore(g *cdfg.Graph, bind sched.Binding, lib *library.Library, maxII, deadline int, powerMax float64) ([]*Result, error) {
+	lo, err := MinII(g, bind, powerMax)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for ii := lo; ii <= maxII; ii++ {
+		r, err := Schedule(g, bind, lib, ii, deadline, powerMax)
+		if err != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pipeline: no feasible II in [%d,%d]: %w", lo, maxII, ErrNoSchedule)
+	}
+	return out, nil
+}

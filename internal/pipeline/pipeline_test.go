@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+func halSetup() (*cdfg.Graph, sched.Binding, *library.Library) {
+	lib := library.Table1()
+	return bench.HAL(), sched.UniformFastest(lib), lib
+}
+
+func TestScheduleUnpipelinedEqualsLatency(t *testing.T) {
+	// II = deadline reduces to the plain case: folded profile = profile.
+	g, bind, lib := halSetup()
+	r, err := Schedule(g, bind, lib, 20, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schedule.Length() > 20 {
+		t.Fatalf("latency %d", r.Schedule.Length())
+	}
+	if err := r.Schedule.Validate(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakPower() > 20 {
+		t.Fatalf("folded peak %.2f", r.PeakPower())
+	}
+}
+
+func TestScheduleFoldedPowerRespectsCap(t *testing.T) {
+	g, bind, lib := halSetup()
+	const ii, T, P = 8, 24, 20
+	r, err := Schedule(g, bind, lib, ii, T, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.II != ii || len(r.FoldedProfile) != ii {
+		t.Fatalf("II %d, folded %d", r.II, len(r.FoldedProfile))
+	}
+	if r.PeakPower() > P+1e-9 {
+		t.Fatalf("folded peak %.2f > %d", r.PeakPower(), P)
+	}
+	// The folded profile must equal the plain profile folded modulo II.
+	plain := r.Schedule.Profile()
+	want := make([]float64, ii)
+	for c, p := range plain {
+		want[c%ii] += p
+	}
+	for c := range want {
+		if diff := want[c] - r.FoldedProfile[c]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("folded[%d] = %g, want %g", c, r.FoldedProfile[c], want[c])
+		}
+	}
+	// Precedence still holds on the iteration-local schedule.
+	if err := r.Schedule.Validate(0, T); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleFUNeedGrowsWithThroughput(t *testing.T) {
+	// Lower II (higher throughput) needs at least as many multipliers.
+	g, bind, lib := halSetup()
+	fast, err := Schedule(g, bind, lib, 6, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Schedule(g, bind, lib, 12, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.FUNeed[library.NameMulPar] < slow.FUNeed[library.NameMulPar] {
+		t.Fatalf("II=6 needs %d mults, II=12 needs %d", fast.FUNeed[library.NameMulPar], slow.FUNeed[library.NameMulPar])
+	}
+	if fast.FUArea < slow.FUArea {
+		t.Fatalf("II=6 area %.1f below II=12 area %.1f", fast.FUArea, slow.FUArea)
+	}
+}
+
+func TestScheduleMultiCycleOpLongerThanII(t *testing.T) {
+	// A 4-cycle serial multiply at II=2 occupies both folded slots twice:
+	// the reservation and the folded power must account for multiplicity.
+	g := cdfg.New("t")
+	i := g.MustAddNode("i", cdfg.Input)
+	m := g.MustAddNode("m", cdfg.Mul)
+	o := g.MustAddNode("o", cdfg.Output)
+	g.MustAddEdge(i, m)
+	g.MustAddEdge(m, o)
+	lib := library.Table1()
+	bind := sched.UniformSmallest(lib) // serial multiplier, delay 4
+	r, err := Schedule(g, bind, lib, 2, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FUNeed[library.NameMulSer] != 2 {
+		t.Fatalf("serial mult need at II=2 = %d, want 2 (4 busy cycles / 2 slots)", r.FUNeed[library.NameMulSer])
+	}
+	// And the folded power sees 2x the multiplier draw.
+	peak := r.PeakPower()
+	if peak < 2*2.7 {
+		t.Fatalf("folded peak %.2f should include the doubled multiplier", peak)
+	}
+}
+
+func TestScheduleInfeasibleII(t *testing.T) {
+	g, bind, lib := halSetup()
+	// II=1 at a tight cap: every cycle carries the whole iteration's
+	// power; hopeless.
+	if _, err := Schedule(g, bind, lib, 1, 20, 20); !errors.Is(err, ErrNoSchedule) {
+		t.Fatalf("err = %v, want ErrNoSchedule", err)
+	}
+	if _, err := Schedule(g, bind, lib, 0, 20, 20); err == nil {
+		t.Fatal("II=0 accepted")
+	}
+	if _, err := Schedule(g, bind, lib, 10, 5, 0); err == nil {
+		t.Fatal("deadline below II accepted")
+	}
+	if _, err := Schedule(g, bind, lib, 4, 6, 0); !errors.Is(err, sched.ErrDeadline) {
+		t.Fatalf("deadline below critical path: %v", err)
+	}
+	if _, err := Schedule(g, bind, lib, 8, 20, 5); !errors.Is(err, sched.ErrPowerInfeasible) {
+		t.Fatalf("single-op power: %v", err)
+	}
+}
+
+func TestMinII(t *testing.T) {
+	g, bind, _ := halSetup()
+	// Unconstrained: 1.
+	ii, err := MinII(g, bind, 0)
+	if err != nil || ii != 1 {
+		t.Fatalf("MinII unconstrained = %d, %v", ii, err)
+	}
+	// Energy of hal under fastest binding is 117.5; cap 20 needs >= 6.
+	ii, err = MinII(g, bind, 20)
+	if err != nil || ii != 6 {
+		t.Fatalf("MinII(20) = %d, %v; want 6", ii, err)
+	}
+}
+
+func TestExplore(t *testing.T) {
+	g, bind, lib := halSetup()
+	results, err := Explore(g, bind, lib, 16, 24, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no feasible II")
+	}
+	prevII := 0
+	prevArea := 1e18
+	for _, r := range results {
+		if r.II <= prevII {
+			t.Fatalf("IIs not increasing: %d after %d", r.II, prevII)
+		}
+		prevII = r.II
+		if r.PeakPower() > 20+1e-9 {
+			t.Fatalf("II=%d folded peak %.2f", r.II, r.PeakPower())
+		}
+		if r.FUArea > prevArea+340 { // allow noise of one multiplier
+			t.Fatalf("area should broadly fall with II: %.1f after %.1f", r.FUArea, prevArea)
+		}
+		prevArea = r.FUArea
+	}
+	// No feasible II at an absurd cap.
+	if _, err := Explore(g, bind, lib, 4, 24, 3); err == nil {
+		t.Fatal("expected failure at cap 3")
+	}
+}

@@ -1,0 +1,196 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyze(t *testing.T) {
+	s := Analyze([]float64{1, 1, 10, 0})
+	if s.Peak != 10 || s.Energy != 12 || s.Cycles != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if s.SpikeCycles != 1 { // only the 10 exceeds 2*mean = 6
+		t.Fatalf("spikes = %d", s.SpikeCycles)
+	}
+	wantVar := (4.0 + 4 + 49 + 9) / 4
+	if math.Abs(s.Variance-wantVar) > 1e-9 {
+		t.Fatalf("variance = %g, want %g", s.Variance, wantVar)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if s := Analyze(nil); s != (Stats{}) {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestPeukertValidation(t *testing.T) {
+	if _, err := NewPeukert(0, 1.2); err == nil {
+		t.Fatal("accepted zero capacity")
+	}
+	if _, err := NewPeukert(100, 0.9); err == nil {
+		t.Fatal("accepted exponent < 1")
+	}
+	if _, err := NewPeukert(100, 3.5); err == nil {
+		t.Fatal("accepted exponent > 3")
+	}
+	if _, err := NewPeukert(math.NaN(), 1.2); err == nil {
+		t.Fatal("accepted NaN capacity")
+	}
+}
+
+func TestPeukertIdealBatteryCountsEnergy(t *testing.T) {
+	b, err := NewPeukert(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile drawing 10 per period of 2 cycles: 100/10 = 10 periods.
+	periods, cycles := b.Lifetime([]float64{4, 6}, 1000)
+	if periods != 10 || cycles != 20 {
+		t.Fatalf("ideal battery: %d periods, %d cycles", periods, cycles)
+	}
+}
+
+func TestPeukertPenalizesSpikes(t *testing.T) {
+	b, _ := NewPeukert(1000, 1.3)
+	flat := []float64{5, 5, 5, 5}   // energy 20
+	spiky := []float64{17, 1, 1, 1} // energy 20
+	cmp, err := Compare(b, spiky, flat, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CyclesB <= cmp.CyclesA {
+		t.Fatalf("flat profile should outlive spiky: %+v", cmp)
+	}
+	if cmp.ExtensionPercent() <= 0 {
+		t.Fatalf("extension = %g", cmp.ExtensionPercent())
+	}
+}
+
+func TestPeukertZeroInputs(t *testing.T) {
+	b, _ := NewPeukert(10, 1.2)
+	if p, c := b.Lifetime(nil, 10); p != 0 || c != 0 {
+		t.Fatal("empty profile should survive 0")
+	}
+	if p, c := b.Lifetime([]float64{1}, 0); p != 0 || c != 0 {
+		t.Fatal("zero periods should survive 0")
+	}
+}
+
+func TestKiBaMValidation(t *testing.T) {
+	cases := []struct{ cap_, c, k float64 }{
+		{0, 0.5, 0.5}, {-1, 0.5, 0.5}, {100, 0, 0.5}, {100, 1, 0.5},
+		{100, 0.5, 0}, {100, 0.5, 1.5},
+	}
+	for _, tc := range cases {
+		if _, err := NewKiBaM(tc.cap_, tc.c, tc.k); err == nil {
+			t.Errorf("NewKiBaM(%v,%v,%v) accepted", tc.cap_, tc.c, tc.k)
+		}
+	}
+	b, err := NewKiBaM(100, 0.4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CapacityAvailable != 40 || b.CapacityBound != 60 {
+		t.Fatalf("wells = %g, %g", b.CapacityAvailable, b.CapacityBound)
+	}
+}
+
+func TestKiBaMRecoversDuringIdle(t *testing.T) {
+	b, _ := NewKiBaM(200, 0.3, 0.3)
+	// Heavy burst with idle recovery vs the same burst back-to-back.
+	withIdle := []float64{20, 0, 0, 0}
+	backToBack := []float64{20, 20, 0, 0} // same energy per 2 periods
+	_, cyclesIdle := b.Lifetime(withIdle, 10000)
+	_, cyclesBurst := b.Lifetime(backToBack, 10000)
+	// Normalize: withIdle draws 20 per 4 cycles, backToBack 40 per 4.
+	// Per unit of energy the recovered battery must deliver at least as
+	// much. Compare total energy delivered.
+	energyIdle := float64(cyclesIdle) / 4 * 20
+	energyBurst := float64(cyclesBurst) / 4 * 40
+	if energyIdle < energyBurst {
+		t.Fatalf("idle recovery delivered %g <= burst %g", energyIdle, energyBurst)
+	}
+}
+
+func TestKiBaMCappedProfileOutlivesSpiky(t *testing.T) {
+	// The paper's Figure 1 story: same energy, capped peak lasts longer.
+	b, _ := NewKiBaM(500, 0.2, 0.1)
+	spiky := []float64{30, 2, 2, 2, 2, 2}  // energy 40, peak 30
+	capped := []float64{10, 6, 6, 6, 6, 6} // energy 40, peak 10
+	cmp, err := Compare(b, spiky, capped, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CyclesB <= cmp.CyclesA {
+		t.Fatalf("capped should outlive spiky: %+v", cmp)
+	}
+}
+
+func TestKiBaMDiesWhenDemandExceedsAvailable(t *testing.T) {
+	b, _ := NewKiBaM(100, 0.1, 0.05) // only 10 immediately available
+	periods, cycles := b.Lifetime([]float64{50}, 10)
+	if periods != 0 || cycles != 0 {
+		t.Fatalf("demand above available well: %d periods %d cycles", periods, cycles)
+	}
+}
+
+func TestCompareEmptyProfile(t *testing.T) {
+	b, _ := NewPeukert(10, 1.1)
+	if _, err := Compare(b, nil, []float64{1}, 10); !errors.Is(err, ErrEmptyProfile) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Compare(b, []float64{1}, nil, 10); !errors.Is(err, ErrEmptyProfile) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtensionPercent(t *testing.T) {
+	c := Comparison{PeriodsA: 100, PeriodsB: 125}
+	if got := c.ExtensionPercent(); got != 25 {
+		t.Fatalf("extension = %g", got)
+	}
+	if (Comparison{}).ExtensionPercent() != 0 {
+		t.Fatal("zero lifetime extension should be 0")
+	}
+}
+
+func TestQuickPeukertMonotoneInExponent(t *testing.T) {
+	// Property: for a spiky profile, a higher Peukert exponent never
+	// extends the lifetime.
+	f := func(seed uint8) bool {
+		peak := 5 + float64(seed%20)
+		profile := []float64{peak, 1, 1, 1}
+		b1, _ := NewPeukert(10000, 1.05)
+		b2, _ := NewPeukert(10000, 1.25)
+		_, c1 := b1.Lifetime(profile, 100000)
+		_, c2 := b2.Lifetime(profile, 100000)
+		return c2 <= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKiBaMChargeConserved(t *testing.T) {
+	// Property: total energy delivered never exceeds total capacity.
+	f := func(seed uint8, pRaw uint8) bool {
+		capTotal := 100 + float64(seed)
+		b, err := NewKiBaM(capTotal, 0.3, 0.2)
+		if err != nil {
+			return false
+		}
+		draw := 1 + float64(pRaw%10)
+		_, cycles := b.Lifetime([]float64{draw}, 1000000)
+		return draw*float64(cycles) <= capTotal+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package power
+
+import "math"
+
+// TracePoint is one cycle of a battery discharge trace.
+type TracePoint struct {
+	// Cycle is the absolute cycle index.
+	Cycle int
+	// Demand is the current drawn this cycle.
+	Demand float64
+	// Available is the charge in the available well after the cycle
+	// (for Peukert, the remaining capacity).
+	Available float64
+	// Bound is the charge in the bound well after the cycle (zero for
+	// Peukert).
+	Bound float64
+	// Alive reports whether the battery sustained this cycle.
+	Alive bool
+}
+
+// Tracer is implemented by batteries that can expose their per-cycle
+// internal state, for plotting state-of-charge curves.
+type Tracer interface {
+	// Trace runs the repeated profile for at most maxCycles cycles (or
+	// until the battery dies) and returns one point per simulated cycle;
+	// the final point of a dying battery has Alive=false.
+	Trace(profile []float64, maxCycles int) []TracePoint
+}
+
+// Trace implements Tracer for the kinetic battery model.
+func (b *KiBaM) Trace(profile []float64, maxCycles int) []TracePoint {
+	if len(profile) == 0 || maxCycles <= 0 {
+		return nil
+	}
+	avail, bound := b.CapacityAvailable, b.CapacityBound
+	c := b.CapacityAvailable / (b.CapacityAvailable + b.CapacityBound)
+	var out []TracePoint
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		p := profile[cycle%len(profile)]
+		if p > avail {
+			out = append(out, TracePoint{Cycle: cycle, Demand: p, Available: avail, Bound: bound, Alive: false})
+			return out
+		}
+		avail -= p
+		h1 := avail / c
+		h2 := bound / (1 - c)
+		flow := b.Rate * (h2 - h1) * c * (1 - c)
+		avail += flow
+		bound -= flow
+		if bound < 0 {
+			avail += bound
+			bound = 0
+		}
+		out = append(out, TracePoint{Cycle: cycle, Demand: p, Available: avail, Bound: bound, Alive: true})
+	}
+	return out
+}
+
+// Trace implements Tracer for the Peukert battery.
+func (b *Peukert) Trace(profile []float64, maxCycles int) []TracePoint {
+	if len(profile) == 0 || maxCycles <= 0 {
+		return nil
+	}
+	charge := b.Capacity
+	var out []TracePoint
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		p := profile[cycle%len(profile)]
+		cost := math.Pow(p, b.Exponent)
+		if cost > charge {
+			out = append(out, TracePoint{Cycle: cycle, Demand: p, Available: charge, Alive: false})
+			return out
+		}
+		charge -= cost
+		out = append(out, TracePoint{Cycle: cycle, Demand: p, Available: charge, Alive: true})
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKiBaMTraceConsistentWithLifetime(t *testing.T) {
+	b, _ := NewKiBaM(200, 0.3, 0.1)
+	profile := []float64{8, 2, 1}
+	_, cycles := b.Lifetime(profile, 1000)
+	trace := b.Trace(profile, 100000)
+	alive := 0
+	for _, p := range trace {
+		if p.Alive {
+			alive++
+		}
+	}
+	if alive != cycles {
+		t.Fatalf("trace alive cycles %d, lifetime says %d", alive, cycles)
+	}
+	if last := trace[len(trace)-1]; last.Alive {
+		t.Fatal("trace should end with the dying cycle")
+	}
+}
+
+func TestPeukertTraceConsistentWithLifetime(t *testing.T) {
+	b, _ := NewPeukert(150, 1.2)
+	profile := []float64{5, 3}
+	_, cycles := b.Lifetime(profile, 1000)
+	trace := b.Trace(profile, 100000)
+	alive := 0
+	for _, p := range trace {
+		if p.Alive {
+			alive++
+		}
+	}
+	if alive != cycles {
+		t.Fatalf("trace alive cycles %d, lifetime says %d", alive, cycles)
+	}
+}
+
+func TestTraceEmptyInputs(t *testing.T) {
+	kb, _ := NewKiBaM(10, 0.5, 0.5)
+	pk, _ := NewPeukert(10, 1.1)
+	if kb.Trace(nil, 10) != nil || pk.Trace(nil, 10) != nil {
+		t.Fatal("empty profile should trace nil")
+	}
+	if kb.Trace([]float64{1}, 0) != nil || pk.Trace([]float64{1}, 0) != nil {
+		t.Fatal("zero cycles should trace nil")
+	}
+}
+
+func TestTraceRespectsMaxCycles(t *testing.T) {
+	kb, _ := NewKiBaM(1e9, 0.5, 0.5)
+	trace := kb.Trace([]float64{1}, 25)
+	if len(trace) != 25 {
+		t.Fatalf("trace length %d, want 25", len(trace))
+	}
+	for _, p := range trace {
+		if !p.Alive {
+			t.Fatal("huge battery died")
+		}
+	}
+}
+
+func TestQuickKiBaMTraceChargeMonotone(t *testing.T) {
+	// Total stored charge (available + bound) never increases.
+	f := func(seed uint8) bool {
+		b, err := NewKiBaM(100+float64(seed), 0.3, 0.2)
+		if err != nil {
+			return false
+		}
+		trace := b.Trace([]float64{3, 1, 0}, 500)
+		prev := b.CapacityAvailable + b.CapacityBound
+		for _, p := range trace {
+			total := p.Available + p.Bound
+			if total > prev+1e-9 {
+				return false
+			}
+			prev = total
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = []Tracer{(*KiBaM)(nil), (*Peukert)(nil)} // interface conformance

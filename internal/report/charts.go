@@ -1,0 +1,192 @@
+package report
+
+import (
+	"fmt"
+
+	"pchls/internal/bind"
+	"pchls/internal/cdfg"
+	"pchls/internal/explore"
+	"pchls/internal/sched"
+)
+
+// GanttSVG renders the schedule as a Gantt chart: one row per functional
+// unit, one box per operation execution, colored by module.
+func GanttSVG(g *cdfg.Graph, s *sched.Schedule, fus []bind.FU, fuOf []int) string {
+	const (
+		rowH    = 22.0
+		leftPad = 120.0
+		topPad  = 26.0
+		cellW   = 34.0
+	)
+	steps := s.Length()
+	if steps == 0 {
+		steps = 1
+	}
+	width := int(leftPad + float64(steps)*cellW + 20)
+	height := int(topPad + float64(len(fus))*rowH + 30)
+	sv := newSVG(width, height)
+
+	// Column grid and cycle labels.
+	for c := 0; c <= steps; c++ {
+		x := leftPad + float64(c)*cellW
+		sv.line(x, topPad, x, topPad+float64(len(fus))*rowH, "#ddd", 0.5)
+		if c < steps {
+			sv.text(x+cellW/2, topPad-8, "middle", fmt.Sprintf("%d", c))
+		}
+	}
+	moduleColor := map[string]int{}
+	for fi, fu := range fus {
+		y := topPad + float64(fi)*rowH
+		sv.text(leftPad-6, y+rowH-7, "end", fmt.Sprintf("FU%d %s", fi, fu.Module.Name))
+		ci, ok := moduleColor[fu.Module.Name]
+		if !ok {
+			ci = len(moduleColor)
+			moduleColor[fu.Module.Name] = ci
+		}
+		for _, op := range fu.Ops {
+			x := leftPad + float64(s.Start[op])*cellW
+			w := float64(s.Delay[op]) * cellW
+			title := fmt.Sprintf("%s (%s) cycles %d-%d", g.Node(op).Name, g.Node(op).Op, s.Start[op], s.End(op)-1)
+			sv.rect(x+1, y+2, w-2, rowH-4, colorOf(ci), title)
+			if w >= 26 {
+				sv.text(x+w/2, y+rowH-7, "middle", g.Node(op).Name)
+			}
+		}
+	}
+	_ = fuOf
+	return sv.done()
+}
+
+// ProfileSVG renders the per-cycle power profile as bars with the
+// constraint line.
+func ProfileSVG(profile []float64, powerMax float64) string {
+	const (
+		w       = 560.0
+		h       = 180.0
+		leftPad = 44.0
+		botPad  = 24.0
+	)
+	sv := newSVG(int(w), int(h))
+	maxP := powerMax
+	for _, p := range profile {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	maxP = niceCeil(maxP * 1.05)
+	if maxP <= 0 {
+		maxP = 1
+	}
+	plotW := w - leftPad - 10
+	plotH := h - botPad - 10
+	barW := plotW / float64(maxInt(len(profile), 1))
+	for c, p := range profile {
+		bh := p / maxP * plotH
+		x := leftPad + float64(c)*barW
+		fill := colorOf(0)
+		if powerMax > 0 && p > powerMax+1e-9 {
+			fill = colorOf(1) // violation color
+		}
+		sv.rect(x+0.5, 10+plotH-bh, barW-1, bh, fill, fmt.Sprintf("cycle %d: %.2f", c, p))
+	}
+	// Axes and the P< line.
+	sv.line(leftPad, 10, leftPad, 10+plotH, "#333", 1)
+	sv.line(leftPad, 10+plotH, leftPad+plotW, 10+plotH, "#333", 1)
+	sv.text(leftPad-4, 16, "end", fmt.Sprintf("%.0f", maxP))
+	sv.text(leftPad-4, 10+plotH, "end", "0")
+	if powerMax > 0 {
+		y := 10 + plotH - powerMax/maxP*plotH
+		sv.dashedLine(leftPad, y, leftPad+plotW, y, "#aa3377")
+		sv.text(leftPad+plotW, y-3, "end", fmt.Sprintf("P< = %.4g", powerMax))
+	}
+	return sv.done()
+}
+
+// CurvesSVG renders area-versus-power curves in the style of Figure 2.
+func CurvesSVG(curves []explore.Curve) string {
+	const (
+		w       = 640.0
+		h       = 420.0
+		leftPad = 60.0
+		botPad  = 56.0
+	)
+	sv := newSVG(int(w), int(h))
+	minX, maxX := 1e18, -1e18
+	minY, maxY := 0.0, -1e18
+	any := false
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if !p.Feasible {
+				continue
+			}
+			any = true
+			minX = minFloat(minX, p.Power)
+			maxX = maxFloat(maxX, p.Power)
+			maxY = maxFloat(maxY, p.Area)
+		}
+	}
+	if !any {
+		sv.text(w/2, h/2, "middle", "no feasible points")
+		return sv.done()
+	}
+	maxY = niceCeil(maxY * 1.08)
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	plotW := w - leftPad - 16
+	plotH := h - botPad - 14
+	xOf := func(p float64) float64 { return leftPad + (p-minX)/(maxX-minX)*plotW }
+	yOf := func(a float64) float64 { return 14 + plotH - (a-minY)/(maxY-minY)*plotH }
+
+	sv.line(leftPad, 14, leftPad, 14+plotH, "#333", 1)
+	sv.line(leftPad, 14+plotH, leftPad+plotW, 14+plotH, "#333", 1)
+	for i := 0; i <= 4; i++ {
+		a := minY + (maxY-minY)*float64(i)/4
+		sv.text(leftPad-6, yOf(a)+4, "end", fmt.Sprintf("%.0f", a))
+		sv.line(leftPad, yOf(a), leftPad+plotW, yOf(a), "#eee", 0.5)
+		p := minX + (maxX-minX)*float64(i)/4
+		sv.text(xOf(p), 14+plotH+16, "middle", fmt.Sprintf("%.0f", p))
+	}
+	sv.text(leftPad+plotW/2, float64(int(h))-26, "middle", "power constraint P<")
+	sv.text(14, 10, "start", "area")
+
+	for ci, c := range curves {
+		var pts []float64
+		for _, p := range c.Points {
+			if !p.Feasible {
+				continue
+			}
+			x, y := xOf(p.Power), yOf(p.Area)
+			pts = append(pts, x, y)
+			sv.circle(x, y, 2.6, colorOf(ci), fmt.Sprintf("%s P<=%g area %.0f", c.Label(), p.Power, p.Area))
+		}
+		sv.polyline(pts, colorOf(ci))
+		// Legend.
+		lx := leftPad + 10
+		ly := 24.0 + float64(ci)*15
+		sv.circle(lx, ly-4, 3, colorOf(ci), "")
+		sv.text(lx+8, ly, "start", c.Label())
+	}
+	return sv.done()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"pchls/internal/explore"
+)
+
+// Figure1HTML renders the Figure 1 reproduction as a self-contained page:
+// the undesired (spiky) and desired (capped) power profiles as SVG bar
+// charts plus the battery-lifetime comparison table.
+func Figure1HTML(r *explore.Figure1Result) string {
+	var b strings.Builder
+	b.WriteString("<h1>pchls — Figure 1: power schedules and battery lifetime</h1>\n")
+	fmt.Fprintf(&b, "<p>The same computation scheduled twice (energy %.1f in both): classical ASAP spikes to %.2f; the power-constrained pasap stays below P&lt; = %.4g.</p>\n",
+		r.StatsU.Energy, r.StatsU.Peak, r.PowerMax)
+
+	fmt.Fprintf(&b, "<h2>Undesired schedule (ASAP, %d cycles, peak %.2f)</h2>\n", r.StatsU.Cycles, r.StatsU.Peak)
+	b.WriteString(ProfileSVG(r.Unconstrained.Profile(), r.PowerMax))
+	fmt.Fprintf(&b, "<h2>Desired schedule (pasap, %d cycles, peak %.2f)</h2>\n", r.StatsC.Cycles, r.StatsC.Peak)
+	b.WriteString(ProfileSVG(r.Constrained.Profile(), r.PowerMax))
+
+	b.WriteString("<h2>Battery lifetime (equal work per period)</h2>\n")
+	b.WriteString("<table><tr><th>model</th><th>unconstrained</th><th>constrained</th><th>extension</th></tr>")
+	fmt.Fprintf(&b, "<tr><td>KiBaM</td><td>%d periods</td><td>%d periods</td><td>%+.1f%%</td></tr>",
+		r.Kibam.PeriodsA, r.Kibam.PeriodsB, r.Kibam.ExtensionPercent())
+	fmt.Fprintf(&b, "<tr><td>Peukert</td><td>%d periods</td><td>%d periods</td><td>%+.1f%%</td></tr>",
+		r.Peukert.PeriodsA, r.Peukert.PeriodsB, r.Peukert.ExtensionPercent())
+	b.WriteString("</table>\n")
+	return page("pchls figure 1", b.String())
+}
+
+// SurfaceHTML renders the time-power surface as a colored heatmap page
+// with the Pareto front marked.
+func SurfaceHTML(s explore.Surface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<h1>pchls — time-power surface of %s</h1>\n", escape(s.Benchmark))
+	b.WriteString("<p>Datapath area per (T, P&lt;) cell; darker is larger, ✦ marks Pareto-optimal points, blank cells are infeasible.</p>\n")
+	b.WriteString(surfaceHeatSVG(s))
+	return page("pchls surface "+s.Benchmark, b.String())
+}
+
+// surfaceHeatSVG draws the heatmap.
+func surfaceHeatSVG(s explore.Surface) string {
+	var deadlines []int
+	var powers []float64
+	seenT := map[int]bool{}
+	seenP := map[float64]bool{}
+	minA, maxA := 1e18, -1e18
+	for _, p := range s.Points {
+		if !seenT[p.Deadline] {
+			seenT[p.Deadline] = true
+			deadlines = append(deadlines, p.Deadline)
+		}
+		if !seenP[p.Power] {
+			seenP[p.Power] = true
+			powers = append(powers, p.Power)
+		}
+		if p.Feasible {
+			if p.Area < minA {
+				minA = p.Area
+			}
+			if p.Area > maxA {
+				maxA = p.Area
+			}
+		}
+	}
+	sortInts(deadlines)
+	sortFloats(powers)
+	if maxA <= minA {
+		maxA = minA + 1
+	}
+	front := map[[2]float64]bool{}
+	for _, p := range s.ParetoFront() {
+		front[[2]float64{float64(p.Deadline), p.Power}] = true
+	}
+	const cell, leftPad, topPad = 52.0, 64.0, 30.0
+	w := int(leftPad + float64(len(powers))*cell + 16)
+	h := int(topPad + float64(len(deadlines))*cell + 40)
+	sv := newSVG(w, h)
+	pIdx := map[float64]int{}
+	for i, p := range powers {
+		pIdx[p] = i
+		sv.text(leftPad+float64(i)*cell+cell/2, topPad-8, "middle", trimFloat(p))
+	}
+	tIdx := map[int]int{}
+	for i, T := range deadlines {
+		tIdx[T] = i
+		sv.text(leftPad-8, topPad+float64(i)*cell+cell/2+4, "end", fmt.Sprintf("T=%d", T))
+	}
+	for _, p := range s.Points {
+		x := leftPad + float64(pIdx[p.Power])*cell
+		y := topPad + float64(tIdx[p.Deadline])*cell
+		if !p.Feasible {
+			sv.rect(x+1, y+1, cell-2, cell-2, "#f7f7f7", "infeasible")
+			continue
+		}
+		// Shade from light (small) to saturated blue (large).
+		frac := (p.Area - minA) / (maxA - minA)
+		shade := int(235 - frac*150)
+		fill := fmt.Sprintf("rgb(%d,%d,255)", shade, shade)
+		sv.rect(x+1, y+1, cell-2, cell-2, fill,
+			fmt.Sprintf("T=%d P<=%g area %.0f", p.Deadline, p.Power, p.Area))
+		label := fmt.Sprintf("%.0f", p.Area)
+		if front[[2]float64{float64(p.Deadline), p.Power}] {
+			label = "✦" + label
+		}
+		sv.text(x+cell/2, y+cell/2+4, "middle", label)
+	}
+	sv.text(leftPad+float64(len(powers))*cell/2, float64(h)-12, "middle", "power constraint P<")
+	return sv.done()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/explore"
+	"pchls/internal/library"
+)
+
+func TestFigure1HTML(t *testing.T) {
+	r, err := explore.Figure1(bench.HAL(), library.Table1(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := Figure1HTML(r)
+	for _, want := range []string{
+		"Figure 1",
+		"Undesired schedule",
+		"Desired schedule",
+		"Battery lifetime",
+		"KiBaM",
+		"Peukert",
+		"</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("figure1 html missing %q", want)
+		}
+	}
+	if strings.Count(html, "<svg") != 2 {
+		t.Errorf("figure1 html should contain two profile charts")
+	}
+}
+
+func TestSurfaceHTML(t *testing.T) {
+	s, err := explore.ExploreSurface(bench.HAL(), library.Table1(), explore.SurfaceConfig{
+		Deadlines:  []int{10, 17},
+		Powers:     []float64{8, 20},
+		SinglePass: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := SurfaceHTML(s)
+	for _, want := range []string{"time-power surface of hal", "T=10", "T=17", "✦", "</html>"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("surface html missing %q", want)
+		}
+	}
+	// At least one infeasible cell at T=10, P<=8.
+	if !strings.Contains(html, "infeasible") {
+		t.Error("surface html missing infeasible cell")
+	}
+}
+
+func TestSortHelpers(t *testing.T) {
+	a := []int{3, 1, 2}
+	sortInts(a)
+	if a[0] != 1 || a[2] != 3 {
+		t.Fatalf("sortInts = %v", a)
+	}
+	f := []float64{2.5, 0.5, 1.5}
+	sortFloats(f)
+	if f[0] != 0.5 || f[2] != 2.5 {
+		t.Fatalf("sortFloats = %v", f)
+	}
+}

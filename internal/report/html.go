@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"pchls/internal/core"
+	"pchls/internal/explore"
+)
+
+const pageStyle = `<style>
+body { font-family: sans-serif; margin: 24px auto; max-width: 980px; color: #222; }
+h1 { font-size: 22px; } h2 { font-size: 17px; margin-top: 28px; }
+table { border-collapse: collapse; margin: 8px 0; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; font-size: 13px; }
+th { background: #f2f2f2; }
+code { background: #f6f6f6; padding: 1px 4px; }
+.metric { display: inline-block; margin-right: 22px; }
+.metric b { font-size: 19px; display: block; }
+</style>`
+
+func page(title, body string) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>")
+	sb.WriteString(escape(title))
+	sb.WriteString("</title>")
+	sb.WriteString(pageStyle)
+	sb.WriteString("</head><body>\n")
+	sb.WriteString(body)
+	sb.WriteString("\n</body></html>\n")
+	return sb.String()
+}
+
+// DesignHTML renders a complete synthesis report page for a design:
+// headline metrics, the Gantt chart, the power profile, the functional
+// units and the decision log.
+func DesignHTML(d *core.Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<h1>pchls design report — %s</h1>\n", escape(d.Graph.Name))
+	fmt.Fprintf(&b, `<p>T = %d cycles, P&lt; = %s; synthesized by power-constrained partial clique partitioning`,
+		d.Cons.Deadline, powerLabel(d.Cons.PowerMax))
+	if d.Locked {
+		b.WriteString(" (backtrack-and-lock repair triggered)")
+	}
+	b.WriteString(".</p>\n")
+
+	fmt.Fprintf(&b, `<div><span class="metric"><b>%.1f</b>total area</span>`, d.Area())
+	fmt.Fprintf(&b, `<span class="metric"><b>%d</b>functional units</span>`, len(d.FUs))
+	fmt.Fprintf(&b, `<span class="metric"><b>%d</b>registers</span>`, len(d.Datapath.Registers))
+	fmt.Fprintf(&b, `<span class="metric"><b>%.2f</b>peak power</span>`, d.Schedule.PeakPower())
+	fmt.Fprintf(&b, `<span class="metric"><b>%d</b>cycles</span></div>`, d.Schedule.Length())
+
+	b.WriteString("<h2>Schedule (Gantt)</h2>\n")
+	b.WriteString(GanttSVG(d.Graph, d.Schedule, d.FUs, d.FUOf))
+
+	b.WriteString("<h2>Power profile</h2>\n")
+	b.WriteString(ProfileSVG(d.Schedule.Profile(), d.Cons.PowerMax))
+
+	b.WriteString("<h2>Area breakdown</h2>\n<table><tr><th>component</th><th>area</th></tr>")
+	fmt.Fprintf(&b, "<tr><td>functional units</td><td>%.1f</td></tr>", d.Datapath.FUArea)
+	fmt.Fprintf(&b, "<tr><td>registers (%d)</td><td>%.1f</td></tr>", len(d.Datapath.Registers), d.Datapath.RegArea)
+	fmt.Fprintf(&b, "<tr><td>interconnect (%d mux inputs)</td><td>%.1f</td></tr>",
+		d.Datapath.FUMuxInputs+d.Datapath.RegMuxInputs, d.Datapath.MuxArea)
+	fmt.Fprintf(&b, "<tr><th>total</th><th>%.1f</th></tr></table>\n", d.Area())
+
+	b.WriteString("<h2>Functional units</h2>\n<table><tr><th>unit</th><th>module</th><th>area</th><th>operations</th></tr>")
+	for i, fu := range d.FUs {
+		names := make([]string, len(fu.Ops))
+		for j, op := range fu.Ops {
+			names[j] = d.Graph.Node(op).Name
+		}
+		fmt.Fprintf(&b, "<tr><td>FU%d</td><td>%s</td><td>%.1f</td><td>%s</td></tr>",
+			i, escape(fu.Module.Name), fu.Module.Area, escape(strings.Join(names, " ")))
+	}
+	b.WriteString("</table>\n")
+
+	b.WriteString("<h2>Decision log</h2>\n<table><tr><th>#</th><th>operation</th><th>decision</th><th>module</th><th>start</th><th>cost</th></tr>")
+	for i, dec := range d.Decisions {
+		kind := fmt.Sprintf("bind to FU%d", dec.FU)
+		if dec.NewFU {
+			kind = fmt.Sprintf("allocate FU%d", dec.FU)
+		}
+		fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%.1f</td></tr>",
+			i, escape(d.Graph.Node(dec.Node).Name), kind, escape(dec.Module), dec.Start, dec.Cost)
+	}
+	b.WriteString("</table>\n")
+	return page("pchls design "+d.Graph.Name, b.String())
+}
+
+// SweepHTML renders an experiment page for a set of area-versus-power
+// curves (the Figure 2 reproduction).
+func SweepHTML(curves []explore.Curve) string {
+	var b strings.Builder
+	b.WriteString("<h1>pchls design-space exploration — area versus power constraint</h1>\n")
+	b.WriteString("<p>Each point is the smallest-area design found that satisfies the power budget at the fixed time constraint (Figure 2 of the paper).</p>\n")
+	b.WriteString(CurvesSVG(curves))
+	b.WriteString("<h2>Curve summaries</h2>\n<table><tr><th>curve</th><th>feasibility knee (P&lt;)</th><th>area at knee</th><th>plateau area</th></tr>")
+	for _, c := range curves {
+		knee, ok := c.Knee()
+		if !ok {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td colspan=\"3\">infeasible on the grid</td></tr>", escape(c.Label()))
+			continue
+		}
+		kneeArea := 0.0
+		for _, p := range c.Points {
+			if p.Feasible {
+				kneeArea = p.Area
+				break
+			}
+		}
+		plateau, _ := c.PlateauArea()
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%g</td><td>%.1f</td><td>%.1f</td></tr>",
+			escape(c.Label()), knee, kneeArea, plateau)
+	}
+	b.WriteString("</table>\n")
+	return page("pchls sweep report", b.String())
+}
+
+func powerLabel(p float64) string {
+	if p <= 0 {
+		return "unconstrained"
+	}
+	return fmt.Sprintf("%.4g", p)
+}

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/core"
+	"pchls/internal/explore"
+	"pchls/internal/library"
+)
+
+func halDesign(t *testing.T) *core.Design {
+	t.Helper()
+	d, err := core.Synthesize(bench.HAL(), library.Table1(), core.Constraints{Deadline: 17, PowerMax: 8}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDesignHTML(t *testing.T) {
+	html := DesignHTML(halDesign(t))
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"pchls design report — hal",
+		"Schedule (Gantt)",
+		"Power profile",
+		"Area breakdown",
+		"Decision log",
+		"<svg",
+		"</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("design html missing %q", want)
+		}
+	}
+	// Balanced SVG tags.
+	if strings.Count(html, "<svg") != strings.Count(html, "</svg>") {
+		t.Error("unbalanced <svg> tags")
+	}
+	if strings.Count(html, "<table>") != strings.Count(html, "</table>") {
+		t.Error("unbalanced <table> tags")
+	}
+}
+
+func TestGanttSVGContainsEveryOp(t *testing.T) {
+	d := halDesign(t)
+	svg := GanttSVG(d.Graph, d.Schedule, d.FUs, d.FUOf)
+	// One <rect> per operation (plus none for grid, which uses lines).
+	if got := strings.Count(svg, "<rect"); got != d.Graph.N() {
+		t.Errorf("gantt has %d rects, want %d", got, d.Graph.N())
+	}
+	for _, fu := range d.FUs {
+		if !strings.Contains(svg, fu.Module.Name) {
+			t.Errorf("gantt missing module %q", fu.Module.Name)
+		}
+	}
+}
+
+func TestProfileSVGMarksViolations(t *testing.T) {
+	svg := ProfileSVG([]float64{2, 9, 3}, 5)
+	if !strings.Contains(svg, "P&lt; = 5") && !strings.Contains(svg, "P< = 5") {
+		t.Errorf("profile missing cap label:\n%s", svg)
+	}
+	// Violation bar uses the second palette color.
+	if !strings.Contains(svg, colorOf(1)) {
+		t.Error("profile does not color the violating bar")
+	}
+	// Unconstrained: no dashes.
+	svg = ProfileSVG([]float64{2, 3}, 0)
+	if strings.Contains(svg, "stroke-dasharray") {
+		t.Error("unconstrained profile should not draw a cap line")
+	}
+}
+
+func TestCurvesSVG(t *testing.T) {
+	c, err := explore.Sweep(bench.HAL(), library.Table1(), 17, explore.SweepConfig{
+		PowerMin: 5, PowerMax: 25, Step: 5, SinglePass: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := CurvesSVG([]explore.Curve{c})
+	if !strings.Contains(svg, "hal (T=17)") {
+		t.Error("curve legend missing")
+	}
+	if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "<circle") {
+		t.Error("curve marks missing")
+	}
+	empty := CurvesSVG(nil)
+	if !strings.Contains(empty, "no feasible points") {
+		t.Error("empty chart message missing")
+	}
+}
+
+func TestSweepHTML(t *testing.T) {
+	c, err := explore.Sweep(bench.HAL(), library.Table1(), 17, explore.SweepConfig{
+		PowerMin: 5, PowerMax: 25, Step: 5, SinglePass: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := SweepHTML([]explore.Curve{c})
+	for _, want := range []string{"design-space exploration", "Curve summaries", "hal (T=17)", "</html>"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("sweep html missing %q", want)
+		}
+	}
+	// Infeasible curve row.
+	html = SweepHTML([]explore.Curve{{Benchmark: "x", Deadline: 5}})
+	if !strings.Contains(html, "infeasible on the grid") {
+		t.Error("infeasible curve not reported")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.7: 1, 3: 5, 17: 20, 23: 25, 80: 100, 150: 200}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%g) = %g, want %g", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package report renders synthesis results and experiment sweeps as
+// self-contained HTML pages with inline SVG charts: a Gantt chart of the
+// schedule per functional unit, the per-cycle power profile against the
+// constraint, the datapath area breakdown, and area-versus-power curves in
+// the style of the paper's Figure 2. Pages embed no external assets.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svg collects SVG elements with a fixed viewport.
+type svg struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svg {
+	s := &svg{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`, w, h, w, h)
+	s.b.WriteByte('\n')
+	return s
+}
+
+func (s *svg) rect(x, y, w, h float64, fill, title string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333" stroke-width="0.5">`, x, y, w, h, fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, "<title>%s</title>", escape(title))
+	}
+	s.b.WriteString("</rect>\n")
+}
+
+func (s *svg) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`, x1, y1, x2, y2, stroke, width)
+	s.b.WriteByte('\n')
+}
+
+func (s *svg) dashedLine(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="4 3"/>`, x1, y1, x2, y2, stroke)
+	s.b.WriteByte('\n')
+}
+
+func (s *svg) text(x, y float64, anchor, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" text-anchor="%s">%s</text>`, x, y, anchor, escape(content))
+	s.b.WriteByte('\n')
+}
+
+func (s *svg) circle(x, y, r float64, fill, title string) {
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s">`, x, y, r, fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, "<title>%s</title>", escape(title))
+	}
+	s.b.WriteString("</circle>\n")
+}
+
+func (s *svg) polyline(points []float64, stroke string) {
+	if len(points) < 4 {
+		return
+	}
+	s.b.WriteString(`<polyline fill="none" stroke="` + stroke + `" stroke-width="1.5" points="`)
+	for i := 0; i+1 < len(points); i += 2 {
+		fmt.Fprintf(&s.b, "%.1f,%.1f ", points[i], points[i+1])
+	}
+	s.b.WriteString(`"/>` + "\n")
+}
+
+func (s *svg) done() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+// palette is a small color-blind-friendly categorical palette.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+	"#bbbbbb", "#882255",
+}
+
+func colorOf(i int) string { return palette[i%len(palette)] }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceCeil rounds v up to a plot-friendly value.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}

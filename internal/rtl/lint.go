@@ -1,0 +1,100 @@
+package rtl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Lint performs a structural sanity check of emitted Verilog text: the
+// module/endmodule, begin/end and case/endcase pairs balance, every
+// referenced register and operand latch is declared, and every declared
+// output port is assigned somewhere. It is a guard on the emitter itself
+// (a mini-linter, not a Verilog parser): Generate's Check validates the
+// FSMD model, Lint validates the rendering.
+func Lint(verilog string) error {
+	var errs []error
+	bal := map[string]int{}
+	declared := map[string]bool{}
+	assigned := map[string]bool{}
+	outputs := map[string]bool{}
+
+	for lineNo, raw := range strings.Split(verilog, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		words := strings.FieldsFunc(line, func(r rune) bool {
+			return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+		})
+		for _, w := range words {
+			switch w {
+			case "module":
+				bal["module"]++
+			case "endmodule":
+				bal["module"]--
+			case "begin":
+				bal["begin"]++
+			case "end":
+				bal["begin"]--
+			case "case":
+				bal["case"]++
+			case "endcase":
+				bal["case"]--
+			}
+		}
+		// Declarations: "reg [..] name" / "wire [..] name" / ports.
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "reg ") || strings.Contains(trimmed, " reg ") ||
+			strings.HasPrefix(trimmed, "wire ") || strings.Contains(trimmed, " wire ") {
+			for _, w := range words {
+				if isIdentifier(w) && w != "reg" && w != "wire" && w != "input" && w != "output" && w != "WIDTH" {
+					declared[w] = true
+					if strings.Contains(trimmed, "output") {
+						outputs[w] = true
+					}
+				}
+			}
+		}
+		// Assignments: "x <= expr".
+		if i := strings.Index(line, "<="); i >= 0 {
+			lhs := strings.TrimSpace(line[:i])
+			if fields := strings.Fields(lhs); len(fields) > 0 {
+				name := fields[len(fields)-1]
+				if isIdentifier(name) {
+					assigned[name] = true
+					if !declared[name] {
+						errs = append(errs, fmt.Errorf("rtl: lint: line %d assigns undeclared %q", lineNo+1, name))
+					}
+				}
+			}
+		}
+	}
+	for kind, n := range bal {
+		if n != 0 {
+			errs = append(errs, fmt.Errorf("rtl: lint: unbalanced %s/end%s (%+d)", kind, kind, n))
+		}
+	}
+	for name := range outputs {
+		if !assigned[name] {
+			errs = append(errs, fmt.Errorf("rtl: lint: output port %q never assigned", name))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+func TestLintAcceptsEmittedVerilog(t *testing.T) {
+	// Every benchmark's emitted module must pass the structural lint.
+	lib := library.Table1()
+	for _, tc := range []struct {
+		name string
+		T    int
+	}{{"hal", 17}, {"cosine", 19}, {"elliptic", 26}, {"fft8", 20}} {
+		g, err := bench.ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Synthesize(g, lib, core.Constraints{Deadline: tc.T}, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Lint(m.Verilog()); err != nil {
+			t.Errorf("%s: emitted verilog fails lint: %v", tc.name, err)
+		}
+	}
+}
+
+func TestLintCatchesUnbalancedBlocks(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing endmodule", "module m;\n"},
+		{"missing end", "module m;\nalways begin\nendmodule\n"},
+		{"missing endcase", "module m;\ncase (x)\nendmodule\n"},
+	}
+	for _, tc := range cases {
+		if err := Lint(tc.src); err == nil || !strings.Contains(err.Error(), "unbalanced") {
+			t.Errorf("%s: lint = %v", tc.name, err)
+		}
+	}
+}
+
+func TestLintCatchesUndeclaredAssignment(t *testing.T) {
+	src := "module m;\n  reg [3:0] a;\n  always begin\n    b <= a;\n  end\nendmodule\n"
+	if err := Lint(src); err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("lint = %v", err)
+	}
+}
+
+func TestLintCatchesUnassignedOutput(t *testing.T) {
+	src := "module m(\n  output reg [3:0] y\n);\nendmodule\n"
+	if err := Lint(src); err == nil || !strings.Contains(err.Error(), "never assigned") {
+		t.Fatalf("lint = %v", err)
+	}
+}
+
+func TestIsIdentifier(t *testing.T) {
+	for _, good := range []string{"a", "r0", "out_x1", "_t"} {
+		if !isIdentifier(good) {
+			t.Errorf("isIdentifier(%q) = false", good)
+		}
+	}
+	for _, bad := range []string{"", "0a", "a-b", "16'd3"} {
+		if isIdentifier(bad) {
+			t.Errorf("isIdentifier(%q) = true", bad)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package rtl generates a register-transfer-level implementation of a
+// synthesized design: a finite-state-machine-with-datapath (FSMD) whose
+// datapath instantiates the allocated functional units, the left-edge
+// registers and the implied operand multiplexers, and whose controller
+// sequences the schedule. The result can be rendered as a synthesizable
+// Verilog-2001 subset and self-checked for structural consistency.
+package rtl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pchls/internal/bind"
+	"pchls/internal/cdfg"
+	"pchls/internal/sched"
+)
+
+// Action is one register transfer performed in a control step.
+//
+// Single-cycle operations (delay 1) are a single StoreResult action whose
+// Sources name the operand registers: the hardware reads its operands
+// combinationally through the input multiplexers and stores the result at
+// the same clock edge. Multi-cycle operations split into a LatchOperands
+// action at their start step (operands are captured into the unit's
+// operand latches) and a Sources-less StoreResult action at their final
+// step (the result, computed from the latches, is stored).
+type Action struct {
+	// Step is the control step (clock cycle) the action fires in.
+	Step int
+	// Kind describes the transfer.
+	Kind ActionKind
+	// FU is the functional-unit instance involved.
+	FU int
+	// Node is the operation being executed.
+	Node cdfg.NodeID
+	// Register is the destination register (StoreResult); -1 when the
+	// result goes off-chip (Output) or is unused.
+	Register int
+	// Sources are the source registers per operand port (LatchOperands,
+	// and StoreResult of single-cycle operations).
+	Sources []int
+}
+
+// ActionKind enumerates register-transfer kinds.
+type ActionKind int
+
+// The action kinds.
+const (
+	// LatchOperands loads the FU's operand latches from registers (or a
+	// top-level input port for Input operations).
+	LatchOperands ActionKind = iota
+	// StoreResult writes the FU result into a register (or a top-level
+	// output port for Output operations).
+	StoreResult
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case LatchOperands:
+		return "latch"
+	case StoreResult:
+		return "store"
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
+}
+
+// Module is the generated FSMD.
+type Module struct {
+	// Name is the Verilog module name (derived from the graph name).
+	Name string
+	// Width is the datapath bit width.
+	Width int
+	// Steps is the number of control steps (schedule length).
+	Steps int
+	// Inputs and Outputs are the top-level data ports (from Input/Output
+	// operations), in node-ID order.
+	Inputs, Outputs []string
+	// Actions is the control plan sorted by step.
+	Actions []Action
+
+	g    *cdfg.Graph
+	s    *sched.Schedule
+	dp   *bind.Datapath
+	fuOf []int
+	// regOf maps producing node -> register index, -1 if value not stored.
+	regOf []int
+}
+
+// Generate builds the FSMD for a bound design. Width is the datapath bit
+// width (defaults to 16 when <= 0).
+func Generate(g *cdfg.Graph, s *sched.Schedule, dp *bind.Datapath, fuOf []int, width int) (*Module, error) {
+	if width <= 0 {
+		width = 16
+	}
+	if len(fuOf) != g.N() {
+		return nil, fmt.Errorf("rtl: fuOf has %d entries for %d nodes", len(fuOf), g.N())
+	}
+	m := &Module{
+		Name:  sanitize(g.Name),
+		Width: width,
+		Steps: s.Length(),
+		g:     g, s: s, dp: dp, fuOf: fuOf,
+	}
+	m.regOf = make([]int, g.N())
+	for i := range m.regOf {
+		m.regOf[i] = -1
+	}
+	for r, reg := range dp.Registers {
+		for _, v := range reg.Values {
+			m.regOf[v] = r
+		}
+	}
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case cdfg.Input:
+			m.Inputs = append(m.Inputs, "in_"+sanitize(n.Name))
+		case cdfg.Output:
+			m.Outputs = append(m.Outputs, "out_"+sanitize(n.Name))
+		}
+	}
+	for _, n := range g.Nodes() {
+		var sources []int
+		for _, p := range g.Preds(n.ID) {
+			sources = append(sources, m.regOf[p])
+		}
+		if s.Delay[n.ID] == 1 {
+			m.Actions = append(m.Actions, Action{
+				Step: s.Start[n.ID], Kind: StoreResult,
+				FU: fuOf[n.ID], Node: n.ID,
+				Register: m.regOf[n.ID], Sources: sources,
+			})
+			continue
+		}
+		m.Actions = append(m.Actions, Action{
+			Step: s.Start[n.ID], Kind: LatchOperands,
+			FU: fuOf[n.ID], Node: n.ID, Register: -1, Sources: sources,
+		})
+		m.Actions = append(m.Actions, Action{
+			Step: s.End(n.ID) - 1, Kind: StoreResult,
+			FU: fuOf[n.ID], Node: n.ID, Register: m.regOf[n.ID],
+		})
+	}
+	sort.SliceStable(m.Actions, func(i, j int) bool {
+		if m.Actions[i].Step != m.Actions[j].Step {
+			return m.Actions[i].Step < m.Actions[j].Step
+		}
+		return m.Actions[i].Node < m.Actions[j].Node
+	})
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Check validates the structural consistency of the FSMD: every action
+// fires within the control-step range, every referenced FU and register
+// exists, every non-input operation's operand sources are stored values,
+// and no register is written twice in one step.
+func (m *Module) Check() error {
+	var errs []error
+	writes := make(map[[2]int]cdfg.NodeID) // (step, reg) -> writer
+	for _, a := range m.Actions {
+		if a.Step < 0 || a.Step >= m.Steps {
+			errs = append(errs, fmt.Errorf("rtl: action at step %d outside [0,%d)", a.Step, m.Steps))
+		}
+		if a.FU < 0 || a.FU >= len(m.dp.FUs) {
+			errs = append(errs, fmt.Errorf("rtl: action references FU %d of %d", a.FU, len(m.dp.FUs)))
+			continue
+		}
+		n := m.g.Node(a.Node)
+		checkSources := func() {
+			if len(a.Sources) != len(m.g.Preds(a.Node)) {
+				errs = append(errs, fmt.Errorf("rtl: node %q reads %d operands for %d predecessors", n.Name, len(a.Sources), len(m.g.Preds(a.Node))))
+			}
+			for i, src := range a.Sources {
+				if src < 0 {
+					errs = append(errs, fmt.Errorf("rtl: node %q operand %d has no source register", n.Name, i))
+				} else if src >= len(m.dp.Registers) {
+					errs = append(errs, fmt.Errorf("rtl: node %q operand %d references register %d of %d", n.Name, i, src, len(m.dp.Registers)))
+				}
+			}
+		}
+		switch a.Kind {
+		case LatchOperands:
+			checkSources()
+		case StoreResult:
+			if m.s.Delay[a.Node] == 1 {
+				// Single-cycle: operands are read combinationally here.
+				checkSources()
+			}
+			if n.Op != cdfg.Output && len(m.g.Succs(a.Node)) > 0 && a.Register < 0 {
+				errs = append(errs, fmt.Errorf("rtl: node %q result has consumers but no register", n.Name))
+			}
+			if a.Register >= 0 {
+				key := [2]int{a.Step, a.Register}
+				if prev, clash := writes[key]; clash {
+					errs = append(errs, fmt.Errorf("rtl: register r%d written by both %q and %q in step %d",
+						a.Register, m.g.Node(prev).Name, n.Name, a.Step))
+				}
+				writes[key] = a.Node
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// verilogOp renders the combinational expression of an operation.
+func verilogOp(op cdfg.Op, a, b string) string {
+	switch op {
+	case cdfg.Add:
+		return a + " + " + b
+	case cdfg.Sub:
+		return a + " - " + b
+	case cdfg.Mul:
+		return a + " * " + b
+	case cdfg.Cmp:
+		return "{" + "{WIDTH-1{1'b0}}, " + a + " > " + b + "}"
+	}
+	return a
+}
+
+// Verilog renders the FSMD as a synthesizable Verilog-2001 subset module:
+// one state register, per-FU operand latches, the shared registers, and a
+// single clocked always block sequencing the schedule.
+func (m *Module) Verilog() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Generated by pchls: %d control steps, %d FUs, %d registers.\n",
+		m.Steps, len(m.dp.FUs), len(m.dp.Registers))
+	fmt.Fprintf(&sb, "module %s #(parameter WIDTH = %d) (\n", m.Name, m.Width)
+	sb.WriteString("  input  wire clk,\n  input  wire rst,\n")
+	for _, in := range m.Inputs {
+		fmt.Fprintf(&sb, "  input  wire [WIDTH-1:0] %s,\n", in)
+	}
+	for _, out := range m.Outputs {
+		fmt.Fprintf(&sb, "  output reg  [WIDTH-1:0] %s,\n", out)
+	}
+	sb.WriteString("  output reg  done\n);\n\n")
+
+	stateBits := 1
+	for 1<<stateBits < m.Steps+1 {
+		stateBits++
+	}
+	fmt.Fprintf(&sb, "  reg [%d:0] state;\n", stateBits-1)
+	for r := range m.dp.Registers {
+		fmt.Fprintf(&sb, "  reg [WIDTH-1:0] r%d;\n", r)
+	}
+	for f, fu := range m.dp.FUs {
+		fmt.Fprintf(&sb, "  reg [WIDTH-1:0] fu%d_a, fu%d_b; // %s\n", f, f, fu.Module.Name)
+	}
+	sb.WriteString("\n  always @(posedge clk) begin\n    if (rst) begin\n      state <= 0;\n      done <= 1'b0;\n")
+	for _, out := range m.Outputs {
+		fmt.Fprintf(&sb, "      %s <= {WIDTH{1'b0}};\n", out)
+	}
+	sb.WriteString("    end else begin\n")
+	fmt.Fprintf(&sb, "      if (state < %d) state <= state + 1; else done <= 1'b1;\n", m.Steps)
+	sb.WriteString("      case (state)\n")
+
+	byStep := map[int][]Action{}
+	for _, a := range m.Actions {
+		byStep[a.Step] = append(byStep[a.Step], a)
+	}
+	for step := 0; step < m.Steps; step++ {
+		acts := byStep[step]
+		if len(acts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "        %d: begin\n", step)
+		for _, a := range acts {
+			n := m.g.Node(a.Node)
+			// operand renders the i'th operand: a source register for
+			// graph predecessors, the top-level port for Input nodes, or
+			// the operation's identity element for constant operands of
+			// the source program (matching cdfg.Eval and rtl.Simulate).
+			operand := func(i int) string {
+				if n.Op == cdfg.Input {
+					return "in_" + sanitize(n.Name)
+				}
+				if i < len(a.Sources) {
+					return fmt.Sprintf("r%d", a.Sources[i])
+				}
+				return fmt.Sprintf("%d", cdfg.IdentityOperand(n.Op))
+			}
+			switch a.Kind {
+			case LatchOperands:
+				fmt.Fprintf(&sb, "          fu%d_a <= %s; // %s operand 0\n", a.FU, operand(0), n.Name)
+				fmt.Fprintf(&sb, "          fu%d_b <= %s; // %s operand 1\n", a.FU, operand(1), n.Name)
+			case StoreResult:
+				var expr string
+				if m.s.Delay[a.Node] == 1 {
+					// Single-cycle: read operands combinationally.
+					if n.Op.IsTransfer() {
+						expr = operand(0)
+					} else {
+						expr = verilogOp(n.Op, operand(0), operand(1))
+					}
+				} else {
+					if n.Op.IsTransfer() {
+						expr = fmt.Sprintf("fu%d_a", a.FU)
+					} else {
+						expr = verilogOp(n.Op, fmt.Sprintf("fu%d_a", a.FU), fmt.Sprintf("fu%d_b", a.FU))
+					}
+				}
+				switch {
+				case n.Op == cdfg.Output:
+					fmt.Fprintf(&sb, "          out_%s <= %s; // %s\n", sanitize(n.Name), expr, n.Name)
+				case a.Register >= 0:
+					fmt.Fprintf(&sb, "          r%d <= %s; // %s\n", a.Register, expr, n.Name)
+				default:
+					fmt.Fprintf(&sb, "          // %s result unused\n", n.Name)
+				}
+			}
+		}
+		sb.WriteString("        end\n")
+	}
+	sb.WriteString("      endcase\n    end\n  end\nendmodule\n")
+	return sb.String()
+}
+
+// Stats returns a compact structural summary (for reports).
+func (m *Module) Stats() string {
+	return fmt.Sprintf("rtl %s: %d steps, %d FUs, %d registers, %d actions, %d inputs, %d outputs",
+		m.Name, m.Steps, len(m.dp.FUs), len(m.dp.Registers), len(m.Actions), len(m.Inputs), len(m.Outputs))
+}
+
+// sanitize maps a graph/node name to a Verilog identifier.
+func sanitize(s string) string {
+	if s == "" {
+		return "pchls"
+	}
+	var sb strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteRune('n')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}

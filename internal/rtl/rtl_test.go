@@ -1,0 +1,211 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+func synthHAL(t *testing.T) *core.Design {
+	t.Helper()
+	d, err := core.Synthesize(bench.HAL(), library.Table1(), core.Constraints{Deadline: 17, PowerMax: 8}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateHAL(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "hal" || m.Width != 16 {
+		t.Fatalf("module %q width %d", m.Name, m.Width)
+	}
+	if m.Steps != d.Schedule.Length() {
+		t.Fatalf("steps %d, schedule length %d", m.Steps, d.Schedule.Length())
+	}
+	if len(m.Inputs) != 5 || len(m.Outputs) != 4 {
+		t.Fatalf("io: %v %v", m.Inputs, m.Outputs)
+	}
+	// One action per single-cycle node, two per multi-cycle node.
+	want := 0
+	for i := 0; i < d.Graph.N(); i++ {
+		if d.Schedule.Delay[i] == 1 {
+			want++
+		} else {
+			want += 2
+		}
+	}
+	if len(m.Actions) != want {
+		t.Fatalf("%d actions, want %d", len(m.Actions), want)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("self-check: %v", err)
+	}
+}
+
+func TestGenerateDefaultWidthAndStats(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width != 16 {
+		t.Fatalf("default width = %d", m.Width)
+	}
+	stats := m.Stats()
+	for _, want := range []string{"rtl hal", "FUs", "registers", "actions"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats missing %q: %s", want, stats)
+		}
+	}
+}
+
+func TestGenerateRejectsBadFuOf(t *testing.T) {
+	d := synthHAL(t)
+	if _, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf[:3], 16); err == nil {
+		t.Fatal("accepted short fuOf")
+	}
+}
+
+func TestVerilogOutput(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Verilog()
+	for _, want := range []string{
+		"module hal #(parameter WIDTH = 16)",
+		"input  wire clk",
+		"input  wire [WIDTH-1:0] in_x,",
+		"output reg  [WIDTH-1:0] out_out_u1,",
+		"output reg  done",
+		"always @(posedge clk)",
+		"case (state)",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	// Every register appears as a declaration.
+	for r := range d.Datapath.Registers {
+		decl := "reg [WIDTH-1:0] r" + string(rune('0'+r))
+		if r < 10 && !strings.Contains(v, decl) {
+			t.Errorf("verilog missing %q", decl)
+		}
+	}
+	// Multiplications render as *.
+	if !strings.Contains(v, "*") {
+		t.Error("verilog missing multiply")
+	}
+}
+
+func TestVerilogAllBenchmarks(t *testing.T) {
+	lib := library.Table1()
+	cases := []struct {
+		name string
+		T    int
+	}{{"hal", 17}, {"cosine", 19}, {"elliptic", 22}, {"fir16", 30}, {"ar", 40}, {"diffeq2", 30}}
+	for _, tc := range cases {
+		g, err := bench.ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Synthesize(g, lib, core.Constraints{Deadline: tc.T}, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if v := m.Verilog(); !strings.Contains(v, "endmodule") {
+			t.Errorf("%s: truncated verilog", tc.name)
+		}
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	if LatchOperands.String() != "latch" || StoreResult.String() != "store" {
+		t.Fatal("action kind names wrong")
+	}
+	if !strings.Contains(ActionKind(9).String(), "9") {
+		t.Fatal("unknown kind should include number")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"hal":       "hal",
+		"":          "pchls",
+		"9lives":    "n9lives",
+		"a-b.c":     "a_b_c",
+		"Mult(par)": "Mult_par_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckCatchesCorruptedActions(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: action outside the step range.
+	m.Actions[0].Step = m.Steps + 5
+	if err := m.Check(); err == nil {
+		t.Fatal("check accepted out-of-range step")
+	}
+}
+
+func TestCheckCatchesMissingSourceRegister(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Actions {
+		if m.Actions[i].Kind == LatchOperands && len(m.Actions[i].Sources) > 0 {
+			m.Actions[i].Sources[0] = -1
+			break
+		}
+	}
+	if err := m.Check(); err == nil {
+		t.Fatal("check accepted missing source register")
+	}
+}
+
+func TestGenerateOnTinyGraph(t *testing.T) {
+	g := cdfg.New("tiny")
+	i := g.MustAddNode("i", cdfg.Input)
+	a := g.MustAddNode("a", cdfg.Add)
+	o := g.MustAddNode("o", cdfg.Output)
+	g.MustAddEdge(i, a)
+	g.MustAddEdge(a, o)
+	lib := library.Table1()
+	d, err := core.Synthesize(g, lib, core.Constraints{Deadline: 5}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Verilog()
+	if !strings.Contains(v, "parameter WIDTH = 8") {
+		t.Error("custom width not applied")
+	}
+}

@@ -1,0 +1,160 @@
+package rtl
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// Simulate executes the FSMD cycle by cycle on concrete input values and
+// returns the values appearing on the output ports — a software model of
+// the generated Verilog with non-blocking (read-before-write) register
+// semantics. inputs is keyed by Input node name (without the "in_"
+// prefix). Missing operands of constant-consuming operations use the same
+// identity convention as cdfg.Eval, so for any correct synthesis result
+//
+//	Simulate(m, x) == g.EvalOutputs(x)
+//
+// which is the end-to-end functional check of scheduling, binding and
+// register allocation.
+func Simulate(m *Module, inputs map[string]int64) (map[string]int64, error) {
+	return m.simulate(inputs, nil)
+}
+
+// simulate runs the FSMD; after each step's commits, observe (when
+// non-nil) receives the step index, the post-step register file and the
+// output port values so far.
+func (m *Module) simulate(inputs map[string]int64, observe func(step int, regs []int64, outputs map[string]int64)) (map[string]int64, error) {
+	regs := make([]int64, len(m.dp.Registers))
+	type latch struct{ a, b int64 }
+	fus := make([]latch, len(m.dp.FUs))
+	outputs := make(map[string]int64)
+
+	byStep := make(map[int][]Action)
+	for _, a := range m.Actions {
+		byStep[a.Step] = append(byStep[a.Step], a)
+	}
+
+	for step := 0; step < m.Steps; step++ {
+		// Two-phase update: compute all new values from the pre-step
+		// state, then commit — the non-blocking assignment semantics of
+		// the generated always block.
+		type regWrite struct {
+			reg int
+			val int64
+		}
+		type latchWrite struct {
+			fu   int
+			a, b int64
+		}
+		var regWrites []regWrite
+		var latchWrites []latchWrite
+
+		for _, act := range byStep[step] {
+			n := m.g.Node(act.Node)
+			// readOperands resolves the operand values from the pre-step
+			// register state (or the input port, or the identity element
+			// for constant operands).
+			readOperands := func() (int64, int64, error) {
+				a := cdfg.IdentityOperand(n.Op)
+				b := cdfg.IdentityOperand(n.Op)
+				if n.Op == cdfg.Input {
+					v, ok := inputs[n.Name]
+					if !ok {
+						return 0, 0, fmt.Errorf("rtl: Simulate: no value for input %q", n.Name)
+					}
+					return v, b, nil
+				}
+				for i, src := range act.Sources {
+					if src < 0 || src >= len(regs) {
+						return 0, 0, fmt.Errorf("rtl: Simulate: node %q operand %d from bad register %d", n.Name, i, src)
+					}
+					switch i {
+					case 0:
+						a = regs[src]
+					case 1:
+						b = regs[src]
+					}
+				}
+				return a, b, nil
+			}
+			switch act.Kind {
+			case LatchOperands:
+				a, b, err := readOperands()
+				if err != nil {
+					return nil, err
+				}
+				latchWrites = append(latchWrites, latchWrite{fu: act.FU, a: a, b: b})
+			case StoreResult:
+				var a, b int64
+				if m.s.Delay[act.Node] == 1 {
+					var err error
+					a, b, err = readOperands()
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					l := fus[act.FU]
+					a, b = l.a, l.b
+				}
+				var result int64
+				if n.Op.IsTransfer() {
+					result = a
+				} else {
+					result = cdfg.EvalOp(n.Op, a, b)
+				}
+				if n.Op == cdfg.Output {
+					outputs[n.Name] = result
+					continue
+				}
+				if act.Register >= 0 {
+					regWrites = append(regWrites, regWrite{reg: act.Register, val: result})
+				}
+			}
+		}
+		for _, w := range latchWrites {
+			fus[w.fu] = latch{a: w.a, b: w.b}
+		}
+		for _, w := range regWrites {
+			regs[w.reg] = w.val
+		}
+		if observe != nil {
+			observe(step, regs, outputs)
+		}
+	}
+	return outputs, nil
+}
+
+// Verify synthesizes nothing itself: it runs the FSMD simulation against
+// the direct data-flow evaluation on the given inputs (keyed by Input node
+// name) and returns an error describing the first mismatch.
+func Verify(m *Module, inputs map[string]int64) error {
+	byID := make(map[cdfg.NodeID]int64)
+	for _, n := range m.g.Nodes() {
+		if n.Op == cdfg.Input {
+			v, ok := inputs[n.Name]
+			if !ok {
+				return fmt.Errorf("rtl: Verify: no value for input %q", n.Name)
+			}
+			byID[n.ID] = v
+		}
+	}
+	want, err := m.g.EvalOutputs(byID)
+	if err != nil {
+		return err
+	}
+	got, err := Simulate(m, inputs)
+	if err != nil {
+		return err
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			return fmt.Errorf("rtl: Verify: output %q never written by the FSMD", name)
+		}
+		if g != w {
+			return fmt.Errorf("rtl: Verify: output %q = %d, data-flow evaluation gives %d", name, g, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTestbenchHal(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]int64{"x": 3, "y": 4, "u": 5, "dx": 2, "a": 100}
+	tb, err := Testbench(m, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module hal_tb;",
+		"hal #(.WIDTH(16)) dut",
+		".clk(clk), .rst(rst)",
+		"reg  [15:0] in_x = 16'd3;",
+		"wire [15:0] out_out_y1;",
+		"wait (done);",
+		// y1 = y + u*dx = 14; expected value asserted.
+		"out_out_y1 !== 16'd14",
+		`$display("PASS")`,
+		"endmodule",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("testbench missing %q", want)
+		}
+	}
+	// u1 = -33 asserted as its 16-bit two's complement.
+	if !strings.Contains(tb, "16'd65503") {
+		t.Error("negative expected value not rendered in two's complement")
+	}
+}
+
+func TestTestbenchMissingInput(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Testbench(m, map[string]int64{"x": 1}); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpVCDHal(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]int64{"x": 3, "y": 4, "u": 5, "dx": 2, "a": 100}
+	var sb strings.Builder
+	if err := DumpVCD(m, inputs, &sb); err != nil {
+		t.Fatal(err)
+	}
+	vcd := sb.String()
+	for _, want := range []string{
+		"$version pchls FSMD trace of hal $end",
+		"$timescale 1ns $end",
+		"$scope module hal $end",
+		"$var wire 16", "state $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#0\n", "#1\n",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("vcd missing %q", want)
+		}
+	}
+	// The trace must cover every control step.
+	lastMark := "#" + itoa(m.Steps+1) + "\n"
+	if !strings.Contains(vcd, lastMark) {
+		t.Errorf("vcd missing final time mark %q", lastMark)
+	}
+	// Output values must appear: out_y1 = y + u*dx = 4 + 10 = 14.
+	want := "b" + toBinary(14, 16)
+	if !strings.Contains(vcd, want) {
+		t.Errorf("vcd missing output value 14 (%s)", want)
+	}
+}
+
+func TestDumpVCDMissingInput(t *testing.T) {
+	d := synthHAL(t)
+	m, err := Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := DumpVCD(m, map[string]int64{"x": 1}, &sb); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}
+
+func TestToBinary(t *testing.T) {
+	cases := []struct {
+		v     int64
+		width int
+		want  string
+	}{
+		{0, 4, "0000"},
+		{5, 4, "0101"},
+		{15, 4, "1111"},
+		{16, 4, "0000"}, // truncated to low bits
+		{-1, 4, "1111"}, // two's complement low bits
+		{1, 0, "1"},     // width floor
+		{3, 2, "11"},
+	}
+	for _, tc := range cases {
+		if got := toBinary(tc.v, tc.width); got != tc.want {
+			t.Errorf("toBinary(%d,%d) = %q, want %q", tc.v, tc.width, got, tc.want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

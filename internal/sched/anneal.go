@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+)
+
+// AnnealConfig parameterizes the simulated-annealing scheduler.
+type AnnealConfig struct {
+	// Seed drives the random walk (results are deterministic per seed).
+	Seed int64
+	// Iterations is the number of proposed moves (default 20000).
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule
+	// (defaults 50 and 0.05).
+	StartTemp, EndTemp float64
+}
+
+// Anneal is the meta-heuristic baseline of the paper's related work: a
+// simulated-annealing scheduler over start-time vectors. Moves shift one
+// operation within its precedence slack; the energy function penalizes
+// per-cycle power above powerMax, makespan above the deadline, and the
+// implied functional-unit area (max concurrency per module, weighted by
+// module area). It anneals from the ASAP schedule and returns the best
+// feasible schedule found, or an error wrapping ErrPowerCap/ErrDeadline
+// when the walk never reaches feasibility.
+//
+// It exists for the baseline comparison: the constructive pasap reaches
+// comparable schedules in microseconds, while annealing needs thousands of
+// evaluations — the argument the paper makes against meta-heuristics for
+// this problem.
+func Anneal(g *cdfg.Graph, bind Binding, lib *library.Library, deadline int, powerMax float64, cfg AnnealConfig) (*Schedule, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 20000
+	}
+	if cfg.StartTemp <= 0 {
+		cfg.StartTemp = 50
+	}
+	if cfg.EndTemp <= 0 || cfg.EndTemp >= cfg.StartTemp {
+		cfg.EndTemp = 0.05
+	}
+	s, err := ASAP(g, bind)
+	if err != nil {
+		return nil, err
+	}
+	if s.Length() > deadline {
+		return nil, fmt.Errorf("sched: anneal: critical path %d exceeds deadline %d: %w", s.Length(), deadline, ErrDeadline)
+	}
+	if powerMax > 0 {
+		for i, p := range s.Power {
+			if p > powerMax+1e-9 {
+				return nil, fmt.Errorf("sched: anneal: node %q draws %.3g > %.3g: %w",
+					g.Node(cdfg.NodeID(i)).Name, p, powerMax, ErrPowerInfeasible)
+			}
+		}
+	}
+	n := g.N()
+	if n == 0 {
+		return s, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	areaOf := func(name string) float64 {
+		if m, ok := lib.Lookup(name); ok {
+			return m.Area
+		}
+		return 100
+	}
+	energy := func(sc *Schedule) float64 {
+		e := 0.0
+		if powerMax > 0 {
+			for _, p := range sc.Profile() {
+				if over := p - powerMax; over > 0 {
+					e += 50 * over * over
+				}
+			}
+		}
+		if over := sc.Length() - deadline; over > 0 {
+			e += 1000 * float64(over)
+		}
+		// Deterministic summation order (float addition is not
+		// associative; map order would leak into accept decisions).
+		need := MinResources(sc)
+		names := make([]string, 0, len(need))
+		for name := range need {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			e += float64(need[name]) * areaOf(name)
+		}
+		return e
+	}
+
+	cur := s.Clone()
+	curE := energy(cur)
+	best := cur.Clone()
+	bestE := curE
+	bestFeasible := cur.Validate(powerMax, deadline) == nil
+
+	cool := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Iterations))
+	temp := cfg.StartTemp
+	for it := 0; it < cfg.Iterations; it++ {
+		v := cdfg.NodeID(rng.Intn(n))
+		// Precedence slack of v against its CURRENT neighbours.
+		lo := 0
+		for _, p := range g.Preds(v) {
+			if e := cur.Start[p] + cur.Delay[p]; e > lo {
+				lo = e
+			}
+		}
+		hi := deadline - cur.Delay[v]
+		for _, w := range g.Succs(v) {
+			if lim := cur.Start[w] - cur.Delay[v]; lim < hi {
+				hi = lim
+			}
+		}
+		if hi < lo {
+			temp *= cool
+			continue
+		}
+		old := cur.Start[v]
+		cur.Start[v] = lo + rng.Intn(hi-lo+1)
+		newE := energy(cur)
+		if newE <= curE || rng.Float64() < math.Exp((curE-newE)/temp) {
+			curE = newE
+			feasible := cur.Validate(powerMax, deadline) == nil
+			if feasible && (!bestFeasible || newE < bestE) {
+				best = cur.Clone()
+				bestE = newE
+				bestFeasible = true
+			}
+		} else {
+			cur.Start[v] = old
+		}
+		temp *= cool
+	}
+	if !bestFeasible {
+		return nil, fmt.Errorf("sched: anneal: no feasible schedule found in %d iterations: %w", cfg.Iterations, ErrPowerCap)
+	}
+	return best, nil
+}

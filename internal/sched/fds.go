@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"pchls/internal/cdfg"
+)
+
+// ForceDirected computes a time-constrained schedule with the force-directed
+// heuristic of Paulin & Knight: operations are placed one at a time, each at
+// the start time minimizing the total "force" — a measure of how much the
+// placement unbalances the per-cycle concurrency of operations sharing a
+// module type — so that the resulting schedule needs few functional units.
+//
+// It is the classical time-constrained baseline; it knows nothing about
+// power. Returns an error wrapping ErrDeadline if the critical path exceeds
+// the deadline.
+func ForceDirected(g *cdfg.Graph, bind Binding, deadline int) (*Schedule, error) {
+	n := g.N()
+	s := newSchedule(g, bind)
+	if n == 0 {
+		return s, nil
+	}
+	asap, err := ASAP(g, bind)
+	if err != nil {
+		return nil, err
+	}
+	if asap.Length() > deadline {
+		return nil, fmt.Errorf("sched: fds: critical path %d exceeds deadline %d: %w", asap.Length(), deadline, ErrDeadline)
+	}
+	alap, err := ALAP(g, bind, deadline)
+	if err != nil {
+		return nil, err
+	}
+
+	early := append([]int(nil), asap.Start...)
+	late := append([]int(nil), alap.Start...)
+	placed := make([]bool, n)
+
+	// prob[id][c] = probability node id executes in cycle c, assuming a
+	// uniform distribution of its start time over [early, late].
+	prob := func(id int, c int) float64 {
+		w := late[id] - early[id] + 1
+		if w <= 0 {
+			return 0
+		}
+		// Node executes in cycle c iff start in [c-delay+1, c]; intersect
+		// with [early, late].
+		lo := c - s.Delay[id] + 1
+		if lo < early[id] {
+			lo = early[id]
+		}
+		hi := c
+		if hi > late[id] {
+			hi = late[id]
+		}
+		if hi < lo {
+			return 0
+		}
+		return float64(hi-lo+1) / float64(w)
+	}
+
+	// Distribution graph per module name.
+	dg := func(name string, c int) float64 {
+		sum := 0.0
+		for id := 0; id < n; id++ {
+			if s.Module[id] == name {
+				sum += prob(id, c)
+			}
+		}
+		return sum
+	}
+
+	// selfForce of placing id at start t: sum over cycles of
+	// DG(c) * (x'(c) - x(c)) where x' is the post-placement distribution.
+	selfForce := func(id, t int) float64 {
+		f := 0.0
+		name := s.Module[id]
+		for c := early[id]; c < late[id]+s.Delay[id]; c++ {
+			old := prob(id, c)
+			var nw float64
+			if t <= c && c < t+s.Delay[id] {
+				nw = 1
+			}
+			if nw != old {
+				f += dg(name, c) * (nw - old)
+			}
+		}
+		return f
+	}
+
+	// Propagate window tightening from placing id at t, returning the
+	// tightened copies (nil when infeasible). Only direct predecessor and
+	// successor windows are tightened (standard FDS practice).
+	tighten := func(id, t int) (e2, l2 []int, ok bool) {
+		e2 = append([]int(nil), early...)
+		l2 = append([]int(nil), late...)
+		e2[id], l2[id] = t, t
+		for _, p := range g.Preds(cdfg.NodeID(id)) {
+			if lim := t - s.Delay[p]; l2[p] > lim {
+				l2[p] = lim
+			}
+			if l2[p] < e2[p] {
+				return nil, nil, false
+			}
+		}
+		for _, v := range g.Succs(cdfg.NodeID(id)) {
+			if lim := t + s.Delay[id]; e2[v] < lim {
+				e2[v] = lim
+			}
+			if l2[v] < e2[v] {
+				return nil, nil, false
+			}
+		}
+		return e2, l2, true
+	}
+
+	// predSuccForce approximates the forces exerted on neighbours by the
+	// window tightening: for each affected neighbour, the change in its
+	// average distribution contribution.
+	neighbourForce := func(id int, e2, l2 []int) float64 {
+		f := 0.0
+		affected := append(append([]cdfg.NodeID(nil), g.Preds(cdfg.NodeID(id))...), g.Succs(cdfg.NodeID(id))...)
+		for _, nb := range affected {
+			if placed[nb] {
+				continue
+			}
+			name := s.Module[nb]
+			for c := early[nb]; c <= late[nb]+s.Delay[nb]-1; c++ {
+				oldP := prob(int(nb), c)
+				// Temporarily evaluate the new probability under the
+				// tightened window.
+				savedE, savedL := early[nb], late[nb]
+				early[nb], late[nb] = e2[nb], l2[nb]
+				newP := prob(int(nb), c)
+				early[nb], late[nb] = savedE, savedL
+				if newP != oldP {
+					f += dg(name, c) * (newP - oldP)
+				}
+			}
+		}
+		return f
+	}
+
+	type choice struct {
+		id, t int
+		force float64
+	}
+	for round := 0; round < n; round++ {
+		best := choice{id: -1}
+		ids := make([]int, 0, n)
+		for id := 0; id < n; id++ {
+			if !placed[id] {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			for t := early[id]; t <= late[id]; t++ {
+				e2, l2, ok := tighten(id, t)
+				if !ok {
+					continue
+				}
+				f := selfForce(id, t) + neighbourForce(id, e2, l2)
+				if best.id == -1 || f < best.force-1e-12 ||
+					(f < best.force+1e-12 && (id < best.id || (id == best.id && t < best.t))) {
+					best = choice{id: id, t: t, force: f}
+				}
+			}
+		}
+		if best.id == -1 {
+			return nil, fmt.Errorf("sched: fds: no feasible placement remains (deadline %d): %w", deadline, ErrDeadline)
+		}
+		e2, l2, _ := tighten(best.id, best.t)
+		early, late = e2, l2
+		s.Start[best.id] = best.t
+		placed[best.id] = true
+	}
+	return s, nil
+}

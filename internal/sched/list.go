@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"pchls/internal/cdfg"
+)
+
+// ListSchedule computes a resource-constrained list schedule: at every
+// cycle, ready operations (all predecessors finished) are assigned to idle
+// functional-unit instances in priority order, where an operation's
+// priority is the length of its longest path to any sink (critical ops
+// first). resources maps module name to instance count; every node's bound
+// module must have at least one instance.
+//
+// This is the classical allocation-first baseline the paper's one-step
+// algorithm is contrasted with.
+func ListSchedule(g *cdfg.Graph, bind Binding, resources map[string]int) (*Schedule, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	s := newSchedule(g, bind)
+	for i := range s.Module {
+		if resources[s.Module[i]] < 1 {
+			return nil, fmt.Errorf("sched: list: node %q bound to module %q with no instances",
+				g.Node(cdfg.NodeID(i)).Name, s.Module[i])
+		}
+	}
+	prio := pathToSink(g, s)
+
+	n := g.N()
+	remainingPreds := make([]int, n)
+	for i := 0; i < n; i++ {
+		remainingPreds[i] = len(g.Preds(cdfg.NodeID(i)))
+	}
+	// busy[name] holds the end cycles of running instances of that module.
+	busy := make(map[string][]int)
+	ready := []cdfg.NodeID{}
+	for i := 0; i < n; i++ {
+		if remainingPreds[i] == 0 {
+			ready = append(ready, cdfg.NodeID(i))
+		}
+	}
+	readyAt := make(map[int][]cdfg.NodeID) // nodes becoming ready at cycle c
+	scheduled := 0
+
+	for cycle := 0; scheduled < n; cycle++ {
+		if cycle > len(s.Delay)*maxDelay(s)+1 {
+			return nil, fmt.Errorf("sched: list: no progress by cycle %d (internal error)", cycle)
+		}
+		// Retire finished instances.
+		for name, ends := range busy {
+			kept := ends[:0]
+			for _, e := range ends {
+				if e > cycle {
+					kept = append(kept, e)
+				}
+			}
+			busy[name] = kept
+		}
+		// Admit nodes whose producers have finished by this cycle.
+		ready = append(ready, readyAt[cycle]...)
+		delete(readyAt, cycle)
+		sort.Slice(ready, func(a, b int) bool {
+			if prio[ready[a]] != prio[ready[b]] {
+				return prio[ready[a]] > prio[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		var deferred []cdfg.NodeID
+		for _, id := range ready {
+			name := s.Module[id]
+			if len(busy[name]) < resources[name] {
+				s.Start[id] = cycle
+				end := cycle + s.Delay[id]
+				busy[name] = append(busy[name], end)
+				scheduled++
+				for _, v := range g.Succs(id) {
+					remainingPreds[v]--
+					if remainingPreds[v] == 0 {
+						// Ready only once ALL producers have finished.
+						at := end
+						for _, p := range g.Preds(v) {
+							if e := s.Start[p] + s.Delay[p]; e > at {
+								at = e
+							}
+						}
+						readyAt[at] = append(readyAt[at], v)
+					}
+				}
+			} else {
+				deferred = append(deferred, id)
+			}
+		}
+		ready = deferred
+	}
+	return s, nil
+}
+
+// pathToSink returns, per node, the longest delay-weighted path from that
+// node (inclusive) to any sink — the standard list-scheduling priority.
+func pathToSink(g *cdfg.Graph, s *Schedule) []int {
+	order, _ := g.TopoOrder()
+	dist := make([]int, g.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		best := 0
+		for _, v := range g.Succs(u) {
+			if dist[v] > best {
+				best = dist[v]
+			}
+		}
+		dist[u] = best + s.Delay[u]
+	}
+	return dist
+}
+
+func maxDelay(s *Schedule) int {
+	d := 1
+	for _, x := range s.Delay {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// PowerListSchedule is the resource- AND power-constrained list scheduler:
+// like ListSchedule, but an operation is only issued in a cycle when its
+// per-cycle power also fits under powerMax for its whole execution. It is
+// the "allocation-first under a power cap" baseline: given a fixed
+// allocation it answers whether a power-feasible schedule exists, and how
+// long it is — without the module re-selection or the window machinery of
+// the full synthesizer. powerMax <= 0 reduces to ListSchedule.
+func PowerListSchedule(g *cdfg.Graph, bind Binding, resources map[string]int, powerMax float64, deadline int) (*Schedule, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	s := newSchedule(g, bind)
+	for i := range s.Module {
+		if resources[s.Module[i]] < 1 {
+			return nil, fmt.Errorf("sched: powerlist: node %q bound to module %q with no instances",
+				g.Node(cdfg.NodeID(i)).Name, s.Module[i])
+		}
+		if powerMax > 0 && s.Power[i] > powerMax+1e-9 {
+			return nil, fmt.Errorf("sched: powerlist: node %q draws %.3g > %.3g: %w",
+				g.Node(cdfg.NodeID(i)).Name, s.Power[i], powerMax, ErrPowerInfeasible)
+		}
+	}
+	prio := pathToSink(g, s)
+	horizon := deadline
+	if horizon <= 0 {
+		horizon = len(s.Delay)*maxDelay(s) + 1
+	}
+	profile := make([]float64, horizon)
+
+	n := g.N()
+	remainingPreds := make([]int, n)
+	for i := 0; i < n; i++ {
+		remainingPreds[i] = len(g.Preds(cdfg.NodeID(i)))
+	}
+	busy := make(map[string][]int)
+	var ready []cdfg.NodeID
+	for i := 0; i < n; i++ {
+		if remainingPreds[i] == 0 {
+			ready = append(ready, cdfg.NodeID(i))
+		}
+	}
+	readyAt := make(map[int][]cdfg.NodeID)
+	scheduled := 0
+	for cycle := 0; scheduled < n; cycle++ {
+		if cycle >= horizon {
+			return nil, fmt.Errorf("sched: powerlist: %d operations unplaced at horizon %d: %w",
+				n-scheduled, horizon, ErrHorizon)
+		}
+		for name, ends := range busy {
+			kept := ends[:0]
+			for _, e := range ends {
+				if e > cycle {
+					kept = append(kept, e)
+				}
+			}
+			busy[name] = kept
+		}
+		ready = append(ready, readyAt[cycle]...)
+		delete(readyAt, cycle)
+		sort.Slice(ready, func(a, b int) bool {
+			if prio[ready[a]] != prio[ready[b]] {
+				return prio[ready[a]] > prio[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		var deferred []cdfg.NodeID
+		for _, id := range ready {
+			name := s.Module[id]
+			issue := len(busy[name]) < resources[name]
+			if issue && powerMax > 0 {
+				for c := cycle; c < cycle+s.Delay[id] && issue; c++ {
+					if c >= horizon || profile[c]+s.Power[id] > powerMax+1e-9 {
+						issue = false
+					}
+				}
+			}
+			if !issue {
+				deferred = append(deferred, id)
+				continue
+			}
+			s.Start[id] = cycle
+			end := cycle + s.Delay[id]
+			busy[name] = append(busy[name], end)
+			for c := cycle; c < end; c++ {
+				profile[c] += s.Power[id]
+			}
+			scheduled++
+			for _, v := range g.Succs(id) {
+				remainingPreds[v]--
+				if remainingPreds[v] == 0 {
+					at := end
+					for _, p := range g.Preds(v) {
+						if e := s.Start[p] + s.Delay[p]; e > at {
+							at = e
+						}
+					}
+					readyAt[at] = append(readyAt[at], v)
+				}
+			}
+		}
+		ready = deferred
+	}
+	return s, nil
+}
+
+// MinResources returns, for a schedule, the number of simultaneously active
+// instances required of each module — i.e. the allocation the schedule
+// implies if every concurrent operation needs its own instance.
+func MinResources(s *Schedule) map[string]int {
+	need := make(map[string]int)
+	length := s.Length()
+	for c := 0; c < length; c++ {
+		active := make(map[string]int)
+		for i := range s.Start {
+			if s.Start[i] <= c && c < s.Start[i]+s.Delay[i] {
+				active[s.Module[i]]++
+			}
+		}
+		for name, k := range active {
+			if k > need[name] {
+				need[name] = k
+			}
+		}
+	}
+	return need
+}

@@ -1,0 +1,349 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// Selection chooses how PASAP picks the next operation among the ready
+// ones — the paper's "pick an unscheduled operator" step, which it leaves
+// unspecified.
+type Selection int
+
+// The selection policies.
+const (
+	// CriticalFirst picks the ready operation with the longest
+	// delay-weighted path to a sink (default): less critical operations
+	// absorb the power-driven stretching.
+	CriticalFirst Selection = iota
+	// SmallestID picks the lowest-numbered ready operation — a plain
+	// topological sweep, the most literal reading of the paper.
+	SmallestID
+)
+
+// Options parameterizes the power-constrained schedulers.
+type Options struct {
+	// PowerMax is the per-cycle power constraint P<. Zero or negative means
+	// unconstrained (pasap degenerates to classical ASAP).
+	PowerMax float64
+	// Select picks the next ready operation (default CriticalFirst).
+	Select Selection
+	// Base is an ambient per-cycle power profile that is added to the
+	// profile of the graph being scheduled before checking PowerMax —
+	// typically the power already committed by bound operations during
+	// synthesis. Cycles beyond len(Base) have zero ambient power.
+	Base []float64
+	// Fixed predetermines the start times of some nodes. Fixed nodes are
+	// placed first (their power is accounted) and never moved; the
+	// scheduler only places the remaining nodes. A fixed node's
+	// predecessors must also be consistent, which Validate will confirm.
+	Fixed map[cdfg.NodeID]int
+	// Horizon caps the last cycle (exclusive) the scheduler may use. Zero
+	// means automatic: Base length plus the total serial delay of all
+	// nodes, which always admits a solution when one exists.
+	Horizon int
+}
+
+// baseAt returns the ambient power at cycle c.
+func (o *Options) baseAt(c int) float64 {
+	if c < len(o.Base) {
+		return o.Base[c]
+	}
+	return 0
+}
+
+// PASAP computes the power-constrained as-soon-as-possible schedule of the
+// paper (algorithm "pasap (P<)"): each operation is placed at its earliest
+// precedence-feasible start time t_i = max over predecessors of (t_j +
+// d_j), delayed by the smallest execution offset o_i >= 0 such that the
+// per-cycle power constraint holds over the whole execution interval
+// [t_i+o_i, t_i+o_i+d_i-1].
+//
+// The paper's "pick an unscheduled operator" step is implemented as
+// critical-path-first selection among ready operations (all predecessors
+// placed): the ready operation with the longest delay-weighted path to a
+// sink is placed first, so less critical operations absorb the power-driven
+// stretching. With PowerMax <= 0 the result is classical ASAP regardless
+// of selection order.
+//
+// It returns an error wrapping ErrPowerInfeasible if some operation's own
+// power exceeds PowerMax, and an error if the graph is cyclic or a fixed
+// placement is negative.
+func PASAP(g *cdfg.Graph, bind Binding, opts Options) (*Schedule, error) {
+	var order []cdfg.NodeID
+	var err error
+	switch opts.Select {
+	case SmallestID:
+		order, err = g.TopoOrder()
+	default:
+		order, err = criticalFirstOrder(g, bind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := newSchedule(g, bind)
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		// A serial placement always exists, but greedy stretching can
+		// overshoot the serial bound when the power profile is fragmented:
+		// one busy cycle can block up to maxDelay candidate windows of a
+		// long operation. sumDelay*maxDelay is a safe overapproximation.
+		sumDelay, maxD := 0, 1
+		for _, d := range s.Delay {
+			sumDelay += d
+			if d > maxD {
+				maxD = d
+			}
+		}
+		horizon = len(opts.Base) + sumDelay*maxD + 1
+		// Fixed placements may sit arbitrarily late; leave room for their
+		// transitive successors beyond them.
+		for id, start := range opts.Fixed {
+			if end := start + s.Delay[id] + sumDelay*maxD; end > horizon {
+				horizon = end
+			}
+		}
+	}
+	profile := make([]float64, horizon)
+	for c := range profile {
+		profile[c] = opts.baseAt(c)
+	}
+
+	place := func(id cdfg.NodeID, start int) error {
+		end := start + s.Delay[id]
+		if start < 0 {
+			return fmt.Errorf("sched: pasap: node %q placed at negative cycle %d", g.Node(id).Name, start)
+		}
+		if end > horizon {
+			return fmt.Errorf("sched: pasap: node %q placed at [%d,%d) outside horizon %d: %w",
+				g.Node(id).Name, start, end, horizon, ErrHorizon)
+		}
+		s.Start[id] = start
+		for c := start; c < end; c++ {
+			profile[c] += s.Power[id]
+		}
+		return nil
+	}
+
+	// Place fixed nodes first so their power is visible to everything else.
+	fixedIDs := make([]cdfg.NodeID, 0, len(opts.Fixed))
+	for id := range opts.Fixed {
+		fixedIDs = append(fixedIDs, id)
+	}
+	// Deterministic order (map iteration is random).
+	for i := 1; i < len(fixedIDs); i++ {
+		for j := i; j > 0 && fixedIDs[j] < fixedIDs[j-1]; j-- {
+			fixedIDs[j], fixedIDs[j-1] = fixedIDs[j-1], fixedIDs[j]
+		}
+	}
+	for _, id := range fixedIDs {
+		if err := place(id, opts.Fixed[id]); err != nil {
+			return nil, err
+		}
+	}
+
+	fits := func(id cdfg.NodeID, start int) bool {
+		if opts.PowerMax <= 0 {
+			return true
+		}
+		for c := start; c < start+s.Delay[id]; c++ {
+			if c >= horizon || profile[c]+s.Power[id] > opts.PowerMax+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, id := range order {
+		if _, isFixed := opts.Fixed[id]; isFixed {
+			continue
+		}
+		if opts.PowerMax > 0 && s.Power[id] > opts.PowerMax+1e-9 {
+			return nil, fmt.Errorf("sched: pasap: node %q draws %.3g per cycle, constraint %.3g: %w",
+				g.Node(id).Name, s.Power[id], opts.PowerMax, ErrPowerInfeasible)
+		}
+		// Earliest precedence-feasible start.
+		t := 0
+		for _, p := range g.Preds(id) {
+			if e := s.Start[p] + s.Delay[p]; e > t {
+				t = e
+			}
+		}
+		// Latest start admitted by fixed successors (they cannot move) and
+		// the horizon.
+		latest := horizon - s.Delay[id]
+		for _, v := range g.Succs(id) {
+			if fs, isFixed := opts.Fixed[v]; isFixed {
+				if lim := fs - s.Delay[id]; lim < latest {
+					latest = lim
+				}
+			}
+		}
+		// Stretch: increase the execution offset until power fits.
+		start := t
+		for start <= latest && !fits(id, start) {
+			start++
+		}
+		if start > latest {
+			return nil, fmt.Errorf("sched: pasap: node %q cannot be placed in [%d,%d] under P< = %.3g: %w",
+				g.Node(id).Name, t, latest, opts.PowerMax, ErrHorizon)
+		}
+		if err := place(id, start); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ASAP computes the classical unconstrained as-soon-as-possible schedule.
+func ASAP(g *cdfg.Graph, bind Binding) (*Schedule, error) {
+	return PASAP(g, bind, Options{})
+}
+
+// criticalFirstOrder returns a topological order in which, among ready
+// operations, the one with the longest delay-weighted path to a sink comes
+// first (ties: smallest ID). It returns an error wrapping cdfg.ErrCycle on
+// cyclic graphs.
+func criticalFirstOrder(g *cdfg.Graph, bind Binding) ([]cdfg.NodeID, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	// Delay-weighted longest path from each node (inclusive) to a sink.
+	prio := make([]int, n)
+	for i := len(topo) - 1; i >= 0; i-- {
+		u := topo[i]
+		best := 0
+		for _, v := range g.Succs(u) {
+			if prio[v] > best {
+				best = prio[v]
+			}
+		}
+		prio[u] = best + bind(g.Node(u)).Delay
+	}
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Preds(cdfg.NodeID(i)))
+	}
+	var ready []cdfg.NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, cdfg.NodeID(i))
+		}
+	}
+	order := make([]cdfg.NodeID, 0, n)
+	for len(ready) > 0 {
+		bi := 0
+		for k := 1; k < len(ready); k++ {
+			a, b := ready[k], ready[bi]
+			if prio[a] > prio[b] || (prio[a] == prio[b] && a < b) {
+				bi = k
+			}
+		}
+		u := ready[bi]
+		ready = append(ready[:bi], ready[bi+1:]...)
+		order = append(order, u)
+		for _, v := range g.Succs(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return order, nil
+}
+
+// PALAP computes the power-constrained as-late-as-possible schedule under a
+// latency constraint of deadline cycles: the time-reversed analogue of
+// PASAP. Every operation is placed as late as the deadline, precedence, and
+// the power constraint allow. It returns an error wrapping ErrDeadline when
+// the graph cannot finish within deadline cycles under the constraint, and
+// ErrPowerInfeasible when some single operation exceeds PowerMax.
+//
+// Options semantics match PASAP; Base and Fixed are interpreted in the
+// forward time frame ([0, deadline)) and converted internally. A nonzero
+// opts.Horizon is ignored: the horizon of a PALAP schedule is the deadline.
+func PALAP(g *cdfg.Graph, bind Binding, deadline int, opts Options) (*Schedule, error) {
+	if deadline <= 0 {
+		return nil, fmt.Errorf("sched: palap: deadline %d must be positive", deadline)
+	}
+	r := g.Reverse()
+	// Reverse the ambient profile into the reversed time frame.
+	ropts := Options{PowerMax: opts.PowerMax, Select: opts.Select, Horizon: deadline}
+	if len(opts.Base) > 0 {
+		ropts.Base = make([]float64, deadline)
+		for c := 0; c < deadline; c++ {
+			ropts.Base[c] = opts.baseAt(deadline - 1 - c)
+		}
+	}
+	if len(opts.Fixed) > 0 {
+		ropts.Fixed = make(map[cdfg.NodeID]int, len(opts.Fixed))
+		sProbe := newSchedule(g, bind)
+		for id, start := range opts.Fixed {
+			ropts.Fixed[id] = deadline - start - sProbe.Delay[id]
+		}
+	}
+	rs, err := PASAP(r, bind, ropts)
+	if err != nil {
+		// A horizon overflow in the reversed frame means the deadline
+		// cannot be met; single-operation power infeasibility passes
+		// through unchanged.
+		if errors.Is(err, ErrHorizon) {
+			return nil, fmt.Errorf("sched: palap: %w: %w", ErrDeadline, err)
+		}
+		return nil, fmt.Errorf("sched: palap: %w", err)
+	}
+	s := newSchedule(g, bind)
+	for i := range s.Start {
+		s.Start[i] = deadline - rs.Start[i] - rs.Delay[i]
+		if s.Start[i] < 0 {
+			return nil, fmt.Errorf("sched: palap: node %q needs to start at cycle %d: %w",
+				g.Node(cdfg.NodeID(i)).Name, s.Start[i], ErrDeadline)
+		}
+	}
+	return s, nil
+}
+
+// ALAP computes the classical unconstrained as-late-as-possible schedule
+// under the given deadline. It returns an error wrapping ErrDeadline when
+// the critical path exceeds the deadline.
+func ALAP(g *cdfg.Graph, bind Binding, deadline int) (*Schedule, error) {
+	return PALAP(g, bind, deadline, Options{})
+}
+
+// Window is a node's feasible start-time interval under the power and
+// latency constraints: Early from PASAP, Late from PALAP.
+type Window struct {
+	Early, Late int
+}
+
+// Width returns the number of feasible start times (Late - Early + 1);
+// negative widths indicate an infeasible (stranded) node.
+func (w Window) Width() int { return w.Late - w.Early + 1 }
+
+// Windows computes per-node power-feasible mobility windows: Early[i] from
+// the PASAP schedule and Late[i] from the PALAP schedule under the deadline.
+// An error is returned when either schedule is infeasible. Note that
+// because pasap/palap are heuristics the windows are not exact — they bound
+// the design space explored by the synthesizer, as in the paper.
+func Windows(g *cdfg.Graph, bind Binding, deadline int, opts Options) ([]Window, error) {
+	early, err := PASAP(g, bind, opts)
+	if err != nil {
+		return nil, err
+	}
+	if deadline > 0 && early.Length() > deadline {
+		return nil, fmt.Errorf("sched: windows: pasap length %d exceeds deadline %d: %w", early.Length(), deadline, ErrDeadline)
+	}
+	late, err := PALAP(g, bind, deadline, opts)
+	if err != nil {
+		return nil, err
+	}
+	ws := make([]Window, g.N())
+	for i := range ws {
+		ws[i] = Window{Early: early.Start[i], Late: late.Start[i]}
+	}
+	return ws, nil
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+)
+
+func halResources() map[string]int {
+	return map[string]int{
+		library.NameMulPar: 2,
+		library.NameALU:    1,
+		library.NameAdd:    1,
+		library.NameSub:    1,
+		library.NameComp:   1,
+		library.NameInput:  2,
+		library.NameOutput: 1,
+	}
+}
+
+func TestPowerListUnconstrainedMatchesList(t *testing.T) {
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	res := halResources()
+	a, err := ListSchedule(g, bind, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerListSchedule(g, bind, res, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Length() != b.Length() {
+		t.Fatalf("unconstrained power list %d cycles, list %d", b.Length(), a.Length())
+	}
+	if err := b.Validate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerListRespectsCap(t *testing.T) {
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	s, err := PowerListSchedule(g, bind, halResources(), 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(12, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakPower() > 12 {
+		t.Fatalf("peak %.2f", s.PeakPower())
+	}
+	// The cap must stretch the schedule versus the unconstrained run.
+	free, _ := PowerListSchedule(g, bind, halResources(), 0, 0)
+	if s.Length() <= free.Length() {
+		t.Fatalf("capped %d cycles <= unconstrained %d", s.Length(), free.Length())
+	}
+}
+
+func TestPowerListDeadline(t *testing.T) {
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	if _, err := PowerListSchedule(g, bind, halResources(), 12, 6); !errors.Is(err, ErrHorizon) {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestPowerListSingleOpInfeasible(t *testing.T) {
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	if _, err := PowerListSchedule(g, bind, halResources(), 5, 0); !errors.Is(err, ErrPowerInfeasible) {
+		t.Fatalf("err = %v, want ErrPowerInfeasible", err)
+	}
+}
+
+func TestPowerListMissingResource(t *testing.T) {
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	if _, err := PowerListSchedule(g, bind, map[string]int{library.NameMulPar: 1}, 0, 0); err == nil {
+		t.Fatal("missing resources accepted")
+	}
+}
+
+func TestPowerListVsPASAP(t *testing.T) {
+	// With the allocation implied by a pasap schedule, the power list
+	// scheduler must also find a schedule within a similar length: the
+	// one-step pasap never needs MORE cycles than allocation-first with
+	// pasap's own allocation (it chose that allocation freely).
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	pasap, err := PASAP(g, bind, Options{PowerMax: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MinResources(pasap)
+	pl, err := PowerListSchedule(g, bind, res, 12, pasap.Length()+8)
+	if err != nil {
+		t.Fatalf("power list with pasap's allocation failed: %v", err)
+	}
+	if err := pl.Validate(12, 0); err != nil {
+		t.Fatal(err)
+	}
+}

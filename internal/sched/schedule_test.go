@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+)
+
+func TestScheduleProfileAndEnergy(t *testing.T) {
+	g := chain(t)
+	s, err := ASAP(g, fastest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := s.Profile()
+	if len(prof) != s.Length() {
+		t.Fatalf("profile length %d, schedule length %d", len(prof), s.Length())
+	}
+	// Energy conservation: sum(profile) == sum(power*delay).
+	sum := 0.0
+	for _, p := range prof {
+		sum += p
+	}
+	if diff := sum - s.Energy(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("profile sum %.4f != energy %.4f", sum, s.Energy())
+	}
+	// Chain: cycle 0 input (0.2), cycles 1-2 parallel mult (8.1),
+	// cycle 3 add (2.5), cycle 4 output (1.7).
+	want := []float64{0.2, 8.1, 8.1, 2.5, 1.7}
+	for c, p := range want {
+		if prof[c] != p {
+			t.Errorf("profile[%d] = %g, want %g", c, prof[c], p)
+		}
+	}
+	if s.PeakPower() != 8.1 {
+		t.Errorf("peak = %g, want 8.1", s.PeakPower())
+	}
+}
+
+func TestValidateCatchesPrecedenceViolation(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	m, _ := g.Lookup("m1")
+	s.Start[m.ID] = 0 // overlaps its input producer
+	if err := s.Validate(0, 0); !errors.Is(err, ErrPrecedence) {
+		t.Fatalf("Validate = %v, want ErrPrecedence", err)
+	}
+}
+
+func TestValidateCatchesNegativeStart(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	s.Start[0] = -1
+	if err := s.Validate(0, 0); !errors.Is(err, ErrPrecedence) {
+		t.Fatalf("Validate = %v, want ErrPrecedence", err)
+	}
+}
+
+func TestValidateCatchesPowerCap(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	if err := s.Validate(5, 0); !errors.Is(err, ErrPowerCap) {
+		t.Fatalf("Validate = %v, want ErrPowerCap (mult draws 8.1)", err)
+	}
+}
+
+func TestValidateCatchesDeadline(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	if err := s.Validate(0, s.Length()-1); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Validate = %v, want ErrDeadline", err)
+	}
+	if err := s.Validate(0, s.Length()); err != nil {
+		t.Fatalf("Validate at exact deadline = %v", err)
+	}
+}
+
+func TestScheduleCloneIndependent(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	c := s.Clone()
+	c.Start[0] = 99
+	if s.Start[0] == 99 {
+		t.Fatal("clone shares start slice")
+	}
+}
+
+func TestScheduleTable(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	out := s.Table()
+	for _, want := range []string{"m1", "Mult(par.)", "makespan 5", "peak power 8.10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	g := chain(t)
+	s, _ := ASAP(g, fastest(t))
+	out := s.ProfileString(5)
+	if !strings.Contains(out, "exceeds P<") {
+		t.Fatalf("ProfileString should flag overshoot:\n%s", out)
+	}
+	if !strings.Contains(out, "P< = 5.00") {
+		t.Fatalf("ProfileString missing cap line:\n%s", out)
+	}
+	out = s.ProfileString(0)
+	if strings.Contains(out, "P<") {
+		t.Fatalf("uncapped ProfileString should not mention P<:\n%s", out)
+	}
+}
+
+func TestUniformBindingsPanicOnUncovered(t *testing.T) {
+	lib, err := library.Table1Without(library.NameMulSer, library.NameMulPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for uncovered op")
+		}
+	}()
+	UniformFastest(lib)(cdfg.Node{ID: 0, Name: "m", Op: cdfg.Mul})
+}
+
+func TestUniformLowestPower(t *testing.T) {
+	bind := UniformLowestPower(library.Table1())
+	m := bind(cdfg.Node{ID: 0, Name: "m", Op: cdfg.Mul})
+	if m.Name != library.NameMulSer {
+		t.Fatalf("lowest power mult = %q", m.Name)
+	}
+}
+
+func TestEmptyGraphSchedules(t *testing.T) {
+	g := cdfg.New("empty")
+	s, err := ASAP(g, fastest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 0 || s.PeakPower() != 0 || s.Energy() != 0 {
+		t.Fatalf("empty schedule: len=%d peak=%g energy=%g", s.Length(), s.PeakPower(), s.Energy())
+	}
+}

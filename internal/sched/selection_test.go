@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+)
+
+func TestPASAPSelectionPoliciesBothValid(t *testing.T) {
+	g := bench.Cosine()
+	bind := UniformFastest(library.Table1())
+	for _, sel := range []Selection{CriticalFirst, SmallestID} {
+		s, err := PASAP(g, bind, Options{PowerMax: 40, Select: sel})
+		if err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+		if err := s.Validate(40, 0); err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+	}
+}
+
+func TestPASAPSelectionIrrelevantWithoutPower(t *testing.T) {
+	// Unconstrained, both policies must produce exactly ASAP.
+	g := bench.Elliptic()
+	bind := UniformFastest(library.Table1())
+	a, err := PASAP(g, bind, Options{Select: CriticalFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PASAP(g, bind, Options{Select: SmallestID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] {
+			t.Fatalf("node %d: critical-first %d vs smallest-id %d (unconstrained)", i, a.Start[i], b.Start[i])
+		}
+	}
+}
+
+func TestPASAPCriticalFirstNoWorseOnCosine(t *testing.T) {
+	// The motivating case for critical-first selection: under a moderate
+	// power cap on the multiply-rich cosine graph, a plain topological
+	// sweep starves the critical path. Critical-first must produce a
+	// schedule at most as long.
+	g := bench.Cosine()
+	bind := UniformFastest(library.Table1())
+	crit, err := PASAP(g, bind, Options{PowerMax: 40, Select: CriticalFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := PASAP(g, bind, Options{PowerMax: 40, Select: SmallestID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit.Length() > plain.Length() {
+		t.Fatalf("critical-first %d cycles, smallest-id %d cycles", crit.Length(), plain.Length())
+	}
+}
+
+func TestPALAPPropagatesSelection(t *testing.T) {
+	g := bench.HAL()
+	bind := UniformFastest(library.Table1())
+	for _, sel := range []Selection{CriticalFirst, SmallestID} {
+		s, err := PALAP(g, bind, 20, Options{PowerMax: 12, Select: sel})
+		if err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+		if err := s.Validate(12, 20); err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+	}
+}
+
+func TestCriticalFirstOrderIsTopological(t *testing.T) {
+	g := bench.Elliptic()
+	bind := UniformFastest(library.Table1())
+	order, err := criticalFirstOrder(g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[cdfg.NodeID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(pos) != g.N() {
+		t.Fatalf("order covers %d of %d nodes", len(pos), g.N())
+	}
+	for _, n := range g.Nodes() {
+		for _, v := range g.Succs(n.ID) {
+			if pos[n.ID] >= pos[v] {
+				t.Fatalf("edge %d->%d violates order", n.ID, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// TwoStep is the two-phase baseline the paper contrasts with (in the style
+// of Luo & Jha and Lahiri et al.): step one builds a traditional
+// time-constrained schedule (force-directed), step two reorders it to meet
+// the power constraint by repeatedly delaying, within remaining slack, an
+// operation that executes in the most overloaded cycle.
+//
+// It returns an error wrapping ErrPowerCap when the repair loop cannot
+// reach the power constraint within the deadline, ErrDeadline when even the
+// unconstrained schedule misses the deadline, and ErrPowerInfeasible when a
+// single operation exceeds powerMax.
+func TwoStep(g *cdfg.Graph, bind Binding, deadline int, powerMax float64) (*Schedule, error) {
+	s, err := ForceDirected(g, bind, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("sched: twostep: %w", err)
+	}
+	if powerMax <= 0 {
+		return s, nil
+	}
+	for i := range s.Power {
+		if s.Power[i] > powerMax+1e-9 {
+			return nil, fmt.Errorf("sched: twostep: node %q draws %.3g > %.3g: %w",
+				g.Node(cdfg.NodeID(i)).Name, s.Power[i], powerMax, ErrPowerInfeasible)
+		}
+	}
+	// Repair loop: the schedule changes by at most one cycle of one op per
+	// iteration; bound iterations generously.
+	maxIter := g.N()*deadline + g.N() + 1
+	for iter := 0; iter < maxIter; iter++ {
+		worst, overload := worstCycle(s, powerMax)
+		if worst < 0 {
+			return s, nil // constraint met
+		}
+		id, ok := pickDelayable(g, s, worst, deadline)
+		if !ok {
+			return nil, fmt.Errorf("sched: twostep: cycle %d overloaded by %.3g with no delayable operation: %w",
+				worst, overload, ErrPowerCap)
+		}
+		delayBy1(g, s, id)
+	}
+	return nil, fmt.Errorf("sched: twostep: power repair did not converge: %w", ErrPowerCap)
+}
+
+// worstCycle returns the most overloaded cycle index and its overload, or
+// (-1, 0) when every cycle is within powerMax.
+func worstCycle(s *Schedule, powerMax float64) (int, float64) {
+	worst, over := -1, 0.0
+	for c, p := range s.Profile() {
+		if p > powerMax+1e-9 && p-powerMax > over {
+			worst, over = c, p-powerMax
+		}
+	}
+	return worst, over
+}
+
+// pickDelayable selects an operation executing in the given cycle that can
+// be pushed one cycle later (rippling successors) without overrunning the
+// deadline. Delaying an operation only relieves cycles up to its new start,
+// so candidates with a later start need fewer repair steps: prefer larger
+// start, then higher power (greater relief), then smaller ID.
+func pickDelayable(g *cdfg.Graph, s *Schedule, cycle, deadline int) (cdfg.NodeID, bool) {
+	bestID := cdfg.None
+	bestStart, bestPower := -1, -1.0
+	for i := range s.Start {
+		id := cdfg.NodeID(i)
+		if !(s.Start[i] <= cycle && cycle < s.Start[i]+s.Delay[i]) {
+			continue
+		}
+		trial := s.Clone()
+		delayBy1(g, trial, id)
+		if trial.Length() > deadline {
+			continue
+		}
+		if s.Start[i] > bestStart || (s.Start[i] == bestStart && s.Power[i] > bestPower) {
+			bestID, bestStart, bestPower = id, s.Start[i], s.Power[i]
+		}
+	}
+	return bestID, bestID != cdfg.None
+}
+
+// delayBy1 pushes id one cycle later and ripples the minimum necessary
+// delay through its transitive successors to restore precedence.
+func delayBy1(g *cdfg.Graph, s *Schedule, id cdfg.NodeID) {
+	s.Start[id]++
+	order, _ := g.TopoOrder()
+	for _, u := range order {
+		for _, v := range g.Succs(u) {
+			if s.Start[v] < s.Start[u]+s.Delay[u] {
+				s.Start[v] = s.Start[u] + s.Delay[u]
+			}
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package pchls is a power-constrained high-level synthesis library: it
+// schedules, allocates and binds data-flow graphs onto a functional-unit
+// library, minimizing datapath area under a latency constraint T and a
+// maximum power-per-clock-cycle constraint P<, as in S.F. Nielsen and
+// J. Madsen, "Power Constrained High-Level Synthesis of Battery Powered
+// Digital Systems", DATE 2003.
+//
+// The typical flow:
+//
+//	g := pchls.MustBenchmark("hal")                   // or build/parse a Graph
+//	lib := pchls.Table1()                             // the paper's FU library
+//	design, err := pchls.SynthesizeBest(g, lib, pchls.Constraints{
+//	        Deadline: 10,                             // T, clock cycles
+//	        PowerMax: 20,                             // P<, per-cycle power
+//	}, pchls.Config{})
+//	fmt.Println(design.Report())
+//	verilog, err := pchls.EmitVerilog(design, 16)     // RTL back end
+//
+// Beyond synthesis, the package exposes the building blocks: the CDFG
+// substrate, the power-constrained pasap/palap schedulers and classical
+// baselines, battery models for lifetime evaluation, and the experiment
+// harness that regenerates the paper's figures.
+package pchls
+
+import (
+	"io"
+
+	"pchls/internal/bench"
+	"pchls/internal/bind"
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/explore"
+	"pchls/internal/library"
+	"pchls/internal/pipeline"
+	"pchls/internal/power"
+	"pchls/internal/report"
+	"pchls/internal/rtl"
+	"pchls/internal/sched"
+)
+
+// Data-flow graph substrate.
+type (
+	// Graph is a data-flow graph of primitive operations.
+	Graph = cdfg.Graph
+	// Node is one operation instance in a Graph.
+	Node = cdfg.Node
+	// NodeID identifies a node within one Graph.
+	NodeID = cdfg.NodeID
+	// Op is a primitive operation kind.
+	Op = cdfg.Op
+)
+
+// The operation alphabet (matching the paper's Table 1 rows).
+const (
+	// Add is two's-complement addition ("+").
+	Add = cdfg.Add
+	// Sub is subtraction ("-").
+	Sub = cdfg.Sub
+	// Cmp is magnitude comparison (">").
+	Cmp = cdfg.Cmp
+	// Mul is multiplication ("*").
+	Mul = cdfg.Mul
+	// Input is an input transfer ("imp").
+	Input = cdfg.Input
+	// Output is an output transfer ("xpt").
+	Output = cdfg.Output
+)
+
+// NewGraph returns an empty data-flow graph with the given name.
+func NewGraph(name string) *Graph { return cdfg.New(name) }
+
+// ParseGraph reads a graph in the line-oriented .cdfg text format
+// ("graph <name>" / "node <name> <op>" / "edge <from> <to>").
+func ParseGraph(r io.Reader) (*Graph, error) { return cdfg.Parse(r) }
+
+// ParseGraphString is ParseGraph over a string.
+func ParseGraphString(s string) (*Graph, error) { return cdfg.ParseString(s) }
+
+// Functional-unit library.
+type (
+	// Library is a validated collection of functional-unit modules.
+	Library = library.Library
+	// Module describes one functional-unit type.
+	Module = library.Module
+)
+
+// Table1 returns the paper's functional-unit library (Table 1): add, sub,
+// comp, ALU, serial and parallel multipliers, input and output units.
+func Table1() *Library { return library.Table1() }
+
+// NewLibrary builds a validated library from modules.
+func NewLibrary(modules []Module) (*Library, error) { return library.New(modules) }
+
+// ParseLibrary reads a library in the text format
+// ("module <name> <op>[,<op>...] <area> <delay> <power>").
+func ParseLibrary(r io.Reader) (*Library, error) { return library.Parse(r) }
+
+// Benchmarks.
+
+// Benchmark returns a named benchmark CDFG: "hal", "cosine", "elliptic"
+// (the paper's Figure 2 set) or "fir16", "ar", "diffeq2", "fft8".
+func Benchmark(name string) (*Graph, error) { return bench.ByName(name) }
+
+// MustBenchmark is Benchmark that panics on unknown names.
+func MustBenchmark(name string) *Graph {
+	g, err := bench.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BenchmarkNames lists the available benchmark names in a fixed order.
+func BenchmarkNames() []string {
+	return []string{"hal", "cosine", "elliptic", "fir16", "ar", "diffeq2", "fft8"}
+}
+
+// Synthesis.
+type (
+	// Constraints are the latency (Deadline, cycles) and per-cycle power
+	// (PowerMax; <= 0 disables) constraints.
+	Constraints = core.Constraints
+	// Config tunes the synthesizer (cost model, ablation switches).
+	Config = core.Config
+	// Design is a complete synthesis result: schedule, allocation,
+	// binding, datapath and area breakdown.
+	Design = core.Design
+	// Decision is one committed synthesis step.
+	Decision = core.Decision
+	// CostModel holds register/multiplexer area coefficients.
+	CostModel = bind.CostModel
+)
+
+// Synthesis errors (match with errors.Is).
+var (
+	// ErrInfeasible indicates no design satisfies the constraints within
+	// the heuristic's search space.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrUncovered indicates the library lacks a module for some
+	// operation of the graph.
+	ErrUncovered = core.ErrUncovered
+)
+
+// Synthesize runs the paper's one-pass combined scheduling/allocation/
+// binding algorithm.
+func Synthesize(g *Graph, lib *Library, cons Constraints, cfg Config) (*Design, error) {
+	return core.Synthesize(g, lib, cons, cfg)
+}
+
+// SynthesizeBest wraps Synthesize with a starting-point portfolio and
+// peak-shaving meta-heuristics; it is the recommended entry point.
+func SynthesizeBest(g *Graph, lib *Library, cons Constraints, cfg Config) (*Design, error) {
+	return core.SynthesizeBest(g, lib, cons, cfg)
+}
+
+// DefaultCostModel returns the register/mux area coefficients used by the
+// experiments.
+func DefaultCostModel() CostModel { return bind.DefaultCostModel() }
+
+// Scheduling building blocks.
+type (
+	// Schedule maps every node to a start cycle with module-implied delay
+	// and power.
+	Schedule = sched.Schedule
+	// ScheduleOptions parameterizes the power-constrained schedulers.
+	ScheduleOptions = sched.Options
+	// Binding chooses the module executing each node during scheduling.
+	Binding = sched.Binding
+	// Window is a feasible start-time interval.
+	Window = sched.Window
+)
+
+// ASAP computes the classical unconstrained as-soon-as-possible schedule.
+func ASAP(g *Graph, bind Binding) (*Schedule, error) { return sched.ASAP(g, bind) }
+
+// ALAP computes the classical as-late-as-possible schedule under deadline.
+func ALAP(g *Graph, bind Binding, deadline int) (*Schedule, error) {
+	return sched.ALAP(g, bind, deadline)
+}
+
+// PASAP computes the paper's power-constrained ASAP schedule.
+func PASAP(g *Graph, bind Binding, opts ScheduleOptions) (*Schedule, error) {
+	return sched.PASAP(g, bind, opts)
+}
+
+// PALAP computes the paper's power-constrained ALAP schedule.
+func PALAP(g *Graph, bind Binding, deadline int, opts ScheduleOptions) (*Schedule, error) {
+	return sched.PALAP(g, bind, deadline, opts)
+}
+
+// UniformFastest binds every node to the fastest implementing module.
+func UniformFastest(lib *Library) Binding { return sched.UniformFastest(lib) }
+
+// UniformSmallest binds every node to the smallest implementing module.
+func UniformSmallest(lib *Library) Binding { return sched.UniformSmallest(lib) }
+
+// Battery and profile analysis.
+type (
+	// Battery simulates discharge under a repeated power profile.
+	Battery = power.Battery
+	// ProfileStats summarizes a per-cycle power profile.
+	ProfileStats = power.Stats
+	// LifetimeComparison reports two profiles' lifetimes on one battery.
+	LifetimeComparison = power.Comparison
+)
+
+// NewKiBaM builds a kinetic battery model (capacity, available fraction c
+// in (0,1), equalization rate k in (0,1]).
+func NewKiBaM(capacity, c, k float64) (Battery, error) { return power.NewKiBaM(capacity, c, k) }
+
+// NewPeukert builds a Peukert's-law battery (capacity, exponent >= 1).
+func NewPeukert(capacity, exponent float64) (Battery, error) {
+	return power.NewPeukert(capacity, exponent)
+}
+
+// AnalyzeProfile computes power-profile statistics.
+func AnalyzeProfile(profile []float64) ProfileStats { return power.Analyze(profile) }
+
+// CompareLifetime runs two profiles on a battery (A first, B second).
+func CompareLifetime(b Battery, profileA, profileB []float64, maxPeriods int) (LifetimeComparison, error) {
+	return power.Compare(b, profileA, profileB, maxPeriods)
+}
+
+// Experiments.
+type (
+	// SweepConfig parameterizes an area-versus-power sweep.
+	SweepConfig = explore.SweepConfig
+	// Curve is one area-versus-power series at fixed T.
+	Curve = explore.Curve
+	// CurvePoint is one sweep sample.
+	CurvePoint = explore.Point
+	// Figure1Result packages the Figure 1 reproduction.
+	Figure1Result = explore.Figure1Result
+)
+
+// Sweep synthesizes the graph across a power grid at fixed deadline.
+func Sweep(g *Graph, lib *Library, deadline int, cfg SweepConfig) (Curve, error) {
+	return explore.Sweep(g, lib, deadline, cfg)
+}
+
+// PlotCurves renders curves as a terminal ASCII plot in the style of the
+// paper's Figure 2.
+func PlotCurves(curves []Curve, width, height int) string {
+	return explore.Plot(curves, width, height)
+}
+
+// Figure1 reproduces the paper's Figure 1 motivation on a benchmark.
+func Figure1(g *Graph, lib *Library, powerMax float64) (*Figure1Result, error) {
+	return explore.Figure1(g, lib, powerMax)
+}
+
+// Battery-sweep experiment types.
+type (
+	// BatteryCurve is the lifetime-extension-versus-power-cap series.
+	BatteryCurve = explore.BatteryCurve
+	// BatteryPoint is one battery sweep sample.
+	BatteryPoint = explore.BatteryPoint
+)
+
+// BatterySweep measures, for each cap, the battery-lifetime extension of
+// the pasap-capped schedule over the unconstrained one.
+func BatterySweep(g *Graph, lib *Library, caps []float64) (BatteryCurve, error) {
+	return explore.BatterySweep(g, lib, caps)
+}
+
+// Time-power surface types.
+type (
+	// Surface is an area grid over the time-power-constraint space.
+	Surface = explore.Surface
+	// SurfaceConfig parameterizes a surface exploration.
+	SurfaceConfig = explore.SurfaceConfig
+	// SurfacePoint is one (deadline, power, area) sample.
+	SurfacePoint = explore.SurfacePoint
+)
+
+// ExploreSurface synthesizes the graph over a (deadline x power) grid —
+// the "different regions in the time-power-constraint space" of the
+// paper's conclusion.
+func ExploreSurface(g *Graph, lib *Library, cfg SurfaceConfig) (Surface, error) {
+	return explore.ExploreSurface(g, lib, cfg)
+}
+
+// Pipelined (loop-folded) implementations — an extension beyond the paper.
+type (
+	// PipelineResult is one modulo-scheduled pipelined implementation.
+	PipelineResult = pipeline.Result
+)
+
+// PipelineSchedule computes a power-constrained modulo schedule at the
+// given initiation interval: successive loop iterations start every II
+// cycles and the power cap applies to the folded steady-state profile.
+func PipelineSchedule(g *Graph, bind Binding, lib *Library, ii, deadline int, powerMax float64) (*PipelineResult, error) {
+	return pipeline.Schedule(g, bind, lib, ii, deadline, powerMax)
+}
+
+// PipelineExplore sweeps initiation intervals from the power-implied
+// minimum up to maxII, returning the feasible throughput/area/power
+// trade-off points.
+func PipelineExplore(g *Graph, bind Binding, lib *Library, maxII, deadline int, powerMax float64) ([]*PipelineResult, error) {
+	return pipeline.Explore(g, bind, lib, maxII, deadline, powerMax)
+}
+
+// PipelineMinII returns the smallest initiation interval the power cap
+// could possibly admit (energy per iteration / cap).
+func PipelineMinII(g *Graph, bind Binding, powerMax float64) (int, error) {
+	return pipeline.MinII(g, bind, powerMax)
+}
+
+// EmitVerilog generates the FSMD implementation of a design and renders it
+// as a Verilog-2001 subset module with the given datapath width (16 when
+// width <= 0).
+func EmitVerilog(d *Design, width int) (string, error) {
+	m, err := rtl.Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, width)
+	if err != nil {
+		return "", err
+	}
+	return m.Verilog(), nil
+}
+
+// SimulateDesign executes the design's FSMD implementation cycle by cycle
+// on concrete inputs (keyed by Input node name) and returns the values on
+// the output ports (keyed by Output node name).
+func SimulateDesign(d *Design, inputs map[string]int64) (map[string]int64, error) {
+	m, err := rtl.Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return rtl.Simulate(m, inputs)
+}
+
+// VerifyDesign checks the design end to end: the FSMD simulation must
+// agree with the direct data-flow evaluation of the source graph on the
+// given inputs.
+func VerifyDesign(d *Design, inputs map[string]int64) error {
+	m, err := rtl.Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 0)
+	if err != nil {
+		return err
+	}
+	return rtl.Verify(m, inputs)
+}
+
+// DumpVCD simulates the design's FSMD and writes a Value Change Dump
+// waveform trace (controller state, registers, outputs) to w.
+func DumpVCD(d *Design, inputs map[string]int64, width int, w io.Writer) error {
+	m, err := rtl.Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, width)
+	if err != nil {
+		return err
+	}
+	return rtl.DumpVCD(m, inputs, w)
+}
+
+// EmitTestbench generates a self-checking Verilog testbench that drives
+// the design's FSMD with the given inputs and asserts the outputs expected
+// from data-flow evaluation.
+func EmitTestbench(d *Design, inputs map[string]int64) (string, error) {
+	m, err := rtl.Generate(d.Graph, d.Schedule, d.Datapath, d.FUOf, 16)
+	if err != nil {
+		return "", err
+	}
+	return rtl.Testbench(m, inputs)
+}
+
+// SynthesizeCliquePartition is the static one-shot clique-partitioning
+// variant (windows derived once, no per-decision re-derivation) kept as an
+// ablation baseline; prefer Synthesize or SynthesizeBest.
+func SynthesizeCliquePartition(g *Graph, lib *Library, cons Constraints, cfg Config) (*Design, error) {
+	return core.SynthesizeCliquePartition(g, lib, cons, cfg)
+}
+
+// Time sweeps (the orthogonal cut through the time-power space).
+type (
+	// TimeSweepConfig parameterizes an area-versus-latency sweep.
+	TimeSweepConfig = explore.TimeSweepConfig
+	// TimeCurve is one area-versus-latency series at fixed P<.
+	TimeCurve = explore.TimeCurve
+)
+
+// TimeSweep synthesizes the graph across a deadline grid at a fixed power
+// constraint.
+func TimeSweep(g *Graph, lib *Library, powerMax float64, cfg TimeSweepConfig) (TimeCurve, error) {
+	return explore.TimeSweep(g, lib, powerMax, cfg)
+}
+
+// DesignHTML renders a self-contained HTML report of a design: headline
+// metrics, a Gantt chart of the schedule, the power profile against the
+// constraint, the area breakdown and the decision log.
+func DesignHTML(d *Design) string { return report.DesignHTML(d) }
+
+// SweepHTML renders a self-contained HTML report of area-versus-power
+// curves (the Figure 2 reproduction).
+func SweepHTML(curves []Curve) string { return report.SweepHTML(curves) }
+
+// Figure1HTML renders the Figure 1 reproduction (both power profiles and
+// the battery-lifetime table) as a self-contained HTML page.
+func Figure1HTML(r *Figure1Result) string { return report.Figure1HTML(r) }
+
+// SurfaceHTML renders the time-power surface as an HTML heatmap with the
+// Pareto front marked.
+func SurfaceHTML(s Surface) string { return report.SurfaceHTML(s) }

@@ -1,0 +1,179 @@
+package pchls
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := MustBenchmark("hal")
+	lib := Table1()
+	d, err := SynthesizeBest(g, lib, Constraints{Deadline: 10, PowerMax: 20}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schedule.Length() > 10 || d.Schedule.PeakPower() > 20 {
+		t.Fatalf("constraints violated: len %d peak %.2f", d.Schedule.Length(), d.Schedule.PeakPower())
+	}
+	v, err := EmitVerilog(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "module hal") {
+		t.Fatal("verilog missing module header")
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	g := NewGraph("t")
+	i := g.MustAddNode("i", Input)
+	m := g.MustAddNode("m", Mul)
+	o := g.MustAddNode("o", Output)
+	g.MustAddEdge(i, m)
+	g.MustAddEdge(m, o)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Synthesize(g, Table1(), Constraints{Deadline: 6}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Area() <= 0 {
+		t.Fatal("zero area")
+	}
+}
+
+func TestFacadeParseRoundTrip(t *testing.T) {
+	g, err := ParseGraphString("graph g\nnode a imp\nnode b add\nedge a b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGraphString(g.Text())
+	if err != nil || g2.N() != 2 {
+		t.Fatalf("round trip: %v %v", g2, err)
+	}
+}
+
+func TestFacadeLibrary(t *testing.T) {
+	lib, err := ParseLibrary(strings.NewReader("module alu +,- 90 1 2.0\nmodule in imp 16 1 0.2\nmodule out xpt 16 1 1.7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 3 {
+		t.Fatalf("%d modules", lib.Len())
+	}
+	mods := Table1().Modules()
+	lib2, err := NewLibrary(mods)
+	if err != nil || lib2.Len() != 8 {
+		t.Fatalf("NewLibrary: %v %v", lib2, err)
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	for _, name := range BenchmarkNames() {
+		g, err := Benchmark(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBenchmark should panic on unknown name")
+		}
+	}()
+	MustBenchmark("nope")
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	g := MustBenchmark("hal")
+	lib := Table1()
+	asap, err := ASAP(g, UniformFastest(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alap, err := ALAP(g, UniformFastest(lib), asap.Length()+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alap.Length() > asap.Length()+3 {
+		t.Fatal("alap exceeded deadline")
+	}
+	pasap, err := PASAP(g, UniformSmallest(lib), ScheduleOptions{PowerMax: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pasap.PeakPower() > 6 {
+		t.Fatalf("pasap peak %.2f", pasap.PeakPower())
+	}
+	palap, err := PALAP(g, UniformSmallest(lib), pasap.Length()+4, ScheduleOptions{PowerMax: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := palap.Validate(6, pasap.Length()+4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBatteryAndProfiles(t *testing.T) {
+	kb, err := NewKiBaM(1000, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := NewPeukert(1000, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spiky := []float64{20, 1, 1, 1}
+	flat := []float64{6, 6, 6, 5}
+	for _, b := range []Battery{kb, pk} {
+		cmp, err := CompareLifetime(b, spiky, flat, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.ExtensionPercent() <= 0 {
+			t.Fatalf("flat profile should extend lifetime: %+v", cmp)
+		}
+	}
+	if s := AnalyzeProfile(spiky); s.Peak != 20 || s.Energy != 23 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFacadeSweepAndPlot(t *testing.T) {
+	c, err := Sweep(MustBenchmark("hal"), Table1(), 17, SweepConfig{PowerMin: 5, PowerMax: 25, Step: 5, SinglePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PlotCurves([]Curve{c}, 60, 12)
+	if !strings.Contains(out, "hal (T=17)") {
+		t.Fatalf("plot missing legend:\n%s", out)
+	}
+}
+
+func TestFacadeFigure1(t *testing.T) {
+	r, err := Figure1(MustBenchmark("hal"), Table1(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kibam.ExtensionPercent() <= 0 {
+		t.Fatal("no lifetime extension")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	g := MustBenchmark("hal")
+	_, err := Synthesize(g, Table1(), Constraints{Deadline: 20, PowerMax: 0.5}, Config{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	if DefaultCostModel().RegisterArea <= 0 {
+		t.Fatal("bad default cost model")
+	}
+}

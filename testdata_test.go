@@ -1,0 +1,69 @@
+package pchls
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadTestdata parses a .cdfg file from testdata/.
+func loadTestdata(t *testing.T, name string) *Graph {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := ParseGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSynthesizeMAC4FromFile(t *testing.T) {
+	g := loadTestdata(t, "mac4.cdfg")
+	if g.Name != "mac4" || g.N() != 12 {
+		t.Fatalf("mac4: %v", g)
+	}
+	d, err := SynthesizeBest(g, Table1(), Constraints{Deadline: 12, PowerMax: 12}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-operand coefficient multiplies act as identity: y = sum(x_i).
+	out, err := SimulateDesign(d, map[string]int64{"x0": 1, "x1": 2, "x2": 3, "x3": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != 10 {
+		t.Fatalf("y = %d, want 10", out["y"])
+	}
+	if err := VerifyDesign(d, map[string]int64{"x0": -7, "x1": 0, "x2": 9, "x3": 13}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeIIR2FromFile(t *testing.T) {
+	g := loadTestdata(t, "iir2.cdfg")
+	d, err := SynthesizeBest(g, Table1(), Constraints{Deadline: 14, PowerMax: 10}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDesign(d, map[string]int64{"xin": 5, "s1": 3, "s2": -2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Schedule.PeakPower() > 10 {
+		t.Fatalf("peak %.2f", d.Schedule.PeakPower())
+	}
+}
+
+func TestBadCycleFileRejected(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "bad_cycle.cdfg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ParseGraph(f); err == nil {
+		t.Fatal("cyclic .cdfg accepted")
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures fuzz cover clean
+.PHONY: all build test test-race vet bench figures fuzz cover clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector — the gate for the parallel
+# exploration engine (internal/runner and its call sites).
+test-race:
+	$(GO) test -race ./...
 
 # One iteration of every benchmark: regenerates the data behind every
 # table and figure of the paper plus the ablations.
@@ -32,6 +37,7 @@ figures:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cdfg/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/library/
+	$(GO) test -fuzz=FuzzRunnerMap -fuzztime=30s ./internal/runner/
 
 cover:
 	$(GO) test ./... -cover

@@ -34,6 +34,7 @@ func main() {
 		htmlOut  = flag.String("html", "", "write a self-contained HTML sweep report to this file (with -surface: the heatmap page)")
 		plotW    = flag.Int("plotw", 90, "ASCII plot width")
 		plotH    = flag.Int("ploth", 28, "ASCII plot height")
+		workers  = flag.Int("j", 0, "concurrent synthesis runs per sweep (0 = GOMAXPROCS, 1 = serial); results are identical for every setting")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: pchls-explore -surface -g <benchmark>")
 			os.Exit(2)
 		}
-		runSurface(*graphArg, *htmlOut)
+		runSurface(*graphArg, *htmlOut, *workers)
 		return
 	}
 	var specs []explore.Figure2Spec
@@ -64,8 +65,9 @@ func main() {
 	}
 	cfg := pchls.SweepConfig{
 		PowerMin: gridMin, PowerMax: *pmax, Step: *step,
-		SinglePass: *single, NoSubsume: *raw,
+		SinglePass: *single, NoSubsume: *raw, Workers: *workers,
 	}
+	cfg.Config.Workers = *workers
 	var curves []pchls.Curve
 	for _, spec := range specs {
 		g, err := pchls.Benchmark(spec.Benchmark)
@@ -108,7 +110,7 @@ func main() {
 // runSurface explores the (T x P<) plane of one benchmark around its
 // critical path and library power floor; htmlOut optionally receives the
 // heatmap page.
-func runSurface(name, htmlOut string) {
+func runSurface(name, htmlOut string, workers int) {
 	g, err := pchls.Benchmark(name)
 	if err != nil {
 		fatal(err)
@@ -119,7 +121,7 @@ func runSurface(name, htmlOut string) {
 		fatal(err)
 	}
 	cp := asap.Length()
-	cfg := pchls.SurfaceConfig{SinglePass: true}
+	cfg := pchls.SurfaceConfig{SinglePass: true, Workers: workers}
 	for T := cp; T <= cp*2+4; T += (cp + 5) / 6 {
 		cfg.Deadlines = append(cfg.Deadlines, T)
 	}

@@ -40,6 +40,7 @@ func main() {
 		htmlOut  = flag.String("html", "", "write a self-contained HTML design report to this file")
 		jsonOut  = flag.String("json", "", "write the design as JSON to this file")
 		tbOut    = flag.String("testbench", "", "with -simulate: write a self-checking Verilog testbench to this file")
+		workers  = flag.Int("j", 0, "concurrent synthesis runs in the portfolio (0 = GOMAXPROCS, 1 = serial); the design is identical for every setting")
 	)
 	flag.Parse()
 
@@ -73,7 +74,7 @@ func main() {
 	if *single {
 		synth = pchls.Synthesize
 	}
-	d, err := synth(g, lib, pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}, pchls.Config{})
+	d, err := synth(g, lib, pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}, pchls.Config{Workers: *workers})
 	if err != nil {
 		if errors.Is(err, pchls.ErrInfeasible) {
 			fmt.Fprintf(os.Stderr, "pchls: infeasible: %v\n", err)

@@ -18,12 +18,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"pchls/internal/bind"
 	"pchls/internal/cdfg"
 	"pchls/internal/library"
+	"pchls/internal/runner"
 	"pchls/internal/sched"
 )
 
@@ -49,6 +51,11 @@ type Config struct {
 	// (for the ablation experiments and as a portfolio variant): module
 	// assumptions then stay at the fastest power-feasible choice.
 	SkipAreaDescent bool
+	// Workers bounds how many independent synthesis runs SynthesizeBest's
+	// portfolio and peak-shaving ladder evaluate concurrently: 0 uses
+	// GOMAXPROCS, 1 keeps the legacy serial path. The returned design is
+	// identical for every setting.
+	Workers int
 }
 
 func (c Config) cost() bind.CostModel {
@@ -203,14 +210,45 @@ func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Confi
 // the recommended entry point when area quality matters more than a ~10x
 // constant in synthesis time.
 func SynthesizeBest(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
-	best, firstErr := Synthesize(g, lib, cons, cfg)
+	return SynthesizeBestContext(context.Background(), g, lib, cons, cfg)
+}
+
+// synthResult captures one portfolio run so runner.Map can carry synthesis
+// failures as data (an infeasible candidate is not a pool error).
+type synthResult struct {
+	d   *Design
+	err error
+}
+
+// SynthesizeBestContext is SynthesizeBest with cancellation and a bounded
+// worker pool: the two portfolio variants and the caps of the peak-shaving
+// ladder are independent synthesis runs evaluated cfg.Workers at a time.
+//
+// The returned design is identical for every worker count. The ladder's
+// serial semantics — walk caps from loosest to tightest, stopping after
+// 3 consecutive infeasible caps — are preserved by
+// evaluating caps speculatively in chunks and replaying the stop rule over
+// the results in cap order; chunk results past the serial stopping point
+// are discarded. Cancellation is checked between synthesis runs: a cancelled
+// ctx returns its error promptly without starting new runs.
+func SynthesizeBestContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	altCfg := cfg
+	altCfg.SkipAreaDescent = !cfg.SkipAreaDescent
+	configs := [2]Config{cfg, altCfg}
+	port, err := runner.Map(ctx, len(configs), runner.Config{Workers: cfg.Workers},
+		func(_ context.Context, i int) (synthResult, error) {
+			d, err := Synthesize(g, lib, cons, configs[i])
+			return synthResult{d, err}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	best, firstErr := port[0].d, port[0].err
 	maxPeak := 0.0
 	if best != nil {
 		maxPeak = best.Schedule.PeakPower()
 	}
-	altCfg := cfg
-	altCfg.SkipAreaDescent = !cfg.SkipAreaDescent
-	if alt, err := Synthesize(g, lib, cons, altCfg); err == nil {
+	if alt := port[1].d; port[1].err == nil && alt != nil {
 		if p := alt.Schedule.PeakPower(); p > maxPeak {
 			maxPeak = p
 		}
@@ -231,16 +269,42 @@ func SynthesizeBest(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg C
 		// can change anything.
 		top = maxPeak / 0.95
 	}
+	// Materialize the ladder with the same repeated multiplication the
+	// serial loop used so cap values are bit-identical.
+	var caps []float64
+	for cap := top * 0.95; cap > 0.1; cap *= 0.95 {
+		caps = append(caps, cap)
+	}
+	chunk, err := runner.ResolveWorkers(cfg.Workers, len(caps))
+	if err != nil {
+		return nil, err
+	}
 	failures := 0
-	for cap := top * 0.95; failures < 3 && cap > 0.1; cap *= 0.95 {
-		shaved, err := Synthesize(g, lib, Constraints{Deadline: cons.Deadline, PowerMax: cap}, cfg)
-		if err != nil {
-			failures++
-			continue
+	for lo := 0; lo < len(caps) && failures < 3; lo += chunk {
+		hi := lo + chunk
+		if hi > len(caps) {
+			hi = len(caps)
 		}
-		failures = 0
-		if shaved.Area() < best.Area() {
-			best = shaved
+		shaved, err := runner.Map(ctx, hi-lo, runner.Config{Workers: cfg.Workers},
+			func(_ context.Context, i int) (synthResult, error) {
+				d, err := Synthesize(g, lib, Constraints{Deadline: cons.Deadline, PowerMax: caps[lo+i]}, cfg)
+				return synthResult{d, err}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range shaved {
+			if failures >= 3 {
+				break // the serial walk would have stopped here
+			}
+			if r.err != nil {
+				failures++
+				continue
+			}
+			failures = 0
+			if r.d.Area() < best.Area() {
+				best = r.d
+			}
 		}
 	}
 	best.Cons = cons

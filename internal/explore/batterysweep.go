@@ -1,12 +1,14 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pchls/internal/cdfg"
 	"pchls/internal/library"
 	"pchls/internal/power"
+	"pchls/internal/runner"
 	"pchls/internal/sched"
 )
 
@@ -42,6 +44,15 @@ type BatteryCurve struct {
 // work per period) relative to the unconstrained ASAP schedule. Caps at or
 // above the unconstrained peak yield zero extension by construction.
 func BatterySweep(g *cdfg.Graph, lib *library.Library, caps []float64) (BatteryCurve, error) {
+	return BatterySweepContext(context.Background(), g, lib, caps, 0)
+}
+
+// BatterySweepContext is BatterySweep with cancellation and a bounded
+// worker pool: each cap's pasap schedule and battery simulations are
+// independent, so they are evaluated workers at a time (0 = GOMAXPROCS,
+// 1 = legacy serial path). The curve is byte-identical for every setting;
+// the shared battery models are stateless per simulation.
+func BatterySweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, caps []float64, workers int) (BatteryCurve, error) {
 	if len(caps) == 0 {
 		return BatteryCurve{}, fmt.Errorf("%w: no caps", ErrBadGrid)
 	}
@@ -69,22 +80,29 @@ func BatterySweep(g *cdfg.Graph, lib *library.Library, caps []float64) (BatteryC
 	if err != nil {
 		return BatteryCurve{}, err
 	}
-	for _, cap := range caps {
-		pt := BatteryPoint{PowerMax: cap}
-		s, err := sched.PASAP(g, bind, sched.Options{PowerMax: cap})
-		if err == nil {
-			pt.Feasible = true
-			pt.StretchCycles = s.Length()
-			prof := s.Profile()
-			if cmp, err := power.Compare(kb, baseProfile, prof, 1<<20); err == nil {
-				pt.KibamExt = cmp.ExtensionPercent()
+	points, err := runner.Map(ctx, len(caps), runner.Config{Workers: workers},
+		func(ctx context.Context, i int) (BatteryPoint, error) {
+			pt := BatteryPoint{PowerMax: caps[i]}
+			s, err := sched.PASAP(g, bind, sched.Options{PowerMax: caps[i]})
+			if err == nil {
+				pt.Feasible = true
+				pt.StretchCycles = s.Length()
+				prof := s.Profile()
+				if cmp, err := power.Compare(kb, baseProfile, prof, 1<<20); err == nil {
+					pt.KibamExt = cmp.ExtensionPercent()
+				}
+				if cmp, err := power.Compare(pk, baseProfile, prof, 1<<20); err == nil {
+					pt.PeukertExt = cmp.ExtensionPercent()
+				}
+			} else if ctxErr := ctx.Err(); ctxErr != nil {
+				return pt, ctxErr
 			}
-			if cmp, err := power.Compare(pk, baseProfile, prof, 1<<20); err == nil {
-				pt.PeukertExt = cmp.ExtensionPercent()
-			}
-		}
-		curve.Points = append(curve.Points, pt)
+			return pt, nil
+		})
+	if err != nil {
+		return BatteryCurve{}, err
 	}
+	curve.Points = points
 	return curve, nil
 }
 

@@ -6,6 +6,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"pchls/internal/core"
 	"pchls/internal/library"
 	"pchls/internal/power"
+	"pchls/internal/runner"
 	"pchls/internal/sched"
 )
 
@@ -60,6 +62,10 @@ type SweepConfig struct {
 	// a tighter budget replaces a worse design at a looser budget (it is
 	// feasible there too), making curves non-increasing by construction.
 	NoSubsume bool
+	// Workers bounds the number of grid points synthesized concurrently:
+	// 0 uses GOMAXPROCS, 1 keeps the legacy serial path. The curve is
+	// byte-identical for every setting.
+	Workers int
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -71,31 +77,58 @@ var ErrBadGrid = errors.New("explore: invalid sweep grid")
 // grid and returns the resulting curve. Infeasible budgets produce
 // Feasible=false points. The graph and library are not modified.
 func Sweep(g *cdfg.Graph, lib *library.Library, deadline int, cfg SweepConfig) (Curve, error) {
+	return SweepContext(context.Background(), g, lib, deadline, cfg)
+}
+
+// SweepContext is Sweep with cancellation: grid points are synthesized by
+// a bounded worker pool (cfg.Workers) and ctx cancellation aborts the sweep
+// between synthesis runs, returning ctx's error. Results are identical to
+// the serial sweep for every worker count: each grid point is an
+// independent synthesis run, and the budget-subsumption pass that couples
+// neighbouring points runs serially over the collected results.
+func SweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, deadline int, cfg SweepConfig) (Curve, error) {
 	if cfg.Step <= 0 || cfg.PowerMax < cfg.PowerMin || cfg.PowerMin < 0 {
 		return Curve{}, fmt.Errorf("%w: min %g max %g step %g", ErrBadGrid, cfg.PowerMin, cfg.PowerMax, cfg.Step)
 	}
-	synth := core.SynthesizeBest
+	synth := core.SynthesizeBestContext
 	if cfg.SinglePass {
-		synth = core.Synthesize
+		synth = func(_ context.Context, g *cdfg.Graph, lib *library.Library, cons core.Constraints, c core.Config) (*core.Design, error) {
+			return core.Synthesize(g, lib, cons, c)
+		}
+	}
+	// The grid is materialized with the same accumulating sum the serial
+	// loop used, so sample values are bit-identical.
+	var powers []float64
+	for p := cfg.PowerMin; p <= cfg.PowerMax+1e-9; p += cfg.Step {
+		powers = append(powers, p)
+	}
+	raw, err := runner.Map(ctx, len(powers), runner.Config{Workers: cfg.Workers},
+		func(ctx context.Context, i int) (Point, error) {
+			pt := Point{Power: powers[i]}
+			d, err := synth(ctx, g, lib, core.Constraints{Deadline: deadline, PowerMax: powers[i]}, cfg.Config)
+			if err == nil {
+				pt.Feasible = true
+				pt.Area = d.Area()
+				pt.Peak = d.Schedule.PeakPower()
+				pt.FUs = len(d.FUs)
+				pt.Registers = len(d.Datapath.Registers)
+				pt.Locked = d.Locked
+			} else if ctxErr := ctx.Err(); ctxErr != nil {
+				return pt, ctxErr
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return Curve{}, err
 	}
 	curve := Curve{Benchmark: g.Name, Deadline: deadline}
 	var carried *Point // best feasible point so far (tightest budgets first)
-	for p := cfg.PowerMin; p <= cfg.PowerMax+1e-9; p += cfg.Step {
-		pt := Point{Power: p}
-		d, err := synth(g, lib, core.Constraints{Deadline: deadline, PowerMax: p}, cfg.Config)
-		if err == nil {
-			pt.Feasible = true
-			pt.Area = d.Area()
-			pt.Peak = d.Schedule.PeakPower()
-			pt.FUs = len(d.FUs)
-			pt.Registers = len(d.Datapath.Registers)
-			pt.Locked = d.Locked
-		}
+	for _, pt := range raw {
 		if !cfg.NoSubsume {
-			// A design under a tighter budget is feasible at p too.
+			// A design under a tighter budget is feasible at pt.Power too.
 			if carried != nil && (!pt.Feasible || carried.Area < pt.Area) {
 				c := *carried
-				c.Power = p
+				c.Power = pt.Power
 				pt = c
 			}
 			if pt.Feasible && (carried == nil || pt.Area < carried.Area) {

@@ -1,0 +1,283 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// requireIdenticalCSV runs the same exploration serially (Workers: 1) and
+// with a saturated pool (Workers: 8) and requires byte-identical CSV output
+// — the serial-equivalence guarantee the parallel engine documents.
+func requireIdenticalCSV(t *testing.T, label string, run func(workers int) (string, error)) {
+	t.Helper()
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("%s: serial run: %v", label, err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("%s: parallel run: %v", label, err)
+	}
+	if serial == parallel {
+		return
+	}
+	sl := strings.Split(serial, "\n")
+	pl := strings.Split(parallel, "\n")
+	for i := 0; i < len(sl) || i < len(pl); i++ {
+		var s, p string
+		if i < len(sl) {
+			s = sl[i]
+		}
+		if i < len(pl) {
+			p = pl[i]
+		}
+		if s != p {
+			t.Fatalf("%s: CSV diverges at line %d:\n  serial:   %q\n  parallel: %q", label, i, s, p)
+		}
+	}
+}
+
+// TestParallelMatchesSerial sweeps every benchmark graph across all four
+// exploration surfaces with Workers: 1 and Workers: 8 and requires
+// byte-identical CSV output for each pair.
+func TestParallelMatchesSerial(t *testing.T) {
+	lib := library.Table1()
+	for _, name := range []string{"hal", "cosine", "elliptic", "fir16", "ar", "diffeq2", "fft8"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := asap.Length()
+			peak := asap.PeakPower()
+
+			requireIdenticalCSV(t, "Sweep", func(workers int) (string, error) {
+				c, err := Sweep(g, lib, cp+3, SweepConfig{
+					PowerMin: peak / 4, PowerMax: peak * 1.25, Step: peak / 4,
+					SinglePass: true, Workers: workers,
+				})
+				return c.CSV(), err
+			})
+			requireIdenticalCSV(t, "TimeSweep", func(workers int) (string, error) {
+				c, err := TimeSweep(g, lib, peak*0.8, TimeSweepConfig{
+					TMin: cp, TMax: cp + 4, Step: 2,
+					SinglePass: true, Workers: workers,
+				})
+				return c.CSV(), err
+			})
+			requireIdenticalCSV(t, "BatterySweep", func(workers int) (string, error) {
+				c, err := BatterySweepContext(context.Background(), g, lib,
+					[]float64{peak * 0.6, peak * 0.8, peak * 1.05, peak * 1.3}, workers)
+				return c.CSV(), err
+			})
+			requireIdenticalCSV(t, "ExploreSurface", func(workers int) (string, error) {
+				s, err := ExploreSurface(g, lib, SurfaceConfig{
+					Deadlines:  []int{cp, cp + 2, cp + 5},
+					Powers:     []float64{peak * 0.5, peak * 0.8, peak * 1.1},
+					SinglePass: true, Workers: workers,
+				})
+				return s.CSV(), err
+			})
+		})
+	}
+}
+
+// TestParallelMatchesSerialPortfolio exercises the SynthesizeBest path
+// (portfolio + speculative peak-shaving ladder) rather than the one-shot
+// synthesizer: the ladder's 3-consecutive-failure stop rule is replayed
+// serially over speculative results, so the curve must still match.
+func TestParallelMatchesSerialPortfolio(t *testing.T) {
+	lib := library.Table1()
+	g := bench.HAL()
+	requireIdenticalCSV(t, "Sweep/SynthesizeBest", func(workers int) (string, error) {
+		cfg := SweepConfig{PowerMin: 5, PowerMax: 30, Step: 5, Workers: workers}
+		cfg.Config.Workers = workers
+		c, err := Sweep(g, lib, 17, cfg)
+		return c.CSV(), err
+	})
+}
+
+// TestSweepCancelledContext checks the cancellation contract on all four
+// exploration surfaces: an already-cancelled context returns promptly with
+// context.Canceled and leaves no worker goroutines behind.
+func TestSweepCancelledContext(t *testing.T) {
+	lib := library.Table1()
+	g := bench.HAL()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+
+	runs := []struct {
+		label string
+		run   func() error
+	}{
+		{"SweepContext", func() error {
+			_, err := SweepContext(ctx, g, lib, 17, SweepConfig{PowerMin: 5, PowerMax: 50, Step: 1, Workers: 8})
+			return err
+		}},
+		{"TimeSweepContext", func() error {
+			_, err := TimeSweepContext(ctx, g, lib, 20, TimeSweepConfig{TMin: 8, TMax: 40, Step: 1, Workers: 8})
+			return err
+		}},
+		{"BatterySweepContext", func() error {
+			_, err := BatterySweepContext(ctx, g, lib, []float64{10, 15, 20, 25}, 8)
+			return err
+		}},
+		{"ExploreSurfaceContext", func() error {
+			_, err := ExploreSurfaceContext(ctx, g, lib, SurfaceConfig{
+				Deadlines: []int{10, 14, 17}, Powers: []float64{10, 20, 30}, Workers: 8,
+			})
+			return err
+		}},
+	}
+	for _, r := range runs {
+		start := time.Now()
+		err := r.run()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.label, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("%s: cancelled run took %v", r.label, elapsed)
+		}
+	}
+
+	// Worker goroutines must all have exited; allow the runtime a moment
+	// to settle and a small slack for unrelated background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after cancelled sweeps", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSweepInfeasibleMiddlePoint pins a latent gap: the greedy synthesizer
+// is not monotone in the power budget, so a sweep can hit an infeasible
+// point strictly between feasible ones. For hal at T=15 the raw one-pass
+// curve is feasible at P=8, infeasible across 8.5..10.5, and feasible
+// again from P=11 — and budget subsumption must carry the P=8 design
+// across the hole.
+func TestSweepInfeasibleMiddlePoint(t *testing.T) {
+	lib := library.Table1()
+	g := bench.HAL()
+	raw, err := Sweep(g, lib, 15, SweepConfig{
+		PowerMin: 7, PowerMax: 12, Step: 0.5,
+		SinglePass: true, NoSubsume: true, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasibleAt := func(c Curve, power float64) (Point, bool) {
+		for _, p := range c.Points {
+			if p.Power == power {
+				return p, p.Feasible
+			}
+		}
+		t.Fatalf("no grid point at P=%g", power)
+		return Point{}, false
+	}
+	p8, ok := feasibleAt(raw, 8)
+	if !ok {
+		t.Fatal("hal T=15 P=8 should be feasible")
+	}
+	if p8.Area != 624.0 {
+		t.Errorf("hal T=15 P=8 area = %.1f, want 624.0", p8.Area)
+	}
+	for _, hole := range []float64{8.5, 9, 9.5, 10, 10.5} {
+		if _, ok := feasibleAt(raw, hole); ok {
+			t.Errorf("hal T=15 P=%g should be an infeasible middle point", hole)
+		}
+	}
+	if _, ok := feasibleAt(raw, 11); !ok {
+		t.Error("hal T=15 P=11 should be feasible again (non-monotone heuristic)")
+	}
+
+	// With subsumption, the P=8 design (feasible at looser budgets too)
+	// must fill the hole, making every point from 8 on feasible with
+	// non-increasing area.
+	subsumed, err := Sweep(g, lib, 15, SweepConfig{
+		PowerMin: 7, PowerMax: 12, Step: 0.5,
+		SinglePass: true, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range subsumed.Points {
+		switch {
+		case p.Power < 8:
+			if p.Feasible {
+				t.Errorf("subsumed P=%g should stay infeasible", p.Power)
+			}
+		default:
+			if !p.Feasible {
+				t.Errorf("subsumed P=%g should be feasible via the P=8 design", p.Power)
+			}
+			if p.Area > p8.Area {
+				t.Errorf("subsumed P=%g area %.1f exceeds carried %.1f", p.Power, p.Area, p8.Area)
+			}
+		}
+	}
+
+	// The hole must survive parallel evaluation bit-for-bit.
+	requireIdenticalCSV(t, "Sweep/middle-hole", func(workers int) (string, error) {
+		c, err := Sweep(g, lib, 15, SweepConfig{
+			PowerMin: 7, PowerMax: 12, Step: 0.5,
+			SinglePass: true, NoSubsume: true, Workers: workers,
+		})
+		return c.CSV(), err
+	})
+}
+
+// BenchmarkSurface measures the surface-grid exploration at Workers 1
+// versus 4 on the three largest benchmark grids. On a multi-core runner
+// the workers=4 variants should show the parallel speedup; on a single
+// core they degenerate to the serial cost.
+func BenchmarkSurface(b *testing.B) {
+	lib := library.Table1()
+	for _, name := range []string{"hal", "elliptic", "fft8"} {
+		g, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp := asap.Length()
+		peak := asap.PeakPower()
+		cfg := SurfaceConfig{
+			Deadlines:  []int{cp, cp + 2, cp + 4, cp + 6},
+			Powers:     []float64{peak * 0.4, peak * 0.6, peak * 0.8, peak * 1.0},
+			SinglePass: true,
+		}
+		for _, workers := range []int{1, 4} {
+			cfg := cfg
+			cfg.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ExploreSurface(g, lib, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

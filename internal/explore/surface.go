@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"pchls/internal/cdfg"
 	"pchls/internal/core"
 	"pchls/internal/library"
+	"pchls/internal/runner"
 )
 
 // SurfacePoint is one sample of the two-dimensional time-power design
@@ -34,6 +36,10 @@ type SurfaceConfig struct {
 	Powers []float64
 	// SinglePass uses the one-shot Synthesize instead of SynthesizeBest.
 	SinglePass bool
+	// Workers bounds the number of (deadline, power) cells synthesized
+	// concurrently: 0 uses GOMAXPROCS, 1 keeps the legacy serial path. The
+	// surface is byte-identical for every setting.
+	Workers int
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -44,6 +50,16 @@ type SurfaceConfig struct {
 // from tighter deadlines (a design meeting a tighter T also meets a looser
 // one), so the surface is monotone in both axes by construction.
 func ExploreSurface(g *cdfg.Graph, lib *library.Library, cfg SurfaceConfig) (Surface, error) {
+	return ExploreSurfaceContext(context.Background(), g, lib, cfg)
+}
+
+// ExploreSurfaceContext is ExploreSurface with cancellation: the grid cells
+// are synthesized by a bounded worker pool (cfg.Workers) and ctx
+// cancellation aborts the exploration between synthesis runs. The surface
+// is identical to the serial exploration for every worker count: cells are
+// independent synthesis runs, and the two-axis subsumption pass that makes
+// the surface monotone runs serially over the collected results.
+func ExploreSurfaceContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, cfg SurfaceConfig) (Surface, error) {
 	if len(cfg.Deadlines) == 0 || len(cfg.Powers) == 0 {
 		return Surface{}, fmt.Errorf("%w: empty surface grid", ErrBadGrid)
 	}
@@ -51,9 +67,29 @@ func ExploreSurface(g *cdfg.Graph, lib *library.Library, cfg SurfaceConfig) (Sur
 	sort.Ints(deadlines)
 	powers := append([]float64(nil), cfg.Powers...)
 	sort.Float64s(powers)
-	synth := core.SynthesizeBest
+	synth := core.SynthesizeBestContext
 	if cfg.SinglePass {
-		synth = core.Synthesize
+		synth = func(_ context.Context, g *cdfg.Graph, lib *library.Library, cons core.Constraints, c core.Config) (*core.Design, error) {
+			return core.Synthesize(g, lib, cons, c)
+		}
+	}
+	// Cells in row-major (deadline-major) order, matching the serial walk.
+	raw, err := runner.Map(ctx, len(deadlines)*len(powers), runner.Config{Workers: cfg.Workers},
+		func(ctx context.Context, i int) (SurfacePoint, error) {
+			T := deadlines[i/len(powers)]
+			P := powers[i%len(powers)]
+			pt := SurfacePoint{Deadline: T, Power: P}
+			d, err := synth(ctx, g, lib, core.Constraints{Deadline: T, PowerMax: P}, cfg.Config)
+			if err == nil {
+				pt.Feasible = true
+				pt.Area = d.Area()
+			} else if ctxErr := ctx.Err(); ctxErr != nil {
+				return pt, ctxErr
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return Surface{}, err
 	}
 	surface := Surface{Benchmark: g.Name}
 	// bestAtPower[i] carries the best area seen for powers[i] across the
@@ -62,14 +98,10 @@ func ExploreSurface(g *cdfg.Graph, lib *library.Library, cfg SurfaceConfig) (Sur
 	for i := range bestAtPower {
 		bestAtPower[i] = -1
 	}
-	for _, T := range deadlines {
+	for ti := range deadlines {
 		carried := -1.0 // power subsumption within this deadline
-		for pi, P := range powers {
-			pt := SurfacePoint{Deadline: T, Power: P}
-			if d, err := synth(g, lib, core.Constraints{Deadline: T, PowerMax: P}, cfg.Config); err == nil {
-				pt.Feasible = true
-				pt.Area = d.Area()
-			}
+		for pi := range powers {
+			pt := raw[ti*len(powers)+pi]
 			if carried >= 0 && (!pt.Feasible || carried < pt.Area) {
 				pt.Feasible = true
 				pt.Area = carried

@@ -1,12 +1,14 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pchls/internal/cdfg"
 	"pchls/internal/core"
 	"pchls/internal/library"
+	"pchls/internal/runner"
 )
 
 // TimePoint is one sample of an area-versus-latency sweep.
@@ -51,6 +53,10 @@ type TimeSweepConfig struct {
 	// deadline also meets a looser one; by default curves are made
 	// non-increasing in T by carrying the best design forward).
 	NoSubsume bool
+	// Workers bounds the number of grid points synthesized concurrently:
+	// 0 uses GOMAXPROCS, 1 keeps the legacy serial path. The curve is
+	// byte-identical for every setting.
+	Workers int
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -59,29 +65,53 @@ type TimeSweepConfig struct {
 // on the grid — the orthogonal cut through the time-power-constraint space
 // the paper's evaluation explores.
 func TimeSweep(g *cdfg.Graph, lib *library.Library, powerMax float64, cfg TimeSweepConfig) (TimeCurve, error) {
+	return TimeSweepContext(context.Background(), g, lib, powerMax, cfg)
+}
+
+// TimeSweepContext is TimeSweep with cancellation: grid points are
+// synthesized by a bounded worker pool (cfg.Workers) and ctx cancellation
+// aborts the sweep between synthesis runs. Results are identical to the
+// serial sweep for every worker count; the deadline-subsumption pass runs
+// serially over the collected results.
+func TimeSweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, powerMax float64, cfg TimeSweepConfig) (TimeCurve, error) {
 	if cfg.Step <= 0 || cfg.TMax < cfg.TMin || cfg.TMin <= 0 {
 		return TimeCurve{}, fmt.Errorf("%w: tmin %d tmax %d step %d", ErrBadGrid, cfg.TMin, cfg.TMax, cfg.Step)
 	}
-	synth := core.SynthesizeBest
+	synth := core.SynthesizeBestContext
 	if cfg.SinglePass {
-		synth = core.Synthesize
+		synth = func(_ context.Context, g *cdfg.Graph, lib *library.Library, cons core.Constraints, c core.Config) (*core.Design, error) {
+			return core.Synthesize(g, lib, cons, c)
+		}
+	}
+	var deadlines []int
+	for T := cfg.TMin; T <= cfg.TMax; T += cfg.Step {
+		deadlines = append(deadlines, T)
+	}
+	raw, err := runner.Map(ctx, len(deadlines), runner.Config{Workers: cfg.Workers},
+		func(ctx context.Context, i int) (TimePoint, error) {
+			pt := TimePoint{Deadline: deadlines[i]}
+			d, err := synth(ctx, g, lib, core.Constraints{Deadline: deadlines[i], PowerMax: powerMax}, cfg.Config)
+			if err == nil {
+				pt.Feasible = true
+				pt.Area = d.Area()
+				pt.Peak = d.Schedule.PeakPower()
+				pt.FUs = len(d.FUs)
+				pt.Registers = len(d.Datapath.Registers)
+			} else if ctxErr := ctx.Err(); ctxErr != nil {
+				return pt, ctxErr
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return TimeCurve{}, err
 	}
 	curve := TimeCurve{Benchmark: g.Name, PowerMax: powerMax}
 	var carried *TimePoint
-	for T := cfg.TMin; T <= cfg.TMax; T += cfg.Step {
-		pt := TimePoint{Deadline: T}
-		d, err := synth(g, lib, core.Constraints{Deadline: T, PowerMax: powerMax}, cfg.Config)
-		if err == nil {
-			pt.Feasible = true
-			pt.Area = d.Area()
-			pt.Peak = d.Schedule.PeakPower()
-			pt.FUs = len(d.FUs)
-			pt.Registers = len(d.Datapath.Registers)
-		}
+	for _, pt := range raw {
 		if !cfg.NoSubsume {
 			if carried != nil && (!pt.Feasible || carried.Area < pt.Area) {
 				c := *carried
-				c.Deadline = T
+				c.Deadline = pt.Deadline
 				pt = c
 			}
 			if pt.Feasible && (carried == nil || pt.Area < carried.Area) {

@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// FuzzRunnerMap hammers Map with random item counts, worker counts and
+// injected failures (errors and panics), asserting the invariants the
+// exploration surfaces depend on: no deadlock, results land by input index,
+// failures propagate under both policies, and successful runs return every
+// result.
+func FuzzRunnerMap(f *testing.F) {
+	f.Add(uint8(10), uint8(2), uint16(0), uint16(0), false)
+	f.Add(uint8(100), uint8(8), uint16(5), uint16(0), false)
+	f.Add(uint8(50), uint8(0), uint16(7), uint16(13), true)
+	f.Add(uint8(1), uint8(1), uint16(0), uint16(0), true)
+	f.Add(uint8(0), uint8(4), uint16(0), uint16(0), false)
+	f.Fuzz(func(t *testing.T, nRaw, workersRaw uint8, errEvery, panicEvery uint16, collectAll bool) {
+		n := int(nRaw)
+		workers := int(workersRaw) % 17 // 0..16
+		policy := FirstError
+		if collectAll {
+			policy = CollectAll
+		}
+		injected := errors.New("injected")
+		fn := func(_ context.Context, i int) (int, error) {
+			if panicEvery > 0 && i%int(panicEvery) == int(panicEvery)-1 {
+				panic(fmt.Sprintf("injected panic at %d", i))
+			}
+			if errEvery > 0 && i%int(errEvery) == int(errEvery)-1 {
+				return 0, fmt.Errorf("%w at %d", injected, i)
+			}
+			return i + 1, nil
+		}
+
+		done := make(chan struct{})
+		var out []int
+		var err error
+		go func() {
+			defer close(done)
+			out, err = Map(context.Background(), n, Config{Workers: workers, Policy: policy}, fn)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("deadlock: Map(n=%d, workers=%d, errEvery=%d, panicEvery=%d, policy=%v) did not return",
+				n, workers, errEvery, panicEvery, policy)
+		}
+
+		if len(out) != n {
+			t.Fatalf("len(out) = %d, want %d", len(out), n)
+		}
+		anyFailure := false
+		for i := 0; i < n; i++ {
+			itemPanics := panicEvery > 0 && i%int(panicEvery) == int(panicEvery)-1
+			itemErrs := !itemPanics && errEvery > 0 && i%int(errEvery) == int(errEvery)-1
+			if itemPanics || itemErrs {
+				anyFailure = true
+				continue
+			}
+			// A successful item either ran (out[i] == i+1) or was skipped
+			// after a FirstError cancellation (out[i] == 0). Anything else
+			// means results were misplaced.
+			if out[i] != i+1 && out[i] != 0 {
+				t.Fatalf("out[%d] = %d, want %d or 0 (skipped)", i, out[i], i+1)
+			}
+			if policy == CollectAll && out[i] != i+1 {
+				t.Fatalf("CollectAll skipped item %d (out = %d)", i, out[i])
+			}
+		}
+		if anyFailure && err == nil {
+			t.Fatalf("failures injected (errEvery=%d panicEvery=%d n=%d) but Map returned nil error",
+				errEvery, panicEvery, n)
+		}
+		if !anyFailure {
+			if err != nil {
+				t.Fatalf("no failures injected but err = %v", err)
+			}
+			for i := 0; i < n; i++ {
+				if out[i] != i+1 {
+					t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+				}
+			}
+		}
+		if anyFailure {
+			var pe *PanicError
+			if !errors.Is(err, injected) && !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want injected error or *PanicError", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package runner is the shared concurrent-evaluation substrate behind the
+// design-space exploration surfaces: a bounded worker pool that maps a
+// function over an index range with deterministic result placement.
+//
+// The exploration workloads (power sweeps, time sweeps, battery sweeps,
+// time-power surfaces, multi-start synthesis portfolios) are embarrassingly
+// parallel grids of independent synthesis runs. Map runs them across a
+// bounded number of goroutines while guaranteeing that results land by
+// input index, so parallel output is bit-identical to the serial order —
+// the property the explore package's determinism harness pins.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Policy selects how Map reacts to item errors.
+type Policy int
+
+const (
+	// FirstError cancels outstanding work as soon as any item fails and
+	// returns a single error: the failure with the smallest input index
+	// (preferring real failures over cancellation fallout). Items that
+	// never started are skipped and keep their zero-value results.
+	FirstError Policy = iota
+	// CollectAll runs every item regardless of failures and returns all
+	// item errors joined in input-index order.
+	CollectAll
+)
+
+// Config parameterizes Map.
+type Config struct {
+	// Workers bounds the number of concurrent item evaluations.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs the items inline on the
+	// calling goroutine (the legacy serial path, kept for debugging);
+	// negative values are an error.
+	Workers int
+	// Policy selects the error-handling policy (default FirstError).
+	Policy Policy
+}
+
+// PanicError is the error a recovered item panic is converted to.
+type PanicError struct {
+	// Index is the input index of the item that panicked.
+	Index int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: item %d panicked: %v", e.Index, e.Value)
+}
+
+// ErrBadWorkers is returned for negative worker counts.
+var ErrBadWorkers = errors.New("runner: negative worker count")
+
+// ResolveWorkers maps the Workers knob to a concrete pool size:
+// 0 becomes runtime.GOMAXPROCS(0), positive values pass through, and the
+// pool never exceeds n (spawning more workers than items is waste).
+// Negative values return ErrBadWorkers.
+func ResolveWorkers(workers, n int) (int, error) {
+	if workers < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadWorkers, workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers, nil
+}
+
+// Map applies fn to every index in [0, n) with at most cfg.Workers
+// concurrent evaluations and returns the results placed by input index,
+// regardless of completion order.
+//
+// The context is checked before each item starts: once ctx is cancelled no
+// new item begins, and Map returns ctx's error after in-flight items drain
+// (fn itself is not interrupted; pass ctx-aware functions for finer-grained
+// cancellation). A panic inside fn is recovered and converted to a
+// *PanicError for that item; it never takes down the process.
+//
+// With cfg.Workers == 1 the items run inline on the calling goroutine in
+// input order — the serial reference path. Any other setting must produce
+// byte-identical results for deterministic fn.
+func Map[T any](ctx context.Context, n int, cfg Config, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative item count %d", n)
+	}
+	results := make([]T, n)
+	if n == 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers, err := ResolveWorkers(cfg.Workers, n)
+	if err != nil {
+		return nil, err
+	}
+
+	itemErrs := make([]error, n)
+	run := func(ctx context.Context, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 64<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				err = &PanicError{Index: i, Value: r, Stack: buf}
+			}
+		}()
+		results[i], err = fn(ctx, i)
+		return err
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, mapError(cfg.Policy, itemErrs, err)
+			}
+			itemErrs[i] = run(ctx, i)
+			if itemErrs[i] != nil && cfg.Policy == FirstError {
+				break
+			}
+		}
+		return results, mapError(cfg.Policy, itemErrs, ctx.Err())
+	}
+
+	// Cancel the pool's context on first error under FirstError so idle
+	// items are skipped and ctx-aware fns return early.
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || poolCtx.Err() != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				err := run(poolCtx, i)
+				if err != nil {
+					mu.Lock()
+					itemErrs[i] = err
+					mu.Unlock()
+					if cfg.Policy == FirstError {
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, mapError(cfg.Policy, itemErrs, ctx.Err())
+}
+
+// mapError folds per-item errors into Map's return error under the policy.
+// ctxErr is the caller context's error (nil when not cancelled); it wins
+// only when no real item failure explains the outcome.
+func mapError(policy Policy, itemErrs []error, ctxErr error) error {
+	if policy == CollectAll {
+		var errs []error
+		for i, e := range itemErrs {
+			if e != nil {
+				errs = append(errs, fmt.Errorf("item %d: %w", i, e))
+			}
+		}
+		if ctxErr != nil {
+			errs = append(errs, ctxErr)
+		}
+		return errors.Join(errs...)
+	}
+	// FirstError: the smallest-index failure that is not cancellation
+	// fallout; items cancelled mid-flight report the context error, which
+	// must not mask the failure that triggered the cancellation.
+	var fallback error
+	for i, e := range itemErrs {
+		if e == nil {
+			continue
+		}
+		if !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			return fmt.Errorf("runner: item %d: %w", i, e)
+		}
+		if fallback == nil {
+			fallback = fmt.Errorf("runner: item %d: %w", i, e)
+		}
+	}
+	if ctxErr != nil {
+		return ctxErr
+	}
+	return fallback
+}

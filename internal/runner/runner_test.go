@@ -1,0 +1,244 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out, err := Map(context.Background(), 100, Config{Workers: workers},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	out, err := Map(context.Background(), 0, Config{},
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Map(context.Background(), -1, Config{},
+		func(_ context.Context, i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := Map(context.Background(), 3, Config{Workers: -2},
+		func(_ context.Context, i int) (int, error) { return 0, nil }); !errors.Is(err, ErrBadWorkers) {
+		t.Fatalf("negative workers: %v", err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	_, err := Map(context.Background(), 50, Config{Workers: workers},
+		func(_ context.Context, i int) (struct{}, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent items, cap %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorPolicy(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		_, err := Map(context.Background(), 200, Config{Workers: workers},
+			func(_ context.Context, i int) (int, error) {
+				ran.Add(1)
+				if i == 5 {
+					return 0, boom
+				}
+				return i, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		if n := ran.Load(); n == 200 && workers == 1 {
+			t.Fatalf("workers=%d: FirstError ran all items", workers)
+		}
+	}
+}
+
+func TestMapFirstErrorSmallestIndexWins(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	// Both items fail; the error of the smaller index must be reported
+	// regardless of completion order (item 7 fails immediately, item 2
+	// slowly).
+	_, err := Map(context.Background(), 8, Config{Workers: 8},
+		func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 2:
+				time.Sleep(2 * time.Millisecond)
+				return 0, errA
+			case 7:
+				return 0, errB
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	// Item 7's error cancels the pool; item 2 may be skipped entirely or
+	// still fail. Whatever ran, the reported error must be a real item
+	// error, never bare cancellation fallout.
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want a real item error", err)
+	}
+}
+
+func TestMapCollectAllPolicy(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		out, err := Map(context.Background(), 20, Config{Workers: workers, Policy: CollectAll},
+			func(_ context.Context, i int) (int, error) {
+				ran.Add(1)
+				if i%7 == 3 {
+					return -1, fmt.Errorf("%w at %d", boom, i)
+				}
+				return i, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if n := ran.Load(); n != 20 {
+			t.Fatalf("workers=%d: CollectAll ran %d/20 items", workers, n)
+		}
+		for i, v := range out {
+			want := i
+			if i%7 == 3 {
+				want = -1
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), 10, Config{Workers: workers},
+			func(_ context.Context, i int) (int, error) {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error = %+v", workers, pe)
+		}
+	}
+}
+
+func TestMapCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		start := time.Now()
+		_, err := Map(ctx, 1000, Config{Workers: workers},
+			func(_ context.Context, i int) (int, error) {
+				ran.Add(1)
+				time.Sleep(time.Millisecond)
+				return i, nil
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("workers=%d: %d items ran under a cancelled context", workers, n)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("workers=%d: cancelled Map took %v", workers, d)
+		}
+	}
+}
+
+func TestMapMidflightCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	_, err := Map(ctx, 500, Config{Workers: 2},
+		func(c context.Context, i int) (int, error) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 500 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+func TestMapNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for k := 0; k < 20; k++ {
+		_, _ = Map(context.Background(), 50, Config{Workers: 8},
+			func(_ context.Context, i int) (int, error) {
+				if i == 25 {
+					return 0, errors.New("stop")
+				}
+				return i, nil
+			})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines: before %d, after %d", before, after)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{1, 100, 1},
+		{8, 3, 3},
+		{8, 100, 8},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		got, err := ResolveWorkers(c.workers, c.n)
+		if err != nil || got != c.want {
+			t.Errorf("ResolveWorkers(%d, %d) = %d, %v; want %d", c.workers, c.n, got, err, c.want)
+		}
+	}
+	if _, err := ResolveWorkers(-1, 10); !errors.Is(err, ErrBadWorkers) {
+		t.Errorf("negative workers: %v", err)
+	}
+}

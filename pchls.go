@@ -23,6 +23,7 @@
 package pchls
 
 import (
+	"context"
 	"io"
 
 	"pchls/internal/bench"
@@ -148,9 +149,17 @@ func Synthesize(g *Graph, lib *Library, cons Constraints, cfg Config) (*Design, 
 }
 
 // SynthesizeBest wraps Synthesize with a starting-point portfolio and
-// peak-shaving meta-heuristics; it is the recommended entry point.
+// peak-shaving meta-heuristics; it is the recommended entry point. Its
+// independent synthesis runs are evaluated concurrently per Config.Workers
+// (0 = GOMAXPROCS, 1 = serial); the result is identical for every setting.
 func SynthesizeBest(g *Graph, lib *Library, cons Constraints, cfg Config) (*Design, error) {
 	return core.SynthesizeBest(g, lib, cons, cfg)
+}
+
+// SynthesizeBestContext is SynthesizeBest with cancellation: ctx aborts the
+// portfolio between synthesis runs.
+func SynthesizeBestContext(ctx context.Context, g *Graph, lib *Library, cons Constraints, cfg Config) (*Design, error) {
+	return core.SynthesizeBestContext(ctx, g, lib, cons, cfg)
 }
 
 // DefaultCostModel returns the register/mux area coefficients used by the
@@ -233,9 +242,17 @@ type (
 	Figure1Result = explore.Figure1Result
 )
 
-// Sweep synthesizes the graph across a power grid at fixed deadline.
+// Sweep synthesizes the graph across a power grid at fixed deadline. Grid
+// points are synthesized concurrently per cfg.Workers (0 = GOMAXPROCS,
+// 1 = serial); the curve is byte-identical for every setting.
 func Sweep(g *Graph, lib *Library, deadline int, cfg SweepConfig) (Curve, error) {
 	return explore.Sweep(g, lib, deadline, cfg)
+}
+
+// SweepContext is Sweep with cancellation: ctx aborts the sweep between
+// synthesis runs.
+func SweepContext(ctx context.Context, g *Graph, lib *Library, deadline int, cfg SweepConfig) (Curve, error) {
+	return explore.SweepContext(ctx, g, lib, deadline, cfg)
 }
 
 // PlotCurves renders curves as a terminal ASCII plot in the style of the
@@ -258,9 +275,16 @@ type (
 )
 
 // BatterySweep measures, for each cap, the battery-lifetime extension of
-// the pasap-capped schedule over the unconstrained one.
+// the pasap-capped schedule over the unconstrained one. Caps are evaluated
+// concurrently (GOMAXPROCS workers); the curve matches the serial order.
 func BatterySweep(g *Graph, lib *Library, caps []float64) (BatteryCurve, error) {
 	return explore.BatterySweep(g, lib, caps)
+}
+
+// BatterySweepContext is BatterySweep with cancellation and an explicit
+// worker count (0 = GOMAXPROCS, 1 = serial).
+func BatterySweepContext(ctx context.Context, g *Graph, lib *Library, caps []float64, workers int) (BatteryCurve, error) {
+	return explore.BatterySweepContext(ctx, g, lib, caps, workers)
 }
 
 // Time-power surface types.
@@ -275,9 +299,17 @@ type (
 
 // ExploreSurface synthesizes the graph over a (deadline x power) grid —
 // the "different regions in the time-power-constraint space" of the
-// paper's conclusion.
+// paper's conclusion. Cells are synthesized concurrently per cfg.Workers
+// (0 = GOMAXPROCS, 1 = serial); the surface is byte-identical for every
+// setting.
 func ExploreSurface(g *Graph, lib *Library, cfg SurfaceConfig) (Surface, error) {
 	return explore.ExploreSurface(g, lib, cfg)
+}
+
+// ExploreSurfaceContext is ExploreSurface with cancellation: ctx aborts the
+// exploration between synthesis runs.
+func ExploreSurfaceContext(ctx context.Context, g *Graph, lib *Library, cfg SurfaceConfig) (Surface, error) {
+	return explore.ExploreSurfaceContext(ctx, g, lib, cfg)
 }
 
 // Pipelined (loop-folded) implementations — an extension beyond the paper.
@@ -376,9 +408,17 @@ type (
 )
 
 // TimeSweep synthesizes the graph across a deadline grid at a fixed power
-// constraint.
+// constraint. Grid points are synthesized concurrently per cfg.Workers
+// (0 = GOMAXPROCS, 1 = serial); the curve is byte-identical for every
+// setting.
 func TimeSweep(g *Graph, lib *Library, powerMax float64, cfg TimeSweepConfig) (TimeCurve, error) {
 	return explore.TimeSweep(g, lib, powerMax, cfg)
+}
+
+// TimeSweepContext is TimeSweep with cancellation: ctx aborts the sweep
+// between synthesis runs.
+func TimeSweepContext(ctx context.Context, g *Graph, lib *Library, powerMax float64, cfg TimeSweepConfig) (TimeCurve, error) {
+	return explore.TimeSweepContext(ctx, g, lib, powerMax, cfg)
 }
 
 // DesignHTML renders a self-contained HTML report of a design: headline

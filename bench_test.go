@@ -98,6 +98,58 @@ func BenchmarkFigure2AreaVsPowerCosineT15(b *testing.B)   { figure2Curve(b, "cos
 func BenchmarkFigure2AreaVsPowerCosineT19(b *testing.B)   { figure2Curve(b, "cosine", 19) }
 func BenchmarkFigure2AreaVsPowerEllipticT22(b *testing.B) { figure2Curve(b, "elliptic", 22) }
 
+// BenchmarkSynthesize measures the one-pass synthesizer on every paper
+// benchmark at a binding constraint point (deadline = critical path + 3,
+// power cap = 80% of the unconstrained peak), comparing the incremental
+// evaluation engine against the recompute-everything legacy path. The
+// custom metrics expose why the engine wins: full PASAP/PALAP scheduler
+// runs, pinned incremental runs and window-cache hits per synthesis.
+// results/BENCH_synthesize.json holds the recorded baseline.
+func BenchmarkSynthesize(b *testing.B) {
+	lib := Table1()
+	for _, name := range []string{"hal", "cosine", "elliptic", "fir16", "ar", "diffeq2", "fft8"} {
+		g := MustBenchmark(name)
+		asap, err := ASAP(g, UniformFastest(lib))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Probe a binding but feasible cap: 80% of the unconstrained peak,
+		// loosened in 10% steps when the point is infeasible (ar needs one
+		// step). The probe runs outside the timer.
+		cons := Constraints{Deadline: asap.Length() + 3, PowerMax: asap.PeakPower() * 0.8}
+		for {
+			if _, err := Synthesize(g, lib, cons, Config{}); err == nil {
+				break
+			}
+			cons.PowerMax *= 1.1
+			if cons.PowerMax > asap.PeakPower()*2 {
+				b.Fatalf("%s: no feasible cap found", name)
+			}
+		}
+		for _, mode := range []struct {
+			tag string
+			cfg Config
+		}{
+			{"incremental", Config{}},
+			{"legacy", Config{DisableIncremental: true}},
+		} {
+			b.Run(name+"/"+mode.tag, func(b *testing.B) {
+				var st Stats
+				for i := 0; i < b.N; i++ {
+					d, err := Synthesize(g, lib, cons, mode.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = d.Stats
+				}
+				b.ReportMetric(float64(st.SchedulerRuns), "full-runs")
+				b.ReportMetric(float64(st.IncrementalRuns), "pinned-runs")
+				b.ReportMetric(float64(st.WindowCacheHits), "cache-hits")
+			})
+		}
+	}
+}
+
 // BenchmarkSynthesizeSinglePass measures the paper's one-pass algorithm on
 // each benchmark at a representative constraint point.
 func BenchmarkSynthesizeSinglePass(b *testing.B) {

@@ -35,6 +35,7 @@ func main() {
 		plotW    = flag.Int("plotw", 90, "ASCII plot width")
 		plotH    = flag.Int("ploth", 28, "ASCII plot height")
 		workers  = flag.Int("j", 0, "concurrent synthesis runs per sweep (0 = GOMAXPROCS, 1 = serial); results are identical for every setting")
+		stats    = flag.Bool("stats", false, "print aggregated synthesis work counters per sweep (to stderr)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: pchls-explore -surface -g <benchmark>")
 			os.Exit(2)
 		}
-		runSurface(*graphArg, *htmlOut, *workers)
+		runSurface(*graphArg, *htmlOut, *workers, *stats)
 		return
 	}
 	var specs []explore.Figure2Spec
@@ -88,6 +89,9 @@ func main() {
 		} else {
 			fmt.Printf("# %s: no feasible point on the grid\n\n", c.Label())
 		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "synthesis work for %s:\n%s", c.Label(), c.TotalStats().String())
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fatal(err)
@@ -110,7 +114,7 @@ func main() {
 // runSurface explores the (T x P<) plane of one benchmark around its
 // critical path and library power floor; htmlOut optionally receives the
 // heatmap page.
-func runSurface(name, htmlOut string, workers int) {
+func runSurface(name, htmlOut string, workers int, stats bool) {
 	g, err := pchls.Benchmark(name)
 	if err != nil {
 		fatal(err)
@@ -138,6 +142,9 @@ func runSurface(name, htmlOut string, workers int) {
 	fmt.Println("Pareto front (deadline, power, area):")
 	for _, p := range s.ParetoFront() {
 		fmt.Printf("  T=%-3d P<=%-6g area %.1f\n", p.Deadline, p.Power, p.Area)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "synthesis work over the surface:\n%s", s.TotalStats().String())
 	}
 	if htmlOut != "" {
 		if err := os.WriteFile(htmlOut, []byte(pchls.SurfaceHTML(s)), 0o644); err != nil {

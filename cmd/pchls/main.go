@@ -34,6 +34,7 @@ func main() {
 		width    = flag.Int("width", 16, "datapath bit width for -verilog")
 		dotOut   = flag.String("dot", "", "write the scheduled CDFG in DOT format to this file")
 		profile  = flag.Bool("profile", false, "print the per-cycle power profile")
+		stats    = flag.Bool("stats", false, "print synthesis work counters (scheduler runs, window-cache effectiveness)")
 		printLib = flag.Bool("print-lib", false, "print the functional-unit library (Table 1) and exit")
 		simulate = flag.String("simulate", "", "simulate the FSMD with comma-separated inputs, e.g. \"x=3,y=4\" (also verifies against data-flow evaluation)")
 		vcdOut   = flag.String("vcd", "", "with -simulate: write a VCD waveform trace to this file")
@@ -83,6 +84,10 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(d.Report())
+	if *stats {
+		fmt.Println("\nsynthesis work:")
+		fmt.Print(d.Stats.String())
+	}
 	if *profile {
 		fmt.Println("\npower profile:")
 		fmt.Print(d.Schedule.ProfileString(*powerMax))

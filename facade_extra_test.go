@@ -75,3 +75,34 @@ func TestFacadeTimeSweep(t *testing.T) {
 		t.Fatal("csv header missing")
 	}
 }
+
+func TestFacadeStatsSurfaced(t *testing.T) {
+	d, err := Synthesize(MustBenchmark("hal"), Table1(), Constraints{Deadline: 17, PowerMax: 20}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.SchedulerRuns == 0 {
+		t.Fatal("Design.Stats reports zero scheduler runs")
+	}
+	legacy, err := Synthesize(MustBenchmark("hal"), Table1(), Constraints{Deadline: 17, PowerMax: 20},
+		Config{DisableIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Stats.SchedulerRuns <= d.Stats.SchedulerRuns {
+		t.Fatalf("legacy path did %d full runs, incremental %d — engine saved nothing",
+			legacy.Stats.SchedulerRuns, d.Stats.SchedulerRuns)
+	}
+	var agg Stats
+	agg = agg.Add(d.Stats).Add(legacy.Stats)
+	if agg.SchedulerRuns != d.Stats.SchedulerRuns+legacy.Stats.SchedulerRuns {
+		t.Fatalf("Stats.Add mismatch: %+v", agg)
+	}
+	c, err := Sweep(MustBenchmark("hal"), Table1(), 17, SweepConfig{PowerMin: 10, PowerMax: 20, Step: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalStats().SchedulerRuns == 0 {
+		t.Fatal("Curve.TotalStats reports zero scheduler runs")
+	}
+}

@@ -24,32 +24,10 @@ import (
 // windows after every decision": it is faster but fails or produces worse
 // area near tight constraints, where the incremental algorithm adapts.
 func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid graph: %w", err)
-	}
-	if cons.Deadline <= 0 {
-		return nil, fmt.Errorf("core: deadline %d must be positive", cons.Deadline)
-	}
-	if missing := lib.Covers(g); missing != nil {
-		return nil, fmt.Errorf("core: operations %v: %w", missing, ErrUncovered)
-	}
 	// Reuse the module-assumption machinery of the incremental algorithm.
-	st := &state{
-		g: g, lib: lib, cons: cons, cfg: cfg,
-		committed: make([]bool, g.N()),
-		start:     make([]int, g.N()),
-		moduleOf:  make([]int, g.N()),
-		fuOf:      make([]int, g.N()),
-	}
-	for i := range st.fuOf {
-		st.fuOf[i] = -1
-	}
-	for _, n := range g.Nodes() {
-		mi, err := st.fastestFeasible(n.Op)
-		if err != nil {
-			return nil, err
-		}
-		st.moduleOf[n.ID] = mi
+	st, err := newState(g, lib, cons, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if err := st.refineInitialModules(); err != nil {
 		return nil, err
@@ -58,6 +36,7 @@ func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constra
 	// Static windows under the assumed modules.
 	bindF := st.binding(cdfg.None, 0)
 	opts := sched.Options{PowerMax: cons.PowerMax}
+	st.stats.SchedulerRuns += 2
 	windows, err := sched.Windows(g, bindF, cons.Deadline, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: clique mode: %w: %w", ErrInfeasible, err)
@@ -106,16 +85,48 @@ func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constra
 	}
 	partition := clique.Greedy(cg, gain)
 
-	// Pack concrete start times with a power- and resource-constrained
-	// list schedule. The pairwise window test is optimistic about
-	// cross-clique precedence, so a deadline miss is repaired by evicting
-	// into its own instance the earliest ancestor of the violator that was
-	// packed beyond its static window (the first deviation from the plan);
-	// each repair strictly grows the partition, so the loop terminates.
+	partition, err = repairPack(g, st, windows, reach, partition)
+	if err != nil {
+		return nil, err
+	}
+	st.locked = true // start times are final; Decisions log is synthetic
+	for _, block := range partition {
+		fu := len(st.fus)
+		st.fus = append(st.fus, instance{module: st.moduleOf[block[0]]})
+		for _, v := range block {
+			st.fuOf[v] = fu
+			st.fus[fu].ops = append(st.fus[fu].ops, cdfg.NodeID(v))
+			st.committed[v] = true
+			st.decisions = append(st.decisions, Decision{
+				Node: cdfg.NodeID(v), Module: lib.Module(st.moduleOf[v]).Name,
+				FU: fu, NewFU: len(st.fus[fu].ops) == 1, Start: st.start[v],
+			})
+		}
+	}
+	if st.eng != nil {
+		// The bulk commits above bypassed commit(); bring the engine's
+		// profile and reservation lists up to date for the merge pass.
+		st.eng.rebuild(st)
+	}
+	st.mergePass()
+	return st.finish()
+}
+
+// repairPack packs the partition into concrete start times, repairing
+// deadline misses by eviction. The pairwise window test behind the
+// partition is optimistic about cross-clique precedence, so a miss is
+// repaired by evicting into its own instance the worst-deviating
+// shareable ancestor of the violator — the node packed furthest beyond
+// its static window — falling back to the violator itself when no
+// ancestor deviates. Each eviction strictly grows the partition (an
+// n-block partition of n nodes packs trivially or fails for good), so the
+// loop terminates.
+func repairPack(g *cdfg.Graph, st *state, windows []sched.Window, reach cdfg.Bitmat, partition clique.Partition) (clique.Partition, error) {
+	n := g.N()
 	for {
 		violator, err := packPartition(g, st, windows, partition)
 		if err == nil {
-			break
+			return partition, nil
 		}
 		if violator < 0 {
 			return nil, err
@@ -146,22 +157,6 @@ func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constra
 		}
 		partition = evictNode(partition, evict)
 	}
-	st.locked = true // start times are final; Decisions log is synthetic
-	for _, block := range partition {
-		fu := len(st.fus)
-		st.fus = append(st.fus, instance{module: st.moduleOf[block[0]]})
-		for _, v := range block {
-			st.fuOf[v] = fu
-			st.fus[fu].ops = append(st.fus[fu].ops, cdfg.NodeID(v))
-			st.committed[v] = true
-			st.decisions = append(st.decisions, Decision{
-				Node: cdfg.NodeID(v), Module: lib.Module(st.moduleOf[v]).Name,
-				FU: fu, NewFU: len(st.fus[fu].ops) == 1, Start: st.start[v],
-			})
-		}
-	}
-	st.mergePass()
-	return st.finish()
 }
 
 // blockSize returns the size of the partition block containing v.
@@ -181,7 +176,13 @@ func evictNode(p clique.Partition, v int) clique.Partition {
 	for bi, block := range p {
 		for k, u := range block {
 			if u == v {
-				p[bi] = append(block[:k], block[k+1:]...)
+				// Copy before truncating: appending block[k+1:] onto
+				// block[:k] would shift elements within the shared backing
+				// array and corrupt any alias of the original block.
+				nb := make([]int, 0, len(block)-1)
+				nb = append(nb, block[:k]...)
+				nb = append(nb, block[k+1:]...)
+				p[bi] = nb
 				return append(p, []int{v})
 			}
 		}

@@ -51,6 +51,14 @@ type Config struct {
 	// (for the ablation experiments and as a portfolio variant): module
 	// assumptions then stay at the fastest power-feasible choice.
 	SkipAreaDescent bool
+	// DisableIncremental turns off the incremental evaluation engine
+	// (window cache, incrementally maintained power profile and
+	// reservation lists) and recomputes everything from scratch each
+	// iteration, as the original implementation did — for the ablation
+	// experiments and the golden equivalence tests, mirroring
+	// DisableRepair. The synthesized design is byte-identical either way;
+	// only the work performed (see Stats) differs.
+	DisableIncremental bool
 	// Workers bounds how many independent synthesis runs SynthesizeBest's
 	// portfolio and peak-shaving ladder evaluate concurrently: 0 uses
 	// GOMAXPROCS, 1 keeps the legacy serial path. The returned design is
@@ -88,6 +96,9 @@ type Design struct {
 	Locked bool
 	// Decisions is the commit log in order.
 	Decisions []Decision
+	// Stats counts the work performed by the run that produced this
+	// design (scheduler executions, cache effectiveness, profile probes).
+	Stats Stats
 }
 
 // Area returns the total datapath area (the synthesis objective).
@@ -117,6 +128,11 @@ type state struct {
 
 	locked    bool
 	decisions []Decision
+
+	// eng holds the incremental caches; nil when cfg.DisableIncremental
+	// selects the legacy recompute-everything path.
+	eng   *engine
+	stats Stats
 }
 
 type instance struct {
@@ -124,8 +140,10 @@ type instance struct {
 	ops    []cdfg.NodeID
 }
 
-// Synthesize runs the combined scheduling/allocation/binding algorithm.
-func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+// newState validates the inputs and builds the synthesizer's working
+// state with the initial (fastest power-feasible) module assumptions and,
+// unless disabled, the incremental evaluation engine.
+func newState(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*state, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid graph: %w", err)
 	}
@@ -135,7 +153,6 @@ func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Confi
 	if missing := lib.Covers(g); missing != nil {
 		return nil, fmt.Errorf("core: operations %v: %w", missing, ErrUncovered)
 	}
-
 	st := &state{
 		g: g, lib: lib, cons: cons, cfg: cfg,
 		committed: make([]bool, g.N()),
@@ -156,6 +173,22 @@ func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Confi
 		}
 		st.moduleOf[n.ID] = mi
 	}
+	if !cfg.DisableIncremental {
+		eng, err := newEngine(st)
+		if err != nil {
+			return nil, err
+		}
+		st.eng = eng
+	}
+	return st, nil
+}
+
+// Synthesize runs the combined scheduling/allocation/binding algorithm.
+func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	st, err := newState(g, lib, cons, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := st.refineInitialModules(); err != nil {
 		return nil, err
 	}
@@ -173,7 +206,8 @@ func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Confi
 		}
 		st.commit(dec)
 		if !st.locked {
-			if _, err := st.currentPASAP(); err != nil {
+			probe, err := st.currentPASAP()
+			if err != nil {
 				// The commitment stranded the remaining operations:
 				// backtrack one step and lock (the paper's repair).
 				st.uncommit(dec)
@@ -186,6 +220,8 @@ func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Confi
 					return nil, fmt.Errorf("core: no decision available after repair: %w", ErrInfeasible)
 				}
 				st.commit(dec)
+			} else {
+				st.noteProbe(dec, probe)
 			}
 		}
 	}
@@ -363,6 +399,7 @@ func (st *state) schedOpts() sched.Options {
 // current state and verifies it meets the deadline; it is the validity
 // probe run after every commitment.
 func (st *state) currentPASAP() (*sched.Schedule, error) {
+	st.stats.SchedulerRuns++
 	s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w: %w", ErrInfeasible, err)
@@ -383,18 +420,8 @@ func (st *state) windowFor(v cdfg.NodeID, mi int) (sched.Window, bool) {
 		}
 		return sched.Window{Early: st.start[v], Late: st.start[v]}, true
 	}
-	m := st.lib.Module(mi)
-	if st.cons.PowerMax > 0 && m.Power > st.cons.PowerMax+1e-9 {
-		return sched.Window{}, false
-	}
-	opts := st.schedOpts()
-	b := st.binding(v, mi)
-	early, err := sched.PASAP(st.g, b, opts)
-	if err != nil || early.Length() > st.cons.Deadline {
-		return sched.Window{}, false
-	}
-	late, err := sched.PALAP(st.g, b, st.cons.Deadline, opts)
-	if err != nil {
+	early, late, ok := st.windowSchedsFor(v, mi)
+	if !ok {
 		return sched.Window{}, false
 	}
 	w := sched.Window{Early: early.Start[v], Late: late.Start[v]}
@@ -402,6 +429,30 @@ func (st *state) windowFor(v cdfg.NodeID, mi int) (sched.Window, bool) {
 		return sched.Window{}, false
 	}
 	return w, true
+}
+
+// windowSchedsFor runs the override pasap/palap pair for candidate
+// (v, mi) and returns both schedules — the engine caches their full
+// start arrays to prove entries valid across later commitments.
+// ok=false means the pair is infeasible.
+func (st *state) windowSchedsFor(v cdfg.NodeID, mi int) (early, late *sched.Schedule, ok bool) {
+	m := st.lib.Module(mi)
+	if st.cons.PowerMax > 0 && m.Power > st.cons.PowerMax+1e-9 {
+		return nil, nil, false
+	}
+	opts := st.schedOpts()
+	b := st.binding(v, mi)
+	st.stats.SchedulerRuns++
+	early, err := sched.PASAP(st.g, b, opts)
+	if err != nil || early.Length() > st.cons.Deadline {
+		return nil, nil, false
+	}
+	st.stats.SchedulerRuns++
+	late, err = sched.PALAP(st.g, b, st.cons.Deadline, opts)
+	if err != nil {
+		return nil, nil, false
+	}
+	return early, late, true
 }
 
 // committedProfile returns the per-cycle power drawn by committed
@@ -432,10 +483,21 @@ func (st *state) commit(d Decision) {
 	st.fuOf[d.Node] = d.FU
 	st.fus[d.FU].ops = append(st.fus[d.FU].ops, d.Node)
 	st.decisions = append(st.decisions, d)
+	if st.eng != nil {
+		st.eng.applyCommit(d, st.lib.Module(mi))
+	}
 }
 
 // uncommit reverts the most recent decision (must be d).
 func (st *state) uncommit(d Decision) {
+	if st.eng != nil {
+		// Revert before the module assumption is restored: the profile
+		// entry was made with the committed module. A backtrack changes
+		// placements non-locally, so the window cache is dropped whole.
+		st.eng.revertCommit(d, st.lib.Module(st.moduleOf[d.Node]))
+		st.eng.invalidateWindows()
+		st.stats.FullInvalidations++
+	}
 	st.committed[d.Node] = false
 	st.fuOf[d.Node] = -1
 	f := &st.fus[d.FU]
@@ -448,6 +510,56 @@ func (st *state) uncommit(d Decision) {
 	if mi, err := st.fastestFeasible(st.g.Node(d.Node).Op); err == nil {
 		st.moduleOf[d.Node] = mi
 	}
+}
+
+// noteProbe records the successful post-commit pasap probe with the
+// engine: the probe is the exact base Early schedule of the next
+// iteration (saving one full run), and the commitment is folded into the
+// cache's validity state.
+//
+// A cached scheduler-run pair survives the commitment of node u at cycle
+// s exactly when both of its runs already placed u at s under the
+// committed module: fixing a node where the greedy schedulers put it
+// anyway changes neither schedule — per-cycle power sums are symmetric,
+// added power never opens earlier slots, and each clean node re-settles
+// on its previous start — so the cached windows remain byte-identical to
+// a recompute. Entries failing the condition are dropped; when the base
+// pair itself passes (the new probe equals the previous one and the late
+// schedule had u at s), the next iteration reuses all base windows with
+// no scheduler run at all, otherwise the commitment's disturbance is
+// folded into the dirty set for the pinned re-derivation.
+func (st *state) noteProbe(d Decision, probe *sched.Schedule) {
+	if st.eng == nil {
+		return
+	}
+	eng := st.eng
+	if eng.warm {
+		u, s := int(d.Node), d.Start
+		moduleMatch := eng.assumed != nil && st.moduleOf[u] == eng.assumed[u]
+		for v := range eng.over {
+			if eng.over[v] == nil {
+				continue
+			}
+			if v == u {
+				st.stats.WindowInvalidations += int64(len(eng.over[v]))
+				eng.over[v] = nil
+				continue
+			}
+			for mi, ent := range eng.over[v] {
+				if moduleMatch && ent.earlyStart != nil &&
+					ent.earlyStart[u] == s && ent.lateStart[u] == s {
+					continue
+				}
+				delete(eng.over[v], mi)
+				st.stats.WindowInvalidations++
+			}
+		}
+		eng.baseValid = moduleMatch && eng.baseWin[u].Late == s && sameStarts(eng.probe, probe)
+		if !eng.baseValid {
+			st.markDirtyAfterCommit(d)
+		}
+	}
+	eng.probe = probe
 }
 
 func (st *state) moduleIndexOf(d Decision) int {
@@ -518,5 +630,6 @@ func (st *state) finish() (*Design, error) {
 		FUOf:      append([]int(nil), st.fuOf...),
 		Locked:    st.locked,
 		Decisions: st.decisions,
+		Stats:     st.stats,
 	}, nil
 }

@@ -5,33 +5,61 @@ import (
 	"pchls/internal/sched"
 )
 
+// windowMap collects candidate windows keyed by node then module.
+type windowMap = map[cdfg.NodeID]map[int]sched.Window
+
+func addWindow(out windowMap, v cdfg.NodeID, mi int, w sched.Window) {
+	if out[v] == nil {
+		out[v] = make(map[int]sched.Window)
+	}
+	out[v][mi] = w
+}
+
 // candidateWindows computes, once per iteration, the feasible window of
 // every (uncommitted op, module) candidate. The assumed-module windows all
-// come from one pasap/palap pair; only overrides need extra runs.
-func (st *state) candidateWindows() map[cdfg.NodeID]map[int]sched.Window {
-	out := make(map[cdfg.NodeID]map[int]sched.Window)
-	addWindow := func(v cdfg.NodeID, mi int, w sched.Window) {
-		if out[v] == nil {
-			out[v] = make(map[int]sched.Window)
-		}
-		out[v][mi] = w
-	}
+// come from one pasap/palap pair; only overrides need extra runs. The
+// incremental engine serves clean nodes from its cache and re-derives only
+// the dirty subset; the legacy path (DisableIncremental) recomputes
+// everything. Both produce identical maps — the incremental derivation is
+// audited against a full pasap probe and falls back on any disagreement.
+func (st *state) candidateWindows() windowMap {
 	if st.locked {
+		out := make(windowMap)
 		for i, c := range st.committed {
 			if !c {
 				v := cdfg.NodeID(i)
-				addWindow(v, st.moduleOf[v], sched.Window{Early: st.start[v], Late: st.start[v]})
+				addWindow(out, v, st.moduleOf[v], sched.Window{Early: st.start[v], Late: st.start[v]})
 			}
 		}
 		return out
 	}
+	if st.eng != nil {
+		if st.eng.warm {
+			if out, ok := st.reusedWindows(); ok {
+				return out
+			}
+			// The incremental derivation was rejected; rebuild the cache
+			// from scratch.
+			st.eng.invalidateWindows()
+			st.stats.FullInvalidations++
+		}
+		return st.refreshedWindows()
+	}
+	return st.scratchWindows()
+}
+
+// scratchWindows is the legacy recompute-everything derivation.
+func (st *state) scratchWindows() windowMap {
+	out := make(windowMap)
 	// Base run under the assumed modules.
 	opts := st.schedOpts()
 	base := st.binding(cdfg.None, 0)
+	st.stats.SchedulerRuns++
 	early, err1 := sched.PASAP(st.g, base, opts)
 	var late *sched.Schedule
 	var err2 error
 	if err1 == nil && early.Length() <= st.cons.Deadline {
+		st.stats.SchedulerRuns++
 		late, err2 = sched.PALAP(st.g, base, st.cons.Deadline, opts)
 	}
 	baseOK := err1 == nil && early.Length() <= st.cons.Deadline && err2 == nil
@@ -45,16 +73,156 @@ func (st *state) candidateWindows() map[cdfg.NodeID]map[int]sched.Window {
 			if mi == st.moduleOf[v] && baseOK {
 				w := sched.Window{Early: early.Start[v], Late: late.Start[v]}
 				if w.Width() >= 1 {
-					addWindow(v, mi, w)
+					addWindow(out, v, mi, w)
 				}
 				continue
 			}
 			if w, ok := st.windowFor(v, mi); ok {
-				addWindow(v, mi, w)
+				addWindow(out, v, mi, w)
 			}
 		}
 	}
 	return out
+}
+
+// refreshedWindows is the engine's cold-path derivation: the same work as
+// scratchWindows — except that the post-commit probe, when present, is
+// reused as the base Early schedule, saving one full run — with every
+// result (including infeasible candidates) stored in the cache. The cache
+// becomes warm only when the base pair succeeded, since the reuse path
+// pins clean nodes to base windows.
+func (st *state) refreshedWindows() windowMap {
+	eng := st.eng
+	out := make(windowMap)
+	opts := st.schedOpts()
+	base := st.binding(cdfg.None, 0)
+	early, err1 := eng.probe, error(nil)
+	if early == nil {
+		st.stats.SchedulerRuns++
+		early, err1 = sched.PASAP(st.g, base, opts)
+	}
+	var late *sched.Schedule
+	var err2 error
+	if err1 == nil && early.Length() <= st.cons.Deadline {
+		st.stats.SchedulerRuns++
+		late, err2 = sched.PALAP(st.g, base, st.cons.Deadline, opts)
+	}
+	baseOK := err1 == nil && early.Length() <= st.cons.Deadline && err2 == nil
+	if baseOK {
+		for i := range eng.baseWin {
+			eng.baseWin[i] = sched.Window{Early: early.Start[i], Late: late.Start[i]}
+		}
+		eng.probe = early
+		// Snapshot the module assumptions the cached runs are made under;
+		// entry validity across a later commitment requires the committed
+		// module to match this snapshot.
+		eng.assumed = append(eng.assumed[:0], st.moduleOf...)
+	}
+
+	for i, c := range st.committed {
+		if c {
+			continue
+		}
+		v := cdfg.NodeID(i)
+		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+			if mi == st.moduleOf[v] && baseOK {
+				w := eng.baseWin[v]
+				if w.Width() >= 1 {
+					addWindow(out, v, mi, w)
+				}
+				continue
+			}
+			st.stats.WindowCacheMisses++
+			ent := st.computeEntry(v, mi)
+			if baseOK {
+				if eng.over[v] == nil {
+					eng.over[v] = make(map[int]winEntry)
+				}
+				eng.over[v][mi] = ent
+			}
+			if ent.ok {
+				addWindow(out, v, mi, ent.w)
+			}
+		}
+	}
+	eng.warm = baseOK
+	eng.baseValid = false
+	for i := range eng.dirty {
+		eng.dirty[i] = false
+	}
+	return out
+}
+
+// reusedWindows is the engine's warm path. When the last commitment
+// provably left the base pair unchanged (baseValid), the base windows
+// are reused outright with no scheduler run; otherwise they are
+// re-derived by the dirty-subset schedulers (clean nodes replayed, dirty
+// nodes re-placed) and audited against the exact post-commit pasap
+// probe. Override candidates are served from the cache — every surviving
+// entry was proven valid by the per-commit filter in noteProbe — and
+// only dropped entries are recomputed. ok=false means the pinned
+// derivation was rejected — stale pin or audit mismatch — and the caller
+// must fall back to refreshedWindows.
+func (st *state) reusedWindows() (windowMap, bool) {
+	eng := st.eng
+	ws := eng.baseWin
+	if !eng.baseValid {
+		opts := st.schedOpts()
+		base := st.binding(cdfg.None, 0)
+		st.stats.IncrementalRuns += 2
+		var err error
+		ws, err = sched.WindowsDirty(st.g, base, st.cons.Deadline, opts, eng.baseWin, eng.dirty)
+		if err != nil {
+			st.stats.Fallbacks++
+			return nil, false
+		}
+		// Audit: the incremental Early side must agree with the full pasap
+		// probe on every node; any disagreement means the dirty set was
+		// too small.
+		for i := range ws {
+			if ws[i].Early != eng.probe.Start[i] {
+				st.stats.Fallbacks++
+				return nil, false
+			}
+		}
+	}
+	out := make(windowMap)
+	for i, c := range st.committed {
+		if c {
+			continue
+		}
+		v := cdfg.NodeID(i)
+		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+			if mi == st.moduleOf[v] {
+				w := ws[v]
+				if w.Width() >= 1 {
+					addWindow(out, v, mi, w)
+				}
+				continue
+			}
+			if ent, ok := eng.over[v][mi]; ok {
+				st.stats.WindowCacheHits++
+				if ent.ok {
+					addWindow(out, v, mi, ent.w)
+				}
+				continue
+			}
+			st.stats.WindowCacheMisses++
+			ent := st.computeEntry(v, mi)
+			if eng.over[v] == nil {
+				eng.over[v] = make(map[int]winEntry)
+			}
+			eng.over[v][mi] = ent
+			if ent.ok {
+				addWindow(out, v, mi, ent.w)
+			}
+		}
+	}
+	eng.baseWin = ws
+	for i := range eng.dirty {
+		eng.dirty[i] = false
+	}
+	return out, true
 }
 
 // muxEstimate approximates the interconnect cost of binding v onto
@@ -121,8 +289,13 @@ func (st *state) amortizedArea(mi int) float64 {
 
 type interval struct{ s, e int }
 
-// reservations returns the busy intervals of instance f.
+// reservations returns the busy intervals of instance f: the engine's
+// incrementally maintained list, or (legacy path) re-derived from the
+// instance's operations.
 func (st *state) reservations(f int) []interval {
+	if st.eng != nil {
+		return st.eng.resv[f]
+	}
 	var busy []interval
 	for _, op := range st.fus[f].ops {
 		m := st.lib.Module(st.moduleOf[op])
@@ -135,10 +308,16 @@ func (st *state) reservations(f int) []interval {
 // intervals overlap an execution of d cycles and the committed power
 // profile leaves room for the module's power, or ok=false.
 func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64) (int, bool) {
+	st.stats.ProfileProbes++
 	horizon := st.cons.Deadline
 	var prof []float64
 	if st.cons.PowerMax > 0 {
-		prof = st.committedProfile(horizon)
+		if st.eng != nil {
+			prof = st.eng.profile
+		} else {
+			st.stats.ProfileRebuilds++
+			prof = st.committedProfile(horizon)
+		}
 	}
 	for t := w.Early; t <= w.Late; t++ {
 		if t+d > horizon {

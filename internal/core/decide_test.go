@@ -9,9 +9,9 @@ import (
 	"pchls/internal/sched"
 )
 
-// newState builds an initialized synthesizer state without running the
+// newTestState builds an initialized synthesizer state without running the
 // main loop, for unit-testing the decision internals.
-func newState(t *testing.T, g *cdfg.Graph, cons Constraints) *state {
+func newTestState(t *testing.T, g *cdfg.Graph, cons Constraints) *state {
 	t.Helper()
 	lib := library.Table1()
 	st := &state{
@@ -36,7 +36,7 @@ func newState(t *testing.T, g *cdfg.Graph, cons Constraints) *state {
 
 func TestAmortizedArea(t *testing.T) {
 	g := bench.HAL() // 6 muls, 2 adds, 2 subs, 1 cmp
-	st := newState(t, g, Constraints{Deadline: 10})
+	st := newTestState(t, g, Constraints{Deadline: 10})
 	var parIdx, serIdx, aluIdx int
 	for _, mi := range st.lib.Candidates(cdfg.Mul) {
 		switch st.lib.Module(mi).Name {
@@ -88,7 +88,7 @@ func TestMuxEstimate(t *testing.T) {
 	g.MustAddEdge(i2, a1)
 	g.MustAddEdge(i3, a2)
 	g.MustAddEdge(i4, a2)
-	st := newState(t, g, Constraints{Deadline: 10})
+	st := newTestState(t, g, Constraints{Deadline: 10})
 	addIdx := st.moduleOf[a1]
 	st.fus = append(st.fus, instance{module: addIdx, ops: []cdfg.NodeID{a1}})
 	st.committed[a1] = true
@@ -105,7 +105,7 @@ func TestMuxEstimate(t *testing.T) {
 
 func TestFreeSlot(t *testing.T) {
 	g := bench.HAL()
-	st := newState(t, g, Constraints{Deadline: 10, PowerMax: 100})
+	st := newTestState(t, g, Constraints{Deadline: 10, PowerMax: 100})
 	// One busy interval [2,4): a 2-cycle op with window [0,6] fits at 0.
 	busy := []interval{{2, 4}}
 	if tt, ok := st.freeSlot(busy, sched.Window{Early: 0, Late: 6}, 2, 8.1); !ok || tt != 0 {
@@ -131,7 +131,7 @@ func TestFreeSlot(t *testing.T) {
 
 func TestFastestFeasibleRespectsPowerCap(t *testing.T) {
 	g := bench.HAL()
-	st := newState(t, g, Constraints{Deadline: 20, PowerMax: 5})
+	st := newTestState(t, g, Constraints{Deadline: 20, PowerMax: 5})
 	mi, err := st.fastestFeasible(cdfg.Mul)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// winEntry caches the result of one override window derivation for a
+// (node, module) candidate. earlyStart/lateStart keep the full start
+// arrays of the pasap/palap pair that produced the window: an entry
+// stays provably valid across a commitment of node u at cycle s exactly
+// when both runs already placed u at s under the committed module —
+// fixing a node where the greedy schedulers put it anyway changes
+// neither schedule (power sums are symmetric and added power never opens
+// earlier slots), so the cached window is byte-identical to a recompute.
+// Infeasible results (ok=false) carry no arrays and are dropped on the
+// next commit.
+type winEntry struct {
+	w          sched.Window
+	ok         bool
+	earlyStart []int
+	lateStart  []int
+}
+
+// engine owns the synthesizer's cached, invalidation-tracked artifacts:
+// the committed per-cycle power profile (updated in O(delay) on
+// commit/backtrack), the per-instance reservation lists, and the window
+// cache with its dirty set. The legacy recompute-everything path
+// (Config.DisableIncremental) runs with a nil engine; the synthesized
+// design is byte-identical either way — the window cache is audited
+// against a full pasap probe every iteration and falls back to the full
+// derivation on any disagreement.
+type engine struct {
+	// horizon is the profile length (the latency constraint T).
+	horizon int
+	// profile is the per-cycle power drawn by committed operations.
+	profile []float64
+	// resv holds the busy intervals of each instance, parallel to
+	// state.fus.
+	resv [][]interval
+
+	// warm reports whether baseWin/over describe the current state; it is
+	// cleared by any backtrack or abandoned derivation.
+	warm bool
+	// baseValid reports that the last commitment provably left the whole
+	// base window pair unchanged (the post-commit probe equals the
+	// previous one and the late schedule already had the committed node
+	// at its committed start), so the next iteration can reuse baseWin
+	// without any scheduler run.
+	baseValid bool
+	// probe is the exact post-commit pasap schedule — the base Early
+	// schedule of the next iteration, and the auditor for the pinned
+	// derivation.
+	probe *sched.Schedule
+	// assumed snapshots the per-node module assumptions at cache-warming
+	// time; entry validity across a commit requires the committed module
+	// to equal the assumption the cached runs used.
+	assumed []int
+	// baseWin is the last derived window of every node under the assumed
+	// modules.
+	baseWin []sched.Window
+	// over caches the override windows: over[v][mi] for a non-assumed
+	// candidate module mi of node v.
+	over []map[int]winEntry
+	// dirty marks nodes whose windows may have changed since baseWin/over
+	// were derived.
+	dirty []bool
+
+	// reach is the precedence reachability bitmap (reach.Get(u, v) means
+	// v is reachable from u).
+	reach cdfg.Bitmat
+	// minStart/maxEnd bound, per node, every start/completion time any
+	// schedule under the deadline can assign, using minimum candidate
+	// delays; they are the conservative spans of the power-coupling
+	// fixpoint.
+	minStart, maxEnd []int
+	// maxDelay is the largest candidate delay of each node, used to cover
+	// a node's previous window span when seeding the fixpoint.
+	maxDelay []int
+}
+
+// newEngine builds the engine for a fresh state: empty profile and
+// reservations, cold window cache, and the static precedence artifacts
+// (reachability and conservative spans).
+func newEngine(st *state) (*engine, error) {
+	n := st.g.N()
+	reach, err := st.g.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	minDelay := make([]int, n)
+	maxDelay := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, mi := range st.lib.Candidates(st.g.Node(cdfg.NodeID(i)).Op) {
+			d := st.lib.Module(mi).Delay
+			if minDelay[i] == 0 || d < minDelay[i] {
+				minDelay[i] = d
+			}
+			if d > maxDelay[i] {
+				maxDelay[i] = d
+			}
+		}
+	}
+	topo, err := st.g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	minStart := make([]int, n)
+	downAfter := make([]int, n)
+	for _, v := range topo {
+		for _, p := range st.g.Preds(v) {
+			if e := minStart[p] + minDelay[p]; e > minStart[v] {
+				minStart[v] = e
+			}
+		}
+	}
+	maxEnd := make([]int, n)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, s := range st.g.Succs(v) {
+			if e := downAfter[s] + minDelay[s]; e > downAfter[v] {
+				downAfter[v] = e
+			}
+		}
+		maxEnd[v] = st.cons.Deadline - downAfter[v]
+	}
+	return &engine{
+		horizon:  st.cons.Deadline,
+		profile:  make([]float64, st.cons.Deadline),
+		warm:     false,
+		baseWin:  make([]sched.Window, n),
+		over:     make([]map[int]winEntry, n),
+		dirty:    make([]bool, n),
+		reach:    reach,
+		minStart: minStart,
+		maxEnd:   maxEnd,
+		maxDelay: maxDelay,
+	}, nil
+}
+
+// applyCommit folds one committed decision into the profile and the
+// reservation lists.
+func (e *engine) applyCommit(d Decision, m *library.Module) {
+	for c := d.Start; c < d.Start+m.Delay && c < e.horizon; c++ {
+		e.profile[c] += m.Power
+	}
+	if d.NewFU {
+		e.resv = append(e.resv, nil)
+	}
+	e.resv[d.FU] = append(e.resv[d.FU], interval{d.Start, d.Start + m.Delay})
+}
+
+// revertCommit undoes applyCommit for the most recent decision (must be
+// d, bound to module m).
+func (e *engine) revertCommit(d Decision, m *library.Module) {
+	for c := d.Start; c < d.Start+m.Delay && c < e.horizon; c++ {
+		e.profile[c] -= m.Power
+	}
+	lst := e.resv[d.FU]
+	e.resv[d.FU] = lst[:len(lst)-1]
+	if d.NewFU {
+		e.resv = e.resv[:len(e.resv)-1]
+	}
+}
+
+// invalidateWindows drops the whole window cache (backtracks, abandoned
+// derivations); profile and reservations stay valid.
+func (e *engine) invalidateWindows() {
+	e.warm = false
+	e.baseValid = false
+	e.probe = nil
+	for i := range e.dirty {
+		e.dirty[i] = false
+	}
+	for i := range e.over {
+		e.over[i] = nil
+	}
+}
+
+// sameStarts reports whether two schedules place every node at the same
+// start cycle.
+func sameStarts(a, b *sched.Schedule) bool {
+	if a == nil || b == nil || len(a.Start) != len(b.Start) {
+		return false
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeEntry derives the cacheable override window entry for candidate
+// (v, mi): the window plus the full start arrays of the pair that
+// produced it. Width-zero windows cache as infeasible with their arrays
+// kept — if the runs provably cannot change, neither can the verdict.
+func (st *state) computeEntry(v cdfg.NodeID, mi int) winEntry {
+	early, late, ok := st.windowSchedsFor(v, mi)
+	if !ok {
+		return winEntry{}
+	}
+	w := sched.Window{Early: early.Start[v], Late: late.Start[v]}
+	return winEntry{w: w, ok: w.Width() >= 1, earlyStart: early.Start, lateStart: late.Start}
+}
+
+// rebuild recomputes profile and reservations from the committed state —
+// the clique-partition path commits in bulk without going through
+// commit(), then calls this before the merge pass.
+func (e *engine) rebuild(st *state) {
+	for c := range e.profile {
+		e.profile[c] = 0
+	}
+	e.resv = make([][]interval, len(st.fus))
+	for f := range st.fus {
+		for _, op := range st.fus[f].ops {
+			m := st.lib.Module(st.moduleOf[op])
+			e.resv[f] = append(e.resv[f], interval{st.start[op], st.start[op] + m.Delay})
+			for c := st.start[op]; c < st.start[op]+m.Delay && c < e.horizon; c++ {
+				e.profile[c] += m.Power
+			}
+		}
+	}
+}
+
+// markDirtyAfterCommit computes which nodes' windows the commitment of d
+// may have changed and marks them dirty.
+//
+// Without a power cap, windows are pure functions of precedence and the
+// fixed set, so exactly the committed node's ancestors and descendants
+// can move. With a cap the disturbance also travels through the shared
+// power profile: freeing or occupying cycles can move any node whose
+// feasible span touches them, and each moved node drags its own
+// precedence relatives along. That cascade is covered by a fixpoint over
+// conservative spans — every dirty node contributes its span to the set
+// of disturbed cycles and its precedence relatives to the dirty set,
+// until no clean node's span overlaps a disturbed cycle.
+func (st *state) markDirtyAfterCommit(d Decision) {
+	eng := st.eng
+	n := st.g.N()
+	u := int(d.Node)
+	if st.cons.PowerMax <= 0 {
+		for v := 0; v < n; v++ {
+			if !st.committed[v] && (eng.reach.Get(u, v) || eng.reach.Get(v, u)) {
+				eng.dirty[v] = true
+			}
+		}
+		return
+	}
+	changed := make([]bool, eng.horizon)
+	mark := func(lo, hi int) { // [lo, hi)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(changed) {
+			hi = len(changed)
+		}
+		for c := lo; c < hi; c++ {
+			changed[c] = true
+		}
+	}
+	span := func(v int) (int, int) {
+		if st.committed[v] {
+			m := st.lib.Module(st.moduleOf[v])
+			return st.start[v], st.start[v] + m.Delay
+		}
+		return eng.minStart[v], eng.maxEnd[v]
+	}
+	overlapsChanged := func(lo, hi int) bool {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(changed) {
+			hi = len(changed)
+		}
+		for c := lo; c < hi; c++ {
+			if changed[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var queue []int
+	add := func(v int) {
+		if !eng.dirty[v] && !st.committed[v] {
+			eng.dirty[v] = true
+			queue = append(queue, v)
+		}
+	}
+	// Seeds: the cycles the committed node now occupies, the whole span
+	// its previous base window could have covered, and its precedence
+	// relatives.
+	m := st.lib.Module(st.moduleOf[u])
+	mark(d.Start, d.Start+m.Delay)
+	mark(eng.baseWin[u].Early, eng.baseWin[u].Late+eng.maxDelay[u])
+	for v := 0; v < n; v++ {
+		if eng.reach.Get(u, v) || eng.reach.Get(v, u) {
+			add(v)
+		}
+	}
+	for {
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for v := 0; v < n; v++ {
+				if eng.reach.Get(x, v) || eng.reach.Get(v, x) {
+					add(v)
+				}
+			}
+			lo, hi := span(x)
+			mark(lo, hi)
+		}
+		progressed := false
+		for v := 0; v < n; v++ {
+			if eng.dirty[v] || st.committed[v] {
+				continue
+			}
+			if lo, hi := span(v); overlapsChanged(lo, hi) {
+				add(v)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// TestEngineReducesSchedulerRuns checks the engine's reason to exist: on
+// a large benchmark under a binding power cap, the incremental path must
+// perform strictly fewer full scheduler runs than the legacy path while
+// producing the same design, with the savings visible in the cache
+// counters.
+func TestEngineReducesSchedulerRuns(t *testing.T) {
+	lib := library.Table1()
+	for _, name := range []string{"elliptic", "fft8"} {
+		g, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := Constraints{Deadline: asap.Length() + 3, PowerMax: asap.PeakPower() * 0.8}
+		inc, err := Synthesize(g, lib, cons, Config{})
+		if err != nil {
+			t.Fatalf("%s: incremental: %v", name, err)
+		}
+		legacy, err := Synthesize(g, lib, cons, Config{DisableIncremental: true})
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", name, err)
+		}
+		if inc.Stats.SchedulerRuns >= legacy.Stats.SchedulerRuns {
+			t.Errorf("%s: incremental did %d full runs, legacy %d — no savings",
+				name, inc.Stats.SchedulerRuns, legacy.Stats.SchedulerRuns)
+		}
+		if inc.Stats.WindowCacheHits == 0 {
+			t.Errorf("%s: incremental run had zero window cache hits", name)
+		}
+		if inc.Stats.ProfileRebuilds != 0 {
+			t.Errorf("%s: incremental run rebuilt the profile %d times", name, inc.Stats.ProfileRebuilds)
+		}
+		if legacy.Stats.ProfileRebuilds == 0 && cons.PowerMax > 0 {
+			t.Errorf("%s: legacy run reported zero profile rebuilds", name)
+		}
+		if legacy.Stats.IncrementalRuns != 0 || legacy.Stats.WindowCacheHits != 0 {
+			t.Errorf("%s: legacy run reported incremental work: %+v", name, legacy.Stats)
+		}
+		t.Logf("%s: full runs %d -> %d (incremental: %d pinned runs, %d hits, %d misses, %d fallbacks)",
+			name, legacy.Stats.SchedulerRuns, inc.Stats.SchedulerRuns,
+			inc.Stats.IncrementalRuns, inc.Stats.WindowCacheHits,
+			inc.Stats.WindowCacheMisses, inc.Stats.Fallbacks)
+	}
+}
+
+// TestEngineProfileAndReservations white-boxes the incremental
+// bookkeeping: after each commit of a real synthesis prefix, the engine's
+// profile must equal the from-scratch committedProfile and its
+// reservation lists must equal the re-derived ones; after an uncommit the
+// profile must return to (numerically) zero deviation.
+func TestEngineProfileAndReservations(t *testing.T) {
+	lib := library.Table1()
+	g := bench.HAL()
+	cons := Constraints{Deadline: 17, PowerMax: 20}
+	st, err := newState(g, lib, cons, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.refineInitialModules(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(step int) {
+		want := st.committedProfile(cons.Deadline)
+		for c := range want {
+			if math.Abs(st.eng.profile[c]-want[c]) > 1e-9 {
+				t.Fatalf("step %d: profile[%d] = %g, want %g", step, c, st.eng.profile[c], want[c])
+			}
+		}
+		if len(st.eng.resv) != len(st.fus) {
+			t.Fatalf("step %d: %d reservation lists for %d instances", step, len(st.eng.resv), len(st.fus))
+		}
+		for f := range st.fus {
+			var legacy []interval
+			for _, op := range st.fus[f].ops {
+				m := st.lib.Module(st.moduleOf[op])
+				legacy = append(legacy, interval{st.start[op], st.start[op] + m.Delay})
+			}
+			got := st.eng.resv[f]
+			if len(got) != len(legacy) {
+				t.Fatalf("step %d: instance %d has %d reservations, want %d", step, f, len(got), len(legacy))
+			}
+			for k := range got {
+				if got[k] != legacy[k] {
+					t.Fatalf("step %d: instance %d reservation %d = %+v, want %+v", step, f, k, got[k], legacy[k])
+				}
+			}
+		}
+	}
+	var last Decision
+	for step := 0; step < 5; step++ {
+		dec, ok := st.bestDecision()
+		if !ok {
+			t.Fatalf("step %d: no decision", step)
+		}
+		st.commit(dec)
+		last = dec
+		check(step)
+	}
+	st.uncommit(last)
+	check(-1)
+}
+
+// TestStatsAdd checks the field-wise aggregation used by the sweep
+// surfaces.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{SchedulerRuns: 1, IncrementalRuns: 2, WindowCacheHits: 3, WindowCacheMisses: 4,
+		WindowInvalidations: 5, FullInvalidations: 6, Fallbacks: 7, ProfileProbes: 8, ProfileRebuilds: 9}
+	b := Stats{SchedulerRuns: 10, IncrementalRuns: 20, WindowCacheHits: 30, WindowCacheMisses: 40,
+		WindowInvalidations: 50, FullInvalidations: 60, Fallbacks: 70, ProfileProbes: 80, ProfileRebuilds: 90}
+	got := a.Add(b)
+	want := Stats{SchedulerRuns: 11, IncrementalRuns: 22, WindowCacheHits: 33, WindowCacheMisses: 44,
+		WindowInvalidations: 55, FullInvalidations: 66, Fallbacks: 77, ProfileProbes: 88, ProfileRebuilds: 99}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+	if s := got.String(); s == "" {
+		t.Fatal("String() returned empty")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// goldenBenchmarks are the seven paper benchmarks.
+var goldenBenchmarks = []string{"hal", "cosine", "elliptic", "fir16", "ar", "diffeq2", "fft8"}
+
+// goldenGrid reproduces, per benchmark, the union of the (T, P<) grid
+// points the exploration surfaces in explore/parallel_test.go exercise:
+// the Figure 2 power sweep at T = cp+3, the time sweep at P = 0.8*peak,
+// and the 3x3 surface grid. The power values are accumulated with the
+// same repeated additions the sweep engine uses, so they are
+// bit-identical to the explored points.
+func goldenGrid(cp int, peak float64) []Constraints {
+	var grid []Constraints
+	for p := peak / 4; p <= peak*1.25+1e-9; p += peak / 4 {
+		grid = append(grid, Constraints{Deadline: cp + 3, PowerMax: p})
+	}
+	for T := cp; T <= cp+4; T += 2 {
+		grid = append(grid, Constraints{Deadline: T, PowerMax: peak * 0.8})
+	}
+	for _, T := range []int{cp, cp + 2, cp + 5} {
+		for _, p := range []float64{peak * 0.5, peak * 0.8, peak * 1.1} {
+			grid = append(grid, Constraints{Deadline: T, PowerMax: p})
+		}
+	}
+	return grid
+}
+
+// requireSameDesign compares two synthesis outcomes for byte-identical
+// equivalence: same error disposition, identical serialized design,
+// identical decision log, identical report.
+func requireSameDesign(t *testing.T, label string, inc, legacy *Design, incErr, legacyErr error) {
+	t.Helper()
+	if (incErr != nil) != (legacyErr != nil) {
+		t.Fatalf("%s: error disposition diverges:\n  incremental: %v\n  legacy:      %v", label, incErr, legacyErr)
+	}
+	if incErr != nil {
+		return
+	}
+	ij, err := inc.JSON()
+	if err != nil {
+		t.Fatalf("%s: incremental JSON: %v", label, err)
+	}
+	lj, err := legacy.JSON()
+	if err != nil {
+		t.Fatalf("%s: legacy JSON: %v", label, err)
+	}
+	if !bytes.Equal(ij, lj) {
+		t.Fatalf("%s: serialized designs diverge:\n--- incremental ---\n%s\n--- legacy ---\n%s", label, ij, lj)
+	}
+	if !reflect.DeepEqual(inc.Decisions, legacy.Decisions) {
+		t.Fatalf("%s: decision logs diverge:\n  incremental: %+v\n  legacy:      %+v", label, inc.Decisions, legacy.Decisions)
+	}
+	if ir, lr := inc.Report(), legacy.Report(); ir != lr {
+		t.Fatalf("%s: reports diverge:\n--- incremental ---\n%s\n--- legacy ---\n%s", label, ir, lr)
+	}
+}
+
+// TestGoldenEquivalence gates the incremental evaluation engine: for
+// every benchmark × (T, P<) grid point exercised by the exploration
+// test surfaces, the engine and the DisableIncremental legacy path must
+// produce byte-identical serialized designs and decision logs (or fail
+// identically).
+func TestGoldenEquivalence(t *testing.T) {
+	lib := library.Table1()
+	for _, name := range goldenBenchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cons := range goldenGrid(asap.Length(), asap.PeakPower()) {
+				label := fmt.Sprintf("%s T=%d P<=%g", name, cons.Deadline, cons.PowerMax)
+				inc, incErr := Synthesize(g, lib, cons, Config{})
+				legacy, legacyErr := Synthesize(g, lib, cons, Config{DisableIncremental: true})
+				requireSameDesign(t, label, inc, legacy, incErr, legacyErr)
+			}
+		})
+	}
+}
+
+// TestGoldenEquivalenceUnconstrained covers the PowerMax <= 0 regime,
+// where the invalidation rule is purely precedence-based.
+func TestGoldenEquivalenceUnconstrained(t *testing.T) {
+	lib := library.Table1()
+	for _, name := range goldenBenchmarks {
+		g, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, T := range []int{asap.Length(), asap.Length() + 4} {
+			cons := Constraints{Deadline: T}
+			label := fmt.Sprintf("%s T=%d unconstrained", name, T)
+			inc, incErr := Synthesize(g, lib, cons, Config{})
+			legacy, legacyErr := Synthesize(g, lib, cons, Config{DisableIncremental: true})
+			requireSameDesign(t, label, inc, legacy, incErr, legacyErr)
+		}
+	}
+}
+
+// TestGoldenEquivalencePortfolio runs the SynthesizeBest meta-heuristic
+// (portfolio + peak-shaving ladder) on both paths: every internal run
+// must agree, so the winning design must too.
+func TestGoldenEquivalencePortfolio(t *testing.T) {
+	lib := library.Table1()
+	g := bench.HAL()
+	for _, p := range []float64{5, 10, 20, 30} {
+		cons := Constraints{Deadline: 17, PowerMax: p}
+		label := fmt.Sprintf("hal best T=17 P<=%g", p)
+		inc, incErr := SynthesizeBest(g, lib, cons, Config{})
+		legacy, legacyErr := SynthesizeBest(g, lib, cons, Config{DisableIncremental: true})
+		requireSameDesign(t, label, inc, legacy, incErr, legacyErr)
+	}
+}
+
+// TestGoldenEquivalenceCliqueMode pins the static clique-partitioning
+// baseline, whose merge pass now runs over the engine's incrementally
+// maintained reservation lists.
+func TestGoldenEquivalenceCliqueMode(t *testing.T) {
+	lib := library.Table1()
+	for _, name := range goldenBenchmarks {
+		g, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := Constraints{Deadline: asap.Length() + 3, PowerMax: asap.PeakPower() * 0.8}
+		label := fmt.Sprintf("%s clique T=%d P<=%g", name, cons.Deadline, cons.PowerMax)
+		inc, incErr := SynthesizeCliquePartition(g, lib, cons, Config{})
+		legacy, legacyErr := SynthesizeCliquePartition(g, lib, cons, Config{DisableIncremental: true})
+		requireSameDesign(t, label, inc, legacy, incErr, legacyErr)
+	}
+}

@@ -18,6 +18,7 @@ import (
 // single-op descents meets the deadline.
 func (st *state) refineInitialModules() error {
 	probe := func() (int, bool) {
+		st.stats.SchedulerRuns++
 		s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
 		if err != nil {
 			return 0, false
@@ -81,6 +82,7 @@ func (st *state) refineInitialModules() error {
 // the schedule needs them.
 func (st *state) areaDescent() {
 	probe := func() bool {
+		st.stats.SchedulerRuns++
 		s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
 		return err == nil && s.Length() <= st.cons.Deadline
 	}
@@ -173,6 +175,7 @@ func (st *state) overlaps(i, j int) bool {
 type fuSnapshot struct {
 	fus  []instance
 	fuOf []int
+	resv [][]interval
 }
 
 func (st *state) snapshotFUs() fuSnapshot {
@@ -183,19 +186,32 @@ func (st *state) snapshotFUs() fuSnapshot {
 	for i, f := range st.fus {
 		s.fus[i] = instance{module: f.module, ops: append([]cdfg.NodeID(nil), f.ops...)}
 	}
+	if st.eng != nil {
+		s.resv = make([][]interval, len(st.eng.resv))
+		for i, r := range st.eng.resv {
+			s.resv[i] = append([]interval(nil), r...)
+		}
+	}
 	return s
 }
 
 func (st *state) restoreFUs(s fuSnapshot) {
 	st.fus = s.fus
 	st.fuOf = s.fuOf
+	if st.eng != nil {
+		st.eng.resv = s.resv
+	}
 }
 
 // mergeFUs moves all ops of instance j onto instance i and deletes j,
-// renumbering fuOf.
+// renumbering fuOf (and the engine's reservation lists alongside).
 func (st *state) mergeFUs(i, j int) {
 	st.fus[i].ops = append(st.fus[i].ops, st.fus[j].ops...)
 	st.fus = append(st.fus[:j], st.fus[j+1:]...)
+	if st.eng != nil {
+		st.eng.resv[i] = append(st.eng.resv[i], st.eng.resv[j]...)
+		st.eng.resv = append(st.eng.resv[:j], st.eng.resv[j+1:]...)
+	}
 	for n := range st.fuOf {
 		switch {
 		case st.fuOf[n] == j:

@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// Stats counts the work one synthesis run performed. It is the
+// observability surface of the incremental evaluation engine: the
+// benchmark harness compares SchedulerRuns between the incremental and
+// the DisableIncremental paths, and the cache counters explain where the
+// savings come from. All counters are zero-based per run; Design.Stats
+// carries the counters of the run that produced the design.
+type Stats struct {
+	// SchedulerRuns counts full pasap/palap executions (probes, window
+	// derivations, per-candidate overrides).
+	SchedulerRuns int64
+	// IncrementalRuns counts dirty-subset (pinned) scheduler executions,
+	// each of which replaces a full run on the incremental path.
+	IncrementalRuns int64
+	// WindowCacheHits counts (node, module) candidate windows served from
+	// the engine's cache without any scheduler run.
+	WindowCacheHits int64
+	// WindowCacheMisses counts candidate windows that had to be computed
+	// by a full pasap/palap pair because the node was invalidated (or
+	// never cached).
+	WindowCacheMisses int64
+	// WindowInvalidations counts cached candidate entries discarded by
+	// the post-commit invalidation rule.
+	WindowInvalidations int64
+	// FullInvalidations counts whole-cache resets: cold starts,
+	// backtracks, and incremental derivations abandoned mid-way.
+	FullInvalidations int64
+	// Fallbacks counts iterations where the incremental derivation was
+	// rejected (stale pin or audit mismatch) and the full derivation ran
+	// instead.
+	Fallbacks int64
+	// ProfileProbes counts freeSlot feasibility probes against the
+	// committed power profile.
+	ProfileProbes int64
+	// ProfileRebuilds counts full committed-profile rebuilds; the
+	// incremental engine maintains the profile in O(delay) per commit and
+	// never rebuilds it on the hot path.
+	ProfileRebuilds int64
+}
+
+// Add returns the field-wise sum of s and o, for aggregating the stats of
+// several runs (e.g. the points of a sweep).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		SchedulerRuns:       s.SchedulerRuns + o.SchedulerRuns,
+		IncrementalRuns:     s.IncrementalRuns + o.IncrementalRuns,
+		WindowCacheHits:     s.WindowCacheHits + o.WindowCacheHits,
+		WindowCacheMisses:   s.WindowCacheMisses + o.WindowCacheMisses,
+		WindowInvalidations: s.WindowInvalidations + o.WindowInvalidations,
+		FullInvalidations:   s.FullInvalidations + o.FullInvalidations,
+		Fallbacks:           s.Fallbacks + o.Fallbacks,
+		ProfileProbes:       s.ProfileProbes + o.ProfileProbes,
+		ProfileRebuilds:     s.ProfileRebuilds + o.ProfileRebuilds,
+	}
+}
+
+// String formats the counters as an aligned block, one per line.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"  scheduler runs (full)        %8d\n"+
+			"  scheduler runs (incremental) %8d\n"+
+			"  window cache hits            %8d\n"+
+			"  window cache misses          %8d\n"+
+			"  window invalidations         %8d\n"+
+			"  full cache invalidations     %8d\n"+
+			"  incremental fallbacks        %8d\n"+
+			"  profile probes               %8d\n"+
+			"  profile rebuilds             %8d\n",
+		s.SchedulerRuns, s.IncrementalRuns,
+		s.WindowCacheHits, s.WindowCacheMisses,
+		s.WindowInvalidations, s.FullInvalidations, s.Fallbacks,
+		s.ProfileProbes, s.ProfileRebuilds)
+}

@@ -36,6 +36,12 @@ type Point struct {
 	// Locked reports whether the design used the backtrack-and-lock
 	// repair.
 	Locked bool
+	// Stats counts the work the synthesis run at this grid point performed
+	// (scheduler executions, window-cache effectiveness). It describes the
+	// run at this point's own budget even when budget subsumption replaces
+	// the design with one found at a tighter budget, and is zero for
+	// infeasible points.
+	Stats core.Stats
 }
 
 // Curve is one area-versus-power series at a fixed time constraint.
@@ -50,6 +56,16 @@ type Curve struct {
 
 // Label renders the curve's legend label, e.g. "hal (T=10)".
 func (c Curve) Label() string { return fmt.Sprintf("%s (T=%d)", c.Benchmark, c.Deadline) }
+
+// TotalStats aggregates the synthesis work counters over all sweep
+// points.
+func (c Curve) TotalStats() core.Stats {
+	var total core.Stats
+	for _, p := range c.Points {
+		total = total.Add(p.Stats)
+	}
+	return total
+}
 
 // SweepConfig parameterizes a power sweep.
 type SweepConfig struct {
@@ -113,6 +129,7 @@ func SweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, dead
 				pt.FUs = len(d.FUs)
 				pt.Registers = len(d.Datapath.Registers)
 				pt.Locked = d.Locked
+				pt.Stats = d.Stats
 			} else if ctxErr := ctx.Err(); ctxErr != nil {
 				return pt, ctxErr
 			}
@@ -129,6 +146,7 @@ func SweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, dead
 			if carried != nil && (!pt.Feasible || carried.Area < pt.Area) {
 				c := *carried
 				c.Power = pt.Power
+				c.Stats = pt.Stats // Stats describe this point's own run
 				pt = c
 			}
 			if pt.Feasible && (carried == nil || pt.Area < carried.Area) {

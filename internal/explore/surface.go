@@ -19,6 +19,9 @@ type SurfacePoint struct {
 	Power    float64
 	Feasible bool
 	Area     float64
+	// Stats counts the work of the synthesis run at this cell's own
+	// constraints (zero when infeasible); subsumption never overwrites it.
+	Stats core.Stats
 }
 
 // Surface is a grid over the time-power-constraint space — the space the
@@ -26,6 +29,15 @@ type SurfacePoint struct {
 type Surface struct {
 	Benchmark string
 	Points    []SurfacePoint
+}
+
+// TotalStats aggregates the synthesis work counters over all grid cells.
+func (s Surface) TotalStats() core.Stats {
+	var total core.Stats
+	for _, p := range s.Points {
+		total = total.Add(p.Stats)
+	}
+	return total
 }
 
 // SurfaceConfig parameterizes a time-power surface exploration.
@@ -83,6 +95,7 @@ func ExploreSurfaceContext(ctx context.Context, g *cdfg.Graph, lib *library.Libr
 			if err == nil {
 				pt.Feasible = true
 				pt.Area = d.Area()
+				pt.Stats = d.Stats
 			} else if ctxErr := ctx.Err(); ctxErr != nil {
 				return pt, ctxErr
 			}

@@ -72,6 +72,17 @@ func (o *Options) baseAt(c int) float64 {
 // power exceeds PowerMax, and an error if the graph is cyclic or a fixed
 // placement is negative.
 func PASAP(g *cdfg.Graph, bind Binding, opts Options) (*Schedule, error) {
+	return pasapPinned(g, bind, opts, nil)
+}
+
+// pasapPinned is the shared core of PASAP and PASAPDirty. pin, when
+// non-nil, replays nodes with pin[id] >= 0 at exactly that start cycle
+// instead of searching; pinned placements are still verified against
+// precedence, the fixed-successor bound, and the power profile built so
+// far, returning an error wrapping ErrStale when a replay is no longer
+// consistent. Entries with pin[id] < 0 (and all nodes in opts.Fixed) are
+// placed exactly as PASAP places them.
+func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedule, error) {
 	var order []cdfg.NodeID
 	var err error
 	switch opts.Select {
@@ -183,12 +194,26 @@ func PASAP(g *cdfg.Graph, bind Binding, opts Options) (*Schedule, error) {
 		}
 		// Stretch: increase the execution offset until power fits.
 		start := t
-		for start <= latest && !fits(id, start) {
-			start++
-		}
-		if start > latest {
-			return nil, fmt.Errorf("sched: pasap: node %q cannot be placed in [%d,%d] under P< = %.3g: %w",
-				g.Node(id).Name, t, latest, opts.PowerMax, ErrHorizon)
+		if pin != nil && pin[id] >= 0 {
+			// Replay a clean node at its previous start. No search happens,
+			// but the placement is re-verified: precedence may have tightened,
+			// the power profile may have shifted under it, or (with no power
+			// cap) the node may now be able to start earlier — all of which
+			// mean the caller's dirty set was too small.
+			start = pin[id]
+			if start < t || start > latest || !fits(id, start) ||
+				(opts.PowerMax <= 0 && start != t) {
+				return nil, fmt.Errorf("sched: pasap: pinned node %q invalid at cycle %d (bounds [%d,%d]): %w",
+					g.Node(id).Name, start, t, latest, ErrStale)
+			}
+		} else {
+			for start <= latest && !fits(id, start) {
+				start++
+			}
+			if start > latest {
+				return nil, fmt.Errorf("sched: pasap: node %q cannot be placed in [%d,%d] under P< = %.3g: %w",
+					g.Node(id).Name, t, latest, opts.PowerMax, ErrHorizon)
+			}
 		}
 		if err := place(id, start); err != nil {
 			return nil, err
@@ -267,6 +292,14 @@ func criticalFirstOrder(g *cdfg.Graph, bind Binding) ([]cdfg.NodeID, error) {
 // forward time frame ([0, deadline)) and converted internally. A nonzero
 // opts.Horizon is ignored: the horizon of a PALAP schedule is the deadline.
 func PALAP(g *cdfg.Graph, bind Binding, deadline int, opts Options) (*Schedule, error) {
+	return palapPinned(g, bind, deadline, opts, nil)
+}
+
+// palapPinned is the shared core of PALAP and PALAPDirty. pin semantics
+// match pasapPinned, expressed in the forward time frame: pin[id] >= 0
+// replays node id at that forward start, converted internally into the
+// reversed frame.
+func palapPinned(g *cdfg.Graph, bind Binding, deadline int, opts Options, pin []int) (*Schedule, error) {
 	if deadline <= 0 {
 		return nil, fmt.Errorf("sched: palap: deadline %d must be positive", deadline)
 	}
@@ -279,14 +312,28 @@ func PALAP(g *cdfg.Graph, bind Binding, deadline int, opts Options) (*Schedule, 
 			ropts.Base[c] = opts.baseAt(deadline - 1 - c)
 		}
 	}
+	var delays []int
+	if len(opts.Fixed) > 0 || pin != nil {
+		delays = newSchedule(g, bind).Delay
+	}
 	if len(opts.Fixed) > 0 {
 		ropts.Fixed = make(map[cdfg.NodeID]int, len(opts.Fixed))
-		sProbe := newSchedule(g, bind)
 		for id, start := range opts.Fixed {
-			ropts.Fixed[id] = deadline - start - sProbe.Delay[id]
+			ropts.Fixed[id] = deadline - start - delays[id]
 		}
 	}
-	rs, err := PASAP(r, bind, ropts)
+	var rpin []int
+	if pin != nil {
+		rpin = make([]int, len(pin))
+		for id, p := range pin {
+			if p < 0 {
+				rpin[id] = -1
+			} else {
+				rpin[id] = deadline - p - delays[id]
+			}
+		}
+	}
+	rs, err := pasapPinned(r, bind, ropts, rpin)
 	if err != nil {
 		// A horizon overflow in the reversed frame means the deadline
 		// cannot be met; single-operation power infeasibility passes

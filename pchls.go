@@ -128,6 +128,11 @@ type (
 	Design = core.Design
 	// Decision is one committed synthesis step.
 	Decision = core.Decision
+	// Stats counts the work a synthesis run performed: full scheduler
+	// executions, incremental (pinned) runs, window-cache effectiveness and
+	// invalidations, and power-profile probes. Available on Design.Stats
+	// and aggregated over sweeps via Curve.TotalStats/Surface.TotalStats.
+	Stats = core.Stats
 	// CostModel holds register/multiplexer area coefficients.
 	CostModel = bind.CostModel
 )

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench figures fuzz cover clean
+.PHONY: all build test test-race vet bench figures fuzz cover serve smoke clean
 
 all: build vet test
 
@@ -38,6 +38,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cdfg/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/library/
 	$(GO) test -fuzz=FuzzRunnerMap -fuzztime=30s ./internal/runner/
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/server/
+
+# Run the synthesis daemon locally.
+serve:
+	$(GO) run ./cmd/pchls-server -addr :8080
+
+# End-to-end smoke of the daemon: start it on a private port, probe
+# /healthz, synthesize hal twice (cold then warm must byte-match), and
+# check /metrics reports the cache hit.
+smoke:
+	./scripts/smoke.sh
 
 cover:
 	$(GO) test ./... -cover

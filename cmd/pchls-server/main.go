@@ -1,0 +1,91 @@
+// Command pchls-server runs the power-constrained high-level synthesis
+// daemon: an HTTP/JSON service exposing single-design synthesis, power
+// sweeps and time-power surface exploration over the pchls engine, with a
+// content-addressed result cache, singleflight deduplication of identical
+// in-flight requests, bounded admission, and Prometheus-text metrics.
+//
+// Usage:
+//
+//	pchls-server -addr :8080 -workers 8 -cache 4096 -ttl 1h
+//
+// Endpoints:
+//
+//	POST /v1/synthesize   {"benchmark":"hal","deadline":10,"power_max":20}
+//	POST /v1/sweep        {"benchmark":"hal","deadline":17,"power_min":5,"power_max":50,"step":5}
+//	POST /v1/surface      {"benchmark":"hal","deadlines":[10,12],"powers":[20,40]}
+//	GET  /v1/benchmarks
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests complete (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pchls/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 4, "concurrent synthesis computations")
+		queue    = flag.Int("queue", 0, "admitted requests that may wait for a worker slot (0 = 4x workers)")
+		entries  = flag.Int("cache", 1024, "result-cache capacity in entries")
+		ttl      = flag.Duration("ttl", 0, "result-cache entry lifetime (0 = no expiry)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request synthesis deadline")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		maxBody  = flag.Int64("max-body", 8<<20, "maximum request body bytes")
+		xworkers = flag.Int("explore-workers", 0, "per-request worker count for sweep/surface grids (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *entries,
+		CacheTTL:       *ttl,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		ExploreWorkers: *xworkers,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pchls-server: %v", err)
+	}
+	log.Printf("pchls-server: listening on %s (workers=%d cache=%d ttl=%s timeout=%s)",
+		l.Addr(), *workers, *entries, *ttl, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("pchls-server: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("pchls-server: draining (up to %s)...", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(shCtx); err != nil {
+			log.Printf("pchls-server: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("pchls-server: drained cleanly")
+	}
+}

@@ -1,0 +1,104 @@
+package cdfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New("t")
+	a := g.MustAddNode("a", Input)
+	b := g.MustAddNode("b", Input)
+	m := g.MustAddNode("m", Mul)
+	o := g.MustAddNode("o", Output)
+	g.MustAddEdge(a, m)
+	g.MustAddEdge(b, m)
+	g.MustAddEdge(m, o)
+	return g
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	raw, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text() != g.Text() {
+		t.Fatalf("round trip changed the graph:\n%s\nvs\n%s", got.Text(), g.Text())
+	}
+	// Canonical: re-marshaling the round-tripped graph is byte-identical.
+	raw2, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("marshal not canonical:\n%s\nvs\n%s", raw, raw2)
+	}
+}
+
+func TestGraphJSONRejects(t *testing.T) {
+	cases := []struct {
+		name, payload, want string
+	}{
+		{"syntax", `{`, "unexpected end of JSON input"},
+		{"unknown op", `{"nodes":[{"name":"a","op":"frobnicate"}],"edges":[]}`, "unknown operation"},
+		{"empty node name", `{"nodes":[{"name":"","op":"+"}],"edges":[]}`, "empty node name"},
+		{"duplicate node", `{"nodes":[{"name":"a","op":"imp"},{"name":"a","op":"imp"}],"edges":[]}`, "duplicate node name"},
+		{"unknown edge source", `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"zz","to":"a"}]}`, "unknown source"},
+		{"unknown edge target", `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"a","to":"zz"}]}`, "unknown target"},
+		{"self loop", `{"nodes":[{"name":"a","op":"+"}],"edges":[{"from":"a","to":"a"}]}`, "self-loop"},
+		{"duplicate edge", `{"nodes":[{"name":"a","op":"imp"},{"name":"b","op":"xpt"}],"edges":[{"from":"a","to":"b"},{"from":"a","to":"b"}]}`, "duplicate edge"},
+		{"cycle", `{"nodes":[{"name":"a","op":"+"},{"name":"b","op":"+"}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`, "cycle"},
+		{"input with preds", `{"nodes":[{"name":"a","op":"imp"},{"name":"b","op":"imp"}],"edges":[{"from":"a","to":"b"}]}`, "fan-in"},
+		{"fan-in overflow", `{"nodes":[{"name":"a","op":"imp"},{"name":"b","op":"imp"},{"name":"c","op":"imp"},{"name":"d","op":"+"}],"edges":[{"from":"a","to":"d"},{"from":"b","to":"d"},{"from":"c","to":"d"}]}`, "fan-in"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseJSON([]byte(tc.payload))
+			if err == nil {
+				t.Fatalf("ParseJSON(%s) succeeded, want error containing %q", tc.payload, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestGraphUnmarshalErrorLeavesReceiver(t *testing.T) {
+	g := testGraph(t)
+	before := g.Text()
+	if err := json.Unmarshal([]byte(`{"nodes":[{"name":"x","op":"??"}],"edges":[]}`), g); err == nil {
+		t.Fatal("want error")
+	}
+	if g.Text() != before {
+		t.Fatal("failed unmarshal mutated the receiver")
+	}
+}
+
+func TestGraphJSONTextAgreement(t *testing.T) {
+	// The JSON and text formats describe the same graph.
+	g := testGraph(t)
+	raw, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ParseString(g.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Text() != fromText.Text() {
+		t.Fatal("JSON and text round trips disagree")
+	}
+}

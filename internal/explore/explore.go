@@ -82,6 +82,10 @@ type SweepConfig struct {
 	// 0 uses GOMAXPROCS, 1 keeps the legacy serial path. The curve is
 	// byte-identical for every setting.
 	Workers int
+	// InFlight, when non-nil, tracks the worker pool's instantaneous
+	// occupancy (see runner.Config.InFlight); the synthesis service uses
+	// it to export a runner-occupancy gauge.
+	InFlight runner.Gauge
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -118,7 +122,7 @@ func SweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, dead
 	for p := cfg.PowerMin; p <= cfg.PowerMax+1e-9; p += cfg.Step {
 		powers = append(powers, p)
 	}
-	raw, err := runner.Map(ctx, len(powers), runner.Config{Workers: cfg.Workers},
+	raw, err := runner.Map(ctx, len(powers), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
 		func(ctx context.Context, i int) (Point, error) {
 			pt := Point{Power: powers[i]}
 			d, err := synth(ctx, g, lib, core.Constraints{Deadline: deadline, PowerMax: powers[i]}, cfg.Config)

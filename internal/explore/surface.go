@@ -52,6 +52,9 @@ type SurfaceConfig struct {
 	// concurrently: 0 uses GOMAXPROCS, 1 keeps the legacy serial path. The
 	// surface is byte-identical for every setting.
 	Workers int
+	// InFlight, when non-nil, tracks the worker pool's instantaneous
+	// occupancy (see runner.Config.InFlight).
+	InFlight runner.Gauge
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -86,7 +89,7 @@ func ExploreSurfaceContext(ctx context.Context, g *cdfg.Graph, lib *library.Libr
 		}
 	}
 	// Cells in row-major (deadline-major) order, matching the serial walk.
-	raw, err := runner.Map(ctx, len(deadlines)*len(powers), runner.Config{Workers: cfg.Workers},
+	raw, err := runner.Map(ctx, len(deadlines)*len(powers), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
 		func(ctx context.Context, i int) (SurfacePoint, error) {
 			T := deadlines[i/len(powers)]
 			P := powers[i%len(powers)]

@@ -57,6 +57,9 @@ type TimeSweepConfig struct {
 	// 0 uses GOMAXPROCS, 1 keeps the legacy serial path. The curve is
 	// byte-identical for every setting.
 	Workers int
+	// InFlight, when non-nil, tracks the worker pool's instantaneous
+	// occupancy (see runner.Config.InFlight).
+	InFlight runner.Gauge
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -87,7 +90,7 @@ func TimeSweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, 
 	for T := cfg.TMin; T <= cfg.TMax; T += cfg.Step {
 		deadlines = append(deadlines, T)
 	}
-	raw, err := runner.Map(ctx, len(deadlines), runner.Config{Workers: cfg.Workers},
+	raw, err := runner.Map(ctx, len(deadlines), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
 		func(ctx context.Context, i int) (TimePoint, error) {
 			pt := TimePoint{Deadline: deadlines[i]}
 			d, err := synth(ctx, g, lib, core.Constraints{Deadline: deadlines[i], PowerMax: powerMax}, cfg.Config)

@@ -1,0 +1,77 @@
+package library
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pchls/internal/cdfg"
+)
+
+// The JSON schema of a library is a list of modules; it is the optional
+// "library" field of the synthesis service's request payloads. Decoding
+// funnels through New, so every validation rule of the text format applies
+// equally: unique names, known operation tokens, delay >= 1, finite
+// non-negative area and power.
+//
+//	[{"name": "ALU", "ops": ["+", "-", ">"], "area": 97, "delay": 1, "power": 2.5}, ...]
+
+type moduleJSON struct {
+	Name  string   `json:"name"`
+	Ops   []string `json:"ops"`
+	Area  float64  `json:"area"`
+	Delay int      `json:"delay"`
+	Power float64  `json:"power"`
+}
+
+// MarshalJSON serializes the library as its module list in declaration
+// order; the output is canonical for equal libraries.
+func (l *Library) MarshalJSON() ([]byte, error) {
+	out := make([]moduleJSON, 0, len(l.modules))
+	for i := range l.modules {
+		m := &l.modules[i]
+		ops := make([]string, len(m.Ops))
+		for j, o := range m.Ops {
+			ops[j] = o.String()
+		}
+		out = append(out, moduleJSON{Name: m.Name, Ops: ops, Area: m.Area, Delay: m.Delay, Power: m.Power})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and validates a library from its JSON module list.
+// On success the receiver is replaced wholesale; on error it is left
+// unchanged. Modules with unknown operation tokens, non-positive delays,
+// or invalid area/power are rejected.
+func (l *Library) UnmarshalJSON(data []byte) error {
+	var raw []moduleJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("library: decoding library JSON: %w", err)
+	}
+	mods := make([]Module, 0, len(raw))
+	for i, mj := range raw {
+		m := Module{Name: mj.Name, Area: mj.Area, Delay: mj.Delay, Power: mj.Power}
+		for _, tok := range mj.Ops {
+			op, err := cdfg.ParseOp(tok)
+			if err != nil {
+				return fmt.Errorf("library: module %d (%q): %w", i, mj.Name, err)
+			}
+			m.Ops = append(m.Ops, op)
+		}
+		mods = append(mods, m)
+	}
+	nl, err := New(mods)
+	if err != nil {
+		return err
+	}
+	*l = *nl
+	return nil
+}
+
+// ParseJSON decodes and validates a library from its JSON serialization.
+func ParseJSON(data []byte) (*Library, error) {
+	l := &Library{}
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

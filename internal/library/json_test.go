@@ -1,0 +1,68 @@
+package library
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	lib := Table1()
+	raw, err := json.Marshal(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table() != lib.Table() {
+		t.Fatalf("round trip changed the library:\n%s\nvs\n%s", got.Table(), lib.Table())
+	}
+	raw2, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("marshal not canonical:\n%s\nvs\n%s", raw, raw2)
+	}
+}
+
+func TestLibraryJSONRejects(t *testing.T) {
+	cases := []struct {
+		name, payload, want string
+	}{
+		{"syntax", `[`, "unexpected end of JSON input"},
+		{"unknown op", `[{"name":"m","ops":["frob"],"area":1,"delay":1,"power":1}]`, "unknown operation"},
+		{"zero delay", `[{"name":"m","ops":["+"],"area":1,"delay":0,"power":1}]`, "delay 0 < 1"},
+		{"negative delay", `[{"name":"m","ops":["+"],"area":1,"delay":-3,"power":1}]`, "delay -3 < 1"},
+		{"negative area", `[{"name":"m","ops":["+"],"area":-1,"delay":1,"power":1}]`, "bad area"},
+		{"negative power", `[{"name":"m","ops":["+"],"area":1,"delay":1,"power":-2}]`, "bad power"},
+		{"no ops", `[{"name":"m","ops":[],"area":1,"delay":1,"power":1}]`, "implements no operations"},
+		{"duplicate name", `[{"name":"m","ops":["+"],"area":1,"delay":1,"power":1},{"name":"m","ops":["-"],"area":1,"delay":1,"power":1}]`, "duplicate module name"},
+		{"empty list", `[]`, "empty module list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseJSON([]byte(tc.payload))
+			if err == nil {
+				t.Fatalf("ParseJSON(%s) succeeded, want error containing %q", tc.payload, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLibraryUnmarshalErrorLeavesReceiver(t *testing.T) {
+	lib := Table1()
+	before := lib.Table()
+	if err := json.Unmarshal([]byte(`[]`), lib); err == nil {
+		t.Fatal("want error")
+	}
+	if lib.Table() != before {
+		t.Fatal("failed unmarshal mutated the receiver")
+	}
+}

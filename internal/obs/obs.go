@@ -1,0 +1,303 @@
+// Package obs is the observability substrate of the synthesis service: a
+// small dependency-free metrics registry holding counters, gauges and
+// histograms, exported in the Prometheus text exposition format. It exists
+// so the server, cache and runner layers can surface request latency,
+// queue depth, cache effectiveness and engine work counters without
+// pulling a client library into the module.
+//
+// All metric types are safe for concurrent use. The registry renders
+// metrics in sorted name order, so /metrics output is deterministic for a
+// fixed set of values — the property the server tests pin.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is a programming error; negative deltas are ignored to
+// keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a cumulative-bucket latency/size distribution.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []int64   // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond cache hits to multi-second surface explorations.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// metric is one registered metric instance.
+type metric struct {
+	name   string // base name without labels
+	labels string // rendered {k="v",...} or ""
+	typ    string // counter | gauge | histogram
+	help   string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // gauge-func / counter-func collector
+}
+
+func (m *metric) id() string { return m.name + m.labels }
+
+// Registry holds named metrics and renders them as Prometheus text.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// register returns the existing metric under (name, labels) or installs m.
+// Re-registering a name with a different type panics: that is a wiring bug.
+func (r *Registry) register(name string, labels []Label, typ, help string, mk func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := name + renderLabels(labels)
+	if m, ok := r.metrics[id]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", id, typ, m.typ))
+		}
+		return m
+	}
+	m := mk()
+	m.name, m.labels, m.typ, m.help = name, renderLabels(labels), typ, help
+	r.metrics[id] = m
+	return m
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, labels, "counter", help, func() *metric {
+		return &metric{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, labels, "gauge", help, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	}).gauge
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket bounds on first use (nil bounds use
+// DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.register(name, labels, "histogram", help, func() *metric {
+		return &metric{hist: newHistogram(bounds)}
+	}).hist
+}
+
+// GaugeFunc registers a pull-time collector: fn is evaluated at every
+// WriteText call. Use it for levels owned by another subsystem (cache
+// size, queue depth) without copying them on every update.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, labels, "gauge", help, func() *metric {
+		return &metric{fn: fn}
+	})
+}
+
+// CounterFunc registers a pull-time collector rendered as a counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, labels, "counter", help, func() *metric {
+		return &metric{fn: fn}
+	})
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, grouped by base name (one HELP/TYPE header per name)
+// and sorted for deterministic output.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id() < ms[j].id() })
+
+	lastName := ""
+	for _, m := range ms {
+		if m.name != lastName {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+				return err
+			}
+			lastName = m.name
+		}
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.gauge.Value())
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatFloat(m.fn()))
+		case m.hist != nil:
+			err = m.hist.write(w, m.name, m.labels)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// write renders the histogram's cumulative buckets, sum and count.
+func (h *Histogram) write(w io.Writer, name, labels string) error {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]int64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", le)
+	}
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(formatFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+	return err
+}
+
+// Handler returns an http.Handler serving the registry as text/plain.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

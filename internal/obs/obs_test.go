@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pchls_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("pchls_level", "level")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Re-registration returns the same instance.
+	if r.Counter("pchls_events_total", "events") != c {
+		t.Fatal("counter re-registration minted a new instance")
+	}
+	if r.Gauge("pchls_level", "level") != g {
+		t.Fatal("gauge re-registration minted a new instance")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pchls_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pchls_seconds_bucket{le="0.1"} 1`,
+		`pchls_seconds_bucket{le="1"} 3`,
+		`pchls_seconds_bucket{le="10"} 4`,
+		`pchls_seconds_bucket{le="+Inf"} 5`,
+		`pchls_seconds_sum 56.05`,
+		`pchls_seconds_count 5`,
+		"# TYPE pchls_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueIsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(1) // exactly on the bound: belongs in the le="1" bucket
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in its bucket:\n%s", sb.String())
+	}
+}
+
+func TestLabelsRenderSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests", Label{"path", "/v1/synthesize"}, Label{"code", "200"}).Inc()
+	r.Counter("req_total", "requests", Label{"code", "400"}, Label{"path", "/v1/synthesize"}).Add(2)
+	var a, b strings.Builder
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteText is not deterministic")
+	}
+	out := a.String()
+	if !strings.Contains(out, `req_total{code="200",path="/v1/synthesize"} 1`) {
+		t.Fatalf("missing sorted-label counter line:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{code="400",path="/v1/synthesize"} 2`) {
+		t.Fatalf("missing second label set:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE req_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE header per base name:\n%s", out)
+	}
+}
+
+func TestGaugeFuncAndHandler(t *testing.T) {
+	r := NewRegistry()
+	level := 3.5
+	r.GaugeFunc("cache_size", "entries", func() float64 { return level })
+	r.CounterFunc("cache_hits_total", "hits", func() float64 { return 42 })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "cache_size 3.5") || !strings.Contains(body, "cache_hits_total 42") {
+		t.Fatalf("handler output missing func metrics:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestConcurrentUseUnderRace(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", nil).Observe(float64(i) / 100)
+			}
+		}()
+	}
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.Reset()
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+}

@@ -41,6 +41,17 @@ type Config struct {
 	Workers int
 	// Policy selects the error-handling policy (default FirstError).
 	Policy Policy
+	// InFlight, when non-nil, is incremented as each item starts and
+	// decremented when it finishes (including panics), exposing the pool's
+	// instantaneous occupancy to an observability layer. The hook must be
+	// safe for concurrent use; it never affects results.
+	InFlight Gauge
+}
+
+// Gauge is the minimal metrics hook Map accepts for occupancy tracking;
+// obs.Gauge satisfies it.
+type Gauge interface {
+	Add(delta int64)
 }
 
 // PanicError is the error a recovered item panic is converted to.
@@ -117,6 +128,10 @@ func Map[T any](ctx context.Context, n int, cfg Config, fn func(ctx context.Cont
 
 	itemErrs := make([]error, n)
 	run := func(ctx context.Context, i int) (err error) {
+		if cfg.InFlight != nil {
+			cfg.InFlight.Add(1)
+			defer cfg.InFlight.Add(-1)
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				buf := make([]byte, 64<<10)

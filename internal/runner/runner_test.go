@@ -242,3 +242,54 @@ func TestResolveWorkers(t *testing.T) {
 		t.Errorf("negative workers: %v", err)
 	}
 }
+
+// trackGauge records the high-water mark of an in-flight level.
+type trackGauge struct {
+	level atomic.Int64
+	peak  atomic.Int64
+}
+
+func (g *trackGauge) Add(delta int64) {
+	n := g.level.Add(delta)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+func TestMapInFlightGauge(t *testing.T) {
+	var g trackGauge
+	_, err := Map(context.Background(), 50, Config{Workers: 4, InFlight: &g},
+		func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := g.level.Load(); lvl != 0 {
+		t.Fatalf("in-flight level = %d after Map returned, want 0", lvl)
+	}
+	if peak := g.peak.Load(); peak < 1 || peak > 4 {
+		t.Fatalf("in-flight peak = %d, want within [1,4]", peak)
+	}
+}
+
+func TestMapInFlightGaugeBalancedOnPanic(t *testing.T) {
+	var g trackGauge
+	_, err := Map(context.Background(), 8, Config{Workers: 2, InFlight: &g},
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("want panic error")
+	}
+	if lvl := g.level.Load(); lvl != 0 {
+		t.Fatalf("in-flight level = %d after panic, want 0", lvl)
+	}
+}

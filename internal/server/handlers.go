@@ -1,0 +1,346 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pchls/internal/bench"
+	"pchls/internal/cache"
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/explore"
+)
+
+// Response headers carrying per-request observability: the cache outcome
+// and the engine work behind the bytes served. They ride outside the body
+// so warm responses stay byte-identical to the cold run that filled the
+// cache.
+const (
+	headerCache           = "X-Pchls-Cache"          // hit | miss | coalesced
+	headerSchedulerRuns   = "X-Pchls-Scheduler-Runs" // full scheduler runs this request performed
+	headerIncrementalRuns = "X-Pchls-Incremental-Runs"
+)
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: msg})
+}
+
+// writeRequestError maps a decode/validation failure to a client response.
+func writeRequestError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// writeComputeError maps a non-cacheable computation failure.
+func writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, overloadError{}):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded before synthesis completed")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeResult replays a (possibly cached) result. Warm hits report zero
+// engine work: the whole point of the cache is that they performed none.
+func writeResult(w http.ResponseWriter, res *result, outcome cache.Outcome) {
+	sched, incr := int64(0), int64(0)
+	if outcome != cache.Hit {
+		sched, incr = res.stats.SchedulerRuns, res.stats.IncrementalRuns
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(headerCache, outcome.String())
+	w.Header().Set(headerSchedulerRuns, strconv.FormatInt(sched, 10))
+	w.Header().Set(headerIncrementalRuns, strconv.FormatInt(incr, 10))
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// infeasibleResult renders a deterministic synthesis failure (infeasible
+// constraints, uncovered operations) as a cacheable 422.
+func infeasibleResult(err error) *result {
+	body, merr := json.MarshalIndent(errorJSON{Error: err.Error()}, "", "  ")
+	if merr != nil {
+		body = []byte(`{"error":"infeasible"}`)
+	}
+	return &result{status: http.StatusUnprocessableEntity, body: body}
+}
+
+// compute wraps the admission-control + synthesis body shared by the
+// three POST endpoints: acquire a worker slot, run fn, classify errors.
+// Deterministic failures come back as cacheable results; overload and
+// deadline failures come back as errors (not cached).
+func (s *Server) compute(ctx context.Context, fn func(ctx context.Context) (*result, error)) (*result, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	res, err := fn(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if errors.Is(err, core.ErrInfeasible) || errors.Is(err, core.ErrUncovered) {
+			return infeasibleResult(err), nil
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req synthesizeRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	g, lib, cons, err := req.validate()
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	key := synthesizeKey(g, lib, cons, req.SinglePass)
+	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		return s.compute(ctx, func(ctx context.Context) (*result, error) {
+			d, err := s.synth(ctx, g, lib, cons, core.Config{Workers: 1}, req.SinglePass)
+			if err != nil {
+				return nil, err
+			}
+			s.noteStats(d.Stats)
+			body, err := d.JSON()
+			if err != nil {
+				return nil, err
+			}
+			return &result{status: http.StatusOK, body: body, stats: d.Stats}, nil
+		})
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeResult(w, res, outcome)
+}
+
+// statsJSON is the work-counter schema embedded in sweep and surface
+// responses (deterministic for a given request, so safe to cache).
+type statsJSON struct {
+	SchedulerRuns     int64 `json:"scheduler_runs"`
+	IncrementalRuns   int64 `json:"incremental_runs"`
+	WindowCacheHits   int64 `json:"window_cache_hits"`
+	WindowCacheMisses int64 `json:"window_cache_misses"`
+}
+
+func toStatsJSON(st core.Stats) statsJSON {
+	return statsJSON{
+		SchedulerRuns:     st.SchedulerRuns,
+		IncrementalRuns:   st.IncrementalRuns,
+		WindowCacheHits:   st.WindowCacheHits,
+		WindowCacheMisses: st.WindowCacheMisses,
+	}
+}
+
+type curvePointJSON struct {
+	Power     float64 `json:"power"`
+	Feasible  bool    `json:"feasible"`
+	Area      float64 `json:"area"`
+	Peak      float64 `json:"peak"`
+	FUs       int     `json:"fus"`
+	Registers int     `json:"registers"`
+	Locked    bool    `json:"locked"`
+}
+
+type curveJSON struct {
+	Benchmark  string           `json:"benchmark"`
+	Deadline   int              `json:"deadline"`
+	Points     []curvePointJSON `json:"points"`
+	TotalStats statsJSON        `json:"total_stats"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	g, lib, err := req.validate()
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	key := sweepKey(g, lib, req.Deadline, req.PowerMin, req.PowerMax, req.Step, req.SinglePass)
+	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		return s.compute(ctx, func(ctx context.Context) (*result, error) {
+			curve, err := explore.SweepContext(ctx, g, lib, req.Deadline, explore.SweepConfig{
+				PowerMin:   req.PowerMin,
+				PowerMax:   req.PowerMax,
+				Step:       req.Step,
+				SinglePass: req.SinglePass,
+				Workers:    s.cfg.ExploreWorkers,
+				InFlight:   s.runnerInflight,
+				Config:     core.Config{Workers: 1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			total := curve.TotalStats()
+			s.noteStats(total)
+			out := curveJSON{
+				Benchmark:  curve.Benchmark,
+				Deadline:   curve.Deadline,
+				Points:     make([]curvePointJSON, 0, len(curve.Points)),
+				TotalStats: toStatsJSON(total),
+			}
+			for _, p := range curve.Points {
+				out.Points = append(out.Points, curvePointJSON{
+					Power: p.Power, Feasible: p.Feasible, Area: p.Area, Peak: p.Peak,
+					FUs: p.FUs, Registers: p.Registers, Locked: p.Locked,
+				})
+			}
+			body, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			return &result{status: http.StatusOK, body: body, stats: total}, nil
+		})
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeResult(w, res, outcome)
+}
+
+type surfacePointJSON struct {
+	Deadline int     `json:"deadline"`
+	Power    float64 `json:"power"`
+	Feasible bool    `json:"feasible"`
+	Area     float64 `json:"area"`
+}
+
+type surfaceJSON struct {
+	Benchmark  string             `json:"benchmark"`
+	Points     []surfacePointJSON `json:"points"`
+	TotalStats statsJSON          `json:"total_stats"`
+}
+
+func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
+	var req surfaceRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	g, lib, err := req.validate()
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	key := surfaceKey(g, lib, req.Deadlines, req.Powers, req.SinglePass)
+	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		return s.compute(ctx, func(ctx context.Context) (*result, error) {
+			surface, err := explore.ExploreSurfaceContext(ctx, g, lib, explore.SurfaceConfig{
+				Deadlines:  req.Deadlines,
+				Powers:     req.Powers,
+				SinglePass: req.SinglePass,
+				Workers:    s.cfg.ExploreWorkers,
+				InFlight:   s.runnerInflight,
+				Config:     core.Config{Workers: 1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			total := surface.TotalStats()
+			s.noteStats(total)
+			out := surfaceJSON{
+				Benchmark:  surface.Benchmark,
+				Points:     make([]surfacePointJSON, 0, len(surface.Points)),
+				TotalStats: toStatsJSON(total),
+			}
+			for _, p := range surface.Points {
+				out.Points = append(out.Points, surfacePointJSON{
+					Deadline: p.Deadline, Power: p.Power, Feasible: p.Feasible, Area: p.Area,
+				})
+			}
+			body, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			return &result{status: http.StatusOK, body: body, stats: total}, nil
+		})
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeResult(w, res, outcome)
+}
+
+// benchmarkNames is the served benchmark catalogue, in the facade's
+// canonical order (pchls.BenchmarkNames).
+var benchmarkNames = []string{"hal", "cosine", "elliptic", "fir16", "ar", "diffeq2", "fft8"}
+
+type benchmarkJSON struct {
+	Name  string         `json:"name"`
+	Nodes int            `json:"nodes"`
+	Edges int            `json:"edges"`
+	Ops   map[string]int `json:"ops"`
+	Graph *cdfg.Graph    `json:"graph"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	out := make([]benchmarkJSON, 0, len(benchmarkNames))
+	for _, name := range benchmarkNames {
+		g, err := bench.ByName(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("benchmark %q: %v", name, err))
+			return
+		}
+		ops := make(map[string]int)
+		for op, n := range g.OpCounts() {
+			ops[op.String()] = n
+		}
+		out = append(out, benchmarkJSON{Name: name, Nodes: g.N(), Edges: g.E(), Ops: ops, Graph: g})
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+// Cache keys are content addresses: a SHA-256 over a canonical rendering
+// of every input that can change the response bytes — the CDFG (node
+// names, operations and edges in ID order), the module library
+// (declaration order), the constraints and the algorithm selection.
+// Inputs that provably cannot change the result — worker counts, the
+// incremental-engine toggle (byte-identical by the PR 2 equivalence
+// gate) — are deliberately excluded so they share cache entries.
+//
+// The keyVersion prefix invalidates the whole address space whenever the
+// canonical rendering or the response schema changes.
+const keyVersion = "pchls-v1"
+
+// canonFloat renders a float bit-exactly (hex float format), so distinct
+// constraint values never collide and equal values always agree.
+func canonFloat(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+// writeGraphLib renders the shared (graph, library) prefix of every key.
+func writeGraphLib(sb *strings.Builder, g *cdfg.Graph, lib *library.Library) {
+	sb.WriteString("graph\n")
+	sb.WriteString(g.Text())
+	sb.WriteString("library\n")
+	for _, m := range lib.Modules() {
+		ops := make([]string, len(m.Ops))
+		for i, o := range m.Ops {
+			ops[i] = o.String()
+		}
+		fmt.Fprintf(sb, "module %s %s %s %d %s\n",
+			m.Name, strings.Join(ops, ","), canonFloat(m.Area), m.Delay, canonFloat(m.Power))
+	}
+}
+
+func finishKey(sb *strings.Builder) string {
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// synthesizeKey derives the content address of one /v1/synthesize result.
+func synthesizeKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, singlePass bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s synthesize single=%t deadline=%d power=%s\n",
+		keyVersion, singlePass, cons.Deadline, canonFloat(cons.PowerMax))
+	writeGraphLib(&sb, g, lib)
+	return finishKey(&sb)
+}
+
+// sweepKey derives the content address of one /v1/sweep result.
+func sweepKey(g *cdfg.Graph, lib *library.Library, deadline int, pmin, pmax, step float64, singlePass bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s sweep single=%t deadline=%d grid=%s:%s:%s\n",
+		keyVersion, singlePass, deadline, canonFloat(pmin), canonFloat(pmax), canonFloat(step))
+	writeGraphLib(&sb, g, lib)
+	return finishKey(&sb)
+}
+
+// surfaceKey derives the content address of one /v1/surface result.
+func surfaceKey(g *cdfg.Graph, lib *library.Library, deadlines []int, powers []float64, singlePass bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s surface single=%t deadlines=", keyVersion, singlePass)
+	for i, d := range deadlines {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(d))
+	}
+	sb.WriteString(" powers=")
+	for i, p := range powers {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(canonFloat(p))
+	}
+	sb.WriteByte('\n')
+	writeGraphLib(&sb, g, lib)
+	return finishKey(&sb)
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pchls/internal/bench"
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+// The request payloads of the /v1 endpoints. Graph and Library decode
+// through their validating JSON unmarshalers (internal/cdfg,
+// internal/library), so a request that decodes successfully already
+// carries a structurally valid CDFG and module library; the remaining
+// checks here are cross-field (exactly one graph source, positive
+// deadline, sane grids).
+
+// synthesizeRequest is the body of POST /v1/synthesize.
+type synthesizeRequest struct {
+	// Benchmark names a built-in CDFG; mutually exclusive with Graph.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Graph is an inline CDFG in the {"name","nodes","edges"} schema.
+	Graph *cdfg.Graph `json:"graph,omitempty"`
+	// Library is an optional module list; the paper's Table 1 when absent.
+	Library *library.Library `json:"library,omitempty"`
+	// Deadline is the latency constraint T in cycles (> 0, required).
+	Deadline int `json:"deadline"`
+	// PowerMax is the per-cycle power constraint P< (0 = unconstrained).
+	PowerMax float64 `json:"power_max,omitempty"`
+	// SinglePass selects the paper's one-shot algorithm instead of the
+	// portfolio SynthesizeBest.
+	SinglePass bool `json:"single_pass,omitempty"`
+}
+
+// sweepRequest is the body of POST /v1/sweep: an area-versus-power sweep
+// at a fixed deadline.
+type sweepRequest struct {
+	Benchmark  string           `json:"benchmark,omitempty"`
+	Graph      *cdfg.Graph      `json:"graph,omitempty"`
+	Library    *library.Library `json:"library,omitempty"`
+	Deadline   int              `json:"deadline"`
+	PowerMin   float64          `json:"power_min"`
+	PowerMax   float64          `json:"power_max"`
+	Step       float64          `json:"step"`
+	SinglePass bool             `json:"single_pass,omitempty"`
+}
+
+// surfaceRequest is the body of POST /v1/surface: a (deadline x power)
+// grid exploration.
+type surfaceRequest struct {
+	Benchmark  string           `json:"benchmark,omitempty"`
+	Graph      *cdfg.Graph      `json:"graph,omitempty"`
+	Library    *library.Library `json:"library,omitempty"`
+	Deadlines  []int            `json:"deadlines"`
+	Powers     []float64        `json:"powers"`
+	SinglePass bool             `json:"single_pass,omitempty"`
+}
+
+// requestError is a client-side fault mapped to 400 Bad Request.
+type requestError struct {
+	msg string
+	err error
+}
+
+func (e *requestError) Error() string {
+	if e.err != nil {
+		return e.msg + ": " + e.err.Error()
+	}
+	return e.msg
+}
+
+func (e *requestError) Unwrap() error { return e.err }
+
+func badRequest(msg string, err error) error { return &requestError{msg: msg, err: err} }
+
+// isRequestError reports whether err is a client fault.
+func isRequestError(err error) bool {
+	var re *requestError
+	return errors.As(err, &re)
+}
+
+// decodeJSON strictly decodes one JSON document from r into v: unknown
+// fields, trailing garbage and oversized bodies are all client errors.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return badRequest("invalid request body", errors.New("trailing data after JSON document"))
+	}
+	return nil
+}
+
+// resolveGraph materializes the request's CDFG from either the benchmark
+// name or the inline graph (exactly one must be present).
+func resolveGraph(benchmark string, graph *cdfg.Graph) (*cdfg.Graph, error) {
+	switch {
+	case benchmark == "" && graph == nil:
+		return nil, badRequest(`one of "benchmark" or "graph" is required`, nil)
+	case benchmark != "" && graph != nil:
+		return nil, badRequest(`"benchmark" and "graph" are mutually exclusive`, nil)
+	case benchmark != "":
+		g, err := bench.ByName(benchmark)
+		if err != nil {
+			return nil, badRequest("unknown benchmark", err)
+		}
+		return g, nil
+	default:
+		return graph, nil
+	}
+}
+
+// resolveLibrary returns the request library or the Table 1 default.
+func resolveLibrary(lib *library.Library) *library.Library {
+	if lib == nil {
+		return library.Table1()
+	}
+	return lib
+}
+
+func checkPower(name string, p float64) error {
+	if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+		return badRequest(fmt.Sprintf("%q must be a finite non-negative number", name), nil)
+	}
+	return nil
+}
+
+// validateSynthesize cross-checks a decoded synthesize request and
+// resolves its graph and library.
+func (req *synthesizeRequest) validate() (*cdfg.Graph, *library.Library, core.Constraints, error) {
+	g, err := resolveGraph(req.Benchmark, req.Graph)
+	if err != nil {
+		return nil, nil, core.Constraints{}, err
+	}
+	if req.Deadline <= 0 {
+		return nil, nil, core.Constraints{}, badRequest(`"deadline" must be a positive cycle count`, nil)
+	}
+	if err := checkPower("power_max", req.PowerMax); err != nil {
+		return nil, nil, core.Constraints{}, err
+	}
+	return g, resolveLibrary(req.Library), core.Constraints{Deadline: req.Deadline, PowerMax: req.PowerMax}, nil
+}
+
+func (req *sweepRequest) validate() (*cdfg.Graph, *library.Library, error) {
+	g, err := resolveGraph(req.Benchmark, req.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.Deadline <= 0 {
+		return nil, nil, badRequest(`"deadline" must be a positive cycle count`, nil)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"power_min", req.PowerMin}, {"power_max", req.PowerMax}, {"step", req.Step}} {
+		if err := checkPower(f.name, f.v); err != nil {
+			return nil, nil, err
+		}
+	}
+	if req.Step <= 0 || req.PowerMax < req.PowerMin {
+		return nil, nil, badRequest("sweep grid must satisfy step > 0 and power_min <= power_max", nil)
+	}
+	if n := (req.PowerMax - req.PowerMin) / req.Step; n > maxGridPoints {
+		return nil, nil, badRequest(fmt.Sprintf("sweep grid has more than %d points", maxGridPoints), nil)
+	}
+	return g, resolveLibrary(req.Library), nil
+}
+
+func (req *surfaceRequest) validate() (*cdfg.Graph, *library.Library, error) {
+	g, err := resolveGraph(req.Benchmark, req.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(req.Deadlines) == 0 || len(req.Powers) == 0 {
+		return nil, nil, badRequest(`"deadlines" and "powers" must be non-empty`, nil)
+	}
+	if len(req.Deadlines)*len(req.Powers) > maxGridPoints {
+		return nil, nil, badRequest(fmt.Sprintf("surface grid has more than %d cells", maxGridPoints), nil)
+	}
+	for _, d := range req.Deadlines {
+		if d <= 0 {
+			return nil, nil, badRequest(`every "deadlines" entry must be positive`, nil)
+		}
+	}
+	for _, p := range req.Powers {
+		if err := checkPower("powers", p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, resolveLibrary(req.Library), nil
+}
+
+// maxGridPoints bounds sweep and surface request grids: a single request
+// may not fan out into more synthesis runs than this.
+const maxGridPoints = 4096

@@ -77,6 +77,11 @@ func ParseGraph(r io.Reader) (*Graph, error) { return cdfg.Parse(r) }
 // ParseGraphString is ParseGraph over a string.
 func ParseGraphString(s string) (*Graph, error) { return cdfg.ParseString(s) }
 
+// ParseGraphJSON decodes and validates a graph from the JSON schema used
+// by the synthesis service's request payloads ({"name", "nodes", "edges"}).
+// Graphs also marshal back to that schema via encoding/json.
+func ParseGraphJSON(data []byte) (*Graph, error) { return cdfg.ParseJSON(data) }
+
 // Functional-unit library.
 type (
 	// Library is a validated collection of functional-unit modules.
@@ -95,6 +100,11 @@ func NewLibrary(modules []Module) (*Library, error) { return library.New(modules
 // ParseLibrary reads a library in the text format
 // ("module <name> <op>[,<op>...] <area> <delay> <power>").
 func ParseLibrary(r io.Reader) (*Library, error) { return library.Parse(r) }
+
+// ParseLibraryJSON decodes and validates a library from the JSON module
+// list used by the synthesis service's request payloads. Libraries also
+// marshal back to that schema via encoding/json.
+func ParseLibraryJSON(data []byte) (*Library, error) { return library.ParseJSON(data) }
 
 // Benchmarks.
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench figures fuzz cover serve smoke clean
+.PHONY: all build test test-race vet bench bench-compare test-alloc figures fuzz cover serve smoke clean
 
 all: build vet test
 
@@ -25,6 +25,17 @@ test-race:
 # table and figure of the paper plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+
+# Benchmark regression gate: re-run the checked-in suites and fail when
+# ns/op or allocs/op regresses >20% vs results/BENCH_*.json
+# (override with BENCH_TOLERANCE=0.30 etc.).
+bench-compare:
+	./scripts/bench_compare.sh
+
+# Allocation-regression tests (hot-path AllocsPerRun budgets); these are
+# meaningless under -race, so they get their own race-free lane.
+test-alloc:
+	$(GO) test -run Allocs -v ./internal/sched ./internal/core
 
 # Full experiment artifacts: Figure 2 CSVs + HTML, Figure 1 report,
 # time-power surface.

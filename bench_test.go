@@ -14,6 +14,8 @@ package pchls
 //	ext%        battery lifetime extension of the capped schedule (Fig. 1)
 
 import (
+	"context"
+	"runtime/pprof"
 	"testing"
 
 	"pchls/internal/clique"
@@ -134,14 +136,19 @@ func BenchmarkSynthesize(b *testing.B) {
 			{"legacy", Config{DisableIncremental: true}},
 		} {
 			b.Run(name+"/"+mode.tag, func(b *testing.B) {
+				b.ReportAllocs()
 				var st Stats
-				for i := 0; i < b.N; i++ {
-					d, err := Synthesize(g, lib, cons, mode.cfg)
-					if err != nil {
-						b.Fatal(err)
+				// pprof labels partition -cpuprofile/-memprofile samples by
+				// benchmark graph and engine mode (see DESIGN.md §10).
+				pprof.Do(context.Background(), pprof.Labels("graph", name, "mode", mode.tag), func(context.Context) {
+					for i := 0; i < b.N; i++ {
+						d, err := Synthesize(g, lib, cons, mode.cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						st = d.Stats
 					}
-					st = d.Stats
-				}
+				})
 				b.ReportMetric(float64(st.SchedulerRuns), "full-runs")
 				b.ReportMetric(float64(st.IncrementalRuns), "pinned-runs")
 				b.ReportMetric(float64(st.WindowCacheHits), "cache-hits")
@@ -548,6 +555,7 @@ func BenchmarkFSMDSimulation(b *testing.B) {
 func BenchmarkPASAPScheduler(b *testing.B) {
 	g := MustBenchmark("elliptic")
 	bindF := sched.UniformFastest(Table1())
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.PASAP(g, bindF, sched.Options{PowerMax: 20}); err != nil {
 			b.Fatal(err)

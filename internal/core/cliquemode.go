@@ -25,6 +25,7 @@ import (
 // area near tight constraints, where the incremental algorithm adapts.
 func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
 	// Reuse the module-assumption machinery of the incremental algorithm.
+	cfg.DisableIncremental = !useEngine(g, cfg)
 	st, err := newState(g, lib, cons, cfg)
 	if err != nil {
 		return nil, err
@@ -34,10 +35,9 @@ func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constra
 	}
 
 	// Static windows under the assumed modules.
-	bindF := st.binding(cdfg.None, 0)
-	opts := sched.Options{PowerMax: cons.PowerMax}
+	opts := sched.Options{PowerMax: cons.PowerMax, Delays: st.delays, Powers: st.powers, Arena: st.arena}
 	st.stats.SchedulerRuns += 2
-	windows, err := sched.Windows(g, bindF, cons.Deadline, opts)
+	windows, err := sched.Windows(g, st.baseBind, cons.Deadline, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: clique mode: %w: %w", ErrInfeasible, err)
 	}

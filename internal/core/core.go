@@ -133,6 +133,75 @@ type state struct {
 	// selects the legacy recompute-everything path.
 	eng   *engine
 	stats Stats
+
+	// Hot-path lookup tables and scratch, built once by initTables. The
+	// synthesize loop runs the schedulers hundreds of times per design;
+	// these make the steady state allocation-free and lookup-free.
+	nm           int            // library module count
+	cand         [][]int        // cand[v]: candidate module indices of v's op
+	smallestArea []float64      // smallestArea[v]: cheapest-module area of v's op
+	nameToMi     map[string]int // module name -> index
+	delays       []int          // delays[v]: delay under moduleOf[v]
+	powers       []float64      // powers[v]: per-cycle power under moduleOf[v]
+	ovDelays     []int          // single-node override copies of delays/powers
+	ovPowers     []float64      //   (windowSchedsFor)
+	fixedStarts  []int          // schedOpts buffer: committed starts, -1 = free
+	arena        *sched.Arena   // scheduler scratch bound to g
+	baseBind     sched.Binding  // binding under the current assumptions
+	wins         []sched.Window // flat (node, module) candidate windows
+	winSet       []bool         //   parallel presence bits
+	potential    []int          // per-module uncommitted-implementer counts
+	profScratch  []float64      // legacy committedProfile scratch
+	busyA, busyB []interval     // reservation-list scratch (legacy path)
+	cm           bind.CostModel
+}
+
+// initTables builds the per-state lookup tables and scratch once the
+// module assumptions exist. moduleOf must be initialized; committed state
+// may be anything.
+func (st *state) initTables() {
+	n := st.g.N()
+	st.nm = st.lib.Len()
+	st.cand = make([][]int, n)
+	st.smallestArea = make([]float64, n)
+	st.nameToMi = make(map[string]int, st.nm)
+	for mi := 0; mi < st.nm; mi++ {
+		st.nameToMi[st.lib.Module(mi).Name] = mi
+	}
+	for _, node := range st.g.Nodes() {
+		st.cand[node.ID] = st.lib.Candidates(node.Op)
+		if m, err := st.lib.Smallest(node.Op); err == nil {
+			st.smallestArea[node.ID] = m.Area
+		}
+	}
+	st.delays = make([]int, n)
+	st.powers = make([]float64, n)
+	for i, mi := range st.moduleOf {
+		m := st.lib.Module(mi)
+		st.delays[i] = m.Delay
+		st.powers[i] = m.Power
+	}
+	st.ovDelays = make([]int, n)
+	st.ovPowers = make([]float64, n)
+	st.fixedStarts = make([]int, n)
+	st.arena = sched.NewArena(st.g)
+	st.baseBind = func(nd cdfg.Node) *library.Module {
+		return st.lib.Module(st.moduleOf[nd.ID])
+	}
+	st.wins = make([]sched.Window, n*st.nm)
+	st.winSet = make([]bool, n*st.nm)
+	st.potential = make([]int, st.nm)
+	st.cm = st.cfg.cost()
+}
+
+// setModule updates a node's module assumption and the delay/power tables
+// that mirror it. Every moduleOf write after initTables must go through
+// here.
+func (st *state) setModule(v cdfg.NodeID, mi int) {
+	st.moduleOf[v] = mi
+	m := st.lib.Module(mi)
+	st.delays[v] = m.Delay
+	st.powers[v] = m.Power
 }
 
 type instance struct {
@@ -173,6 +242,7 @@ func newState(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config)
 		}
 		st.moduleOf[n.ID] = mi
 	}
+	st.initTables()
 	if !cfg.DisableIncremental {
 		eng, err := newEngine(st)
 		if err != nil {
@@ -183,8 +253,24 @@ func newState(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config)
 	return st, nil
 }
 
+// smallGraphNodes gates the incremental engine by graph size: below this
+// many nodes the legacy recompute-everything path is selected even when
+// the engine is enabled. On tiny graphs a full scheduler run is only a few
+// microseconds, so the engine's fixed per-commit work (validity filtering,
+// dirty-set fixpoint, audit) costs more than the runs it saves — measured
+// on hal (20 nodes), the engine cuts runs 39% yet loses wall-clock. Both
+// paths are proven byte-identical by the golden equivalence tests, so the
+// selection is output-neutral; only Stats differ. See DESIGN.md §7.
+const smallGraphNodes = 24
+
+// useEngine reports whether the incremental engine should run for g.
+func useEngine(g *cdfg.Graph, cfg Config) bool {
+	return !cfg.DisableIncremental && g.N() >= smallGraphNodes
+}
+
 // Synthesize runs the combined scheduling/allocation/binding algorithm.
 func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	cfg.DisableIncremental = !useEngine(g, cfg)
 	st, err := newState(g, lib, cons, cfg)
 	if err != nil {
 		return nil, err
@@ -371,28 +457,25 @@ func (st *state) fastestFeasible(op cdfg.Op) (int, error) {
 	return best, nil
 }
 
-// binding returns the scheduling Binding reflecting the current module
-// assumptions, with an optional single-node override (override < 0 for
-// none).
-func (st *state) binding(override cdfg.NodeID, mod int) sched.Binding {
-	return func(n cdfg.Node) *library.Module {
-		if n.ID == override {
-			return st.lib.Module(mod)
-		}
-		return st.lib.Module(st.moduleOf[n.ID])
-	}
-}
-
 // schedOpts returns the scheduler options with committed (or locked)
-// operations fixed.
+// operations fixed. The FixedStarts buffer and the delay/power tables are
+// shared state scratch: their contents are stable within one synthesis
+// iteration, which is as long as any scheduler run reads them.
 func (st *state) schedOpts() sched.Options {
-	fixed := make(map[cdfg.NodeID]int)
 	for i, c := range st.committed {
 		if c || st.locked {
-			fixed[cdfg.NodeID(i)] = st.start[i]
+			st.fixedStarts[i] = st.start[i]
+		} else {
+			st.fixedStarts[i] = -1
 		}
 	}
-	return sched.Options{PowerMax: st.cons.PowerMax, Fixed: fixed}
+	return sched.Options{
+		PowerMax:    st.cons.PowerMax,
+		FixedStarts: st.fixedStarts,
+		Delays:      st.delays,
+		Powers:      st.powers,
+		Arena:       st.arena,
+	}
 }
 
 // currentPASAP computes the pasap schedule of the whole graph under the
@@ -400,7 +483,7 @@ func (st *state) schedOpts() sched.Options {
 // probe run after every commitment.
 func (st *state) currentPASAP() (*sched.Schedule, error) {
 	st.stats.SchedulerRuns++
-	s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
+	s, err := sched.PASAP(st.g, st.baseBind, st.schedOpts())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w: %w", ErrInfeasible, err)
 	}
@@ -441,14 +524,21 @@ func (st *state) windowSchedsFor(v cdfg.NodeID, mi int) (early, late *sched.Sche
 		return nil, nil, false
 	}
 	opts := st.schedOpts()
-	b := st.binding(v, mi)
+	// Single-node override: copy the base tables and patch v. The returned
+	// schedules alias these buffers, but every caller consumes the pair
+	// (reading Start and Length) before the next override run refills them.
+	copy(st.ovDelays, st.delays)
+	copy(st.ovPowers, st.powers)
+	st.ovDelays[v] = m.Delay
+	st.ovPowers[v] = m.Power
+	opts.Delays, opts.Powers = st.ovDelays, st.ovPowers
 	st.stats.SchedulerRuns++
-	early, err := sched.PASAP(st.g, b, opts)
+	early, err := sched.PASAP(st.g, st.baseBind, opts)
 	if err != nil || early.Length() > st.cons.Deadline {
 		return nil, nil, false
 	}
 	st.stats.SchedulerRuns++
-	late, err = sched.PALAP(st.g, b, st.cons.Deadline, opts)
+	late, err = sched.PALAP(st.g, st.baseBind, st.cons.Deadline, opts)
 	if err != nil {
 		return nil, nil, false
 	}
@@ -458,14 +548,31 @@ func (st *state) windowSchedsFor(v cdfg.NodeID, mi int) (early, late *sched.Sche
 // committedProfile returns the per-cycle power drawn by committed
 // operations over [0, horizon).
 func (st *state) committedProfile(horizon int) []float64 {
-	p := make([]float64, horizon)
+	return st.fillCommittedProfile(make([]float64, horizon))
+}
+
+// committedProfileScratch is committedProfile into the state's recycled
+// buffer — the legacy path probes it on every freeSlot call, so the hot
+// loop must not allocate. The result is valid until the next call.
+func (st *state) committedProfileScratch(horizon int) []float64 {
+	if cap(st.profScratch) < horizon {
+		st.profScratch = make([]float64, horizon)
+	}
+	p := st.profScratch[:horizon]
+	for c := range p {
+		p[c] = 0
+	}
+	return st.fillCommittedProfile(p)
+}
+
+func (st *state) fillCommittedProfile(p []float64) []float64 {
+	horizon := len(p)
 	for i, c := range st.committed {
 		if !c {
 			continue
 		}
-		m := st.lib.Module(st.moduleOf[i])
-		for cyc := st.start[i]; cyc < st.start[i]+m.Delay && cyc < horizon; cyc++ {
-			p[cyc] += m.Power
+		for cyc := st.start[i]; cyc < st.start[i]+st.delays[i] && cyc < horizon; cyc++ {
+			p[cyc] += st.powers[i]
 		}
 	}
 	return p
@@ -476,7 +583,7 @@ func (st *state) commit(d Decision) {
 	mi := st.moduleIndexOf(d)
 	st.committed[d.Node] = true
 	st.start[d.Node] = d.Start
-	st.moduleOf[d.Node] = mi
+	st.setModule(d.Node, mi)
 	if d.NewFU {
 		st.fus = append(st.fus, instance{module: mi})
 	}
@@ -508,7 +615,7 @@ func (st *state) uncommit(d Decision) {
 	st.decisions = st.decisions[:len(st.decisions)-1]
 	// Restore the assumed module for the node.
 	if mi, err := st.fastestFeasible(st.g.Node(d.Node).Op); err == nil {
-		st.moduleOf[d.Node] = mi
+		st.setModule(d.Node, mi)
 	}
 }
 
@@ -536,23 +643,20 @@ func (st *state) noteProbe(d Decision, probe *sched.Schedule) {
 	if eng.warm {
 		u, s := int(d.Node), d.Start
 		moduleMatch := eng.assumed != nil && st.moduleOf[u] == eng.assumed[u]
-		for v := range eng.over {
-			if eng.over[v] == nil {
+		for idx := range eng.overSet {
+			if !eng.overSet[idx] {
 				continue
 			}
-			if v == u {
-				st.stats.WindowInvalidations += int64(len(eng.over[v]))
-				eng.over[v] = nil
-				continue
-			}
-			for mi, ent := range eng.over[v] {
+			if idx/st.nm != u {
+				ent := &eng.over[idx]
 				if moduleMatch && ent.earlyStart != nil &&
 					ent.earlyStart[u] == s && ent.lateStart[u] == s {
 					continue
 				}
-				delete(eng.over[v], mi)
-				st.stats.WindowInvalidations++
 			}
+			eng.overSet[idx] = false
+			eng.over[idx] = winEntry{}
+			st.stats.WindowInvalidations++
 		}
 		eng.baseValid = moduleMatch && eng.baseWin[u].Late == s && sameStarts(eng.probe, probe)
 		if !eng.baseValid {
@@ -563,10 +667,8 @@ func (st *state) noteProbe(d Decision, probe *sched.Schedule) {
 }
 
 func (st *state) moduleIndexOf(d Decision) int {
-	for _, mi := range st.lib.Candidates(st.g.Node(d.Node).Op) {
-		if st.lib.Module(mi).Name == d.Module {
-			return mi
-		}
+	if mi, ok := st.nameToMi[d.Module]; ok {
+		return mi
 	}
 	panic("core: decision references unknown module " + d.Module)
 }

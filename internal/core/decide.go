@@ -5,62 +5,73 @@ import (
 	"pchls/internal/sched"
 )
 
-// windowMap collects candidate windows keyed by node then module.
-type windowMap = map[cdfg.NodeID]map[int]sched.Window
+// The candidate windows of one iteration live in the state's flat
+// (node, module) table: wins[v*nm+mi] with a parallel winSet presence bit.
+// A flat table replaces the former map-of-maps, which allocated a fresh
+// two-level map every iteration and dominated the synthesize profile.
 
-func addWindow(out windowMap, v cdfg.NodeID, mi int, w sched.Window) {
-	if out[v] == nil {
-		out[v] = make(map[int]sched.Window)
-	}
-	out[v][mi] = w
+func (st *state) setWin(v cdfg.NodeID, mi int, w sched.Window) {
+	idx := int(v)*st.nm + mi
+	st.wins[idx] = w
+	st.winSet[idx] = true
+}
+
+func (st *state) getWin(v cdfg.NodeID, mi int) (sched.Window, bool) {
+	idx := int(v)*st.nm + mi
+	return st.wins[idx], st.winSet[idx]
 }
 
 // candidateWindows computes, once per iteration, the feasible window of
-// every (uncommitted op, module) candidate. The assumed-module windows all
-// come from one pasap/palap pair; only overrides need extra runs. The
-// incremental engine serves clean nodes from its cache and re-derives only
-// the dirty subset; the legacy path (DisableIncremental) recomputes
-// everything. Both produce identical maps — the incremental derivation is
-// audited against a full pasap probe and falls back on any disagreement.
-func (st *state) candidateWindows() windowMap {
+// every (uncommitted op, module) candidate into the state's flat window
+// table. The assumed-module windows all come from one pasap/palap pair;
+// only overrides need extra runs. The incremental engine serves clean
+// nodes from its cache and re-derives only the dirty subset; the legacy
+// path (DisableIncremental) recomputes everything. Both produce identical
+// tables — the incremental derivation is audited against a full pasap
+// probe and falls back on any disagreement.
+func (st *state) candidateWindows() {
+	for i := range st.winSet {
+		st.winSet[i] = false
+	}
 	if st.locked {
-		out := make(windowMap)
 		for i, c := range st.committed {
 			if !c {
 				v := cdfg.NodeID(i)
-				addWindow(out, v, st.moduleOf[v], sched.Window{Early: st.start[v], Late: st.start[v]})
+				st.setWin(v, st.moduleOf[v], sched.Window{Early: st.start[v], Late: st.start[v]})
 			}
 		}
-		return out
+		return
 	}
 	if st.eng != nil {
 		if st.eng.warm {
-			if out, ok := st.reusedWindows(); ok {
-				return out
+			if st.reusedWindows() {
+				return
 			}
 			// The incremental derivation was rejected; rebuild the cache
 			// from scratch.
 			st.eng.invalidateWindows()
 			st.stats.FullInvalidations++
+			for i := range st.winSet {
+				st.winSet[i] = false
+			}
 		}
-		return st.refreshedWindows()
+		st.refreshedWindows()
+		return
 	}
-	return st.scratchWindows()
+	st.scratchWindows()
 }
 
 // scratchWindows is the legacy recompute-everything derivation.
-func (st *state) scratchWindows() windowMap {
-	out := make(windowMap)
+func (st *state) scratchWindows() {
 	// Base run under the assumed modules.
 	opts := st.schedOpts()
-	base := st.binding(cdfg.None, 0)
 	st.stats.SchedulerRuns++
-	early, err1 := sched.PASAP(st.g, base, opts)
+	early, err1 := sched.PASAP(st.g, st.baseBind, opts)
 	var late *sched.Schedule
 	var err2 error
 	if err1 == nil && early.Length() <= st.cons.Deadline {
 		st.stats.SchedulerRuns++
-		late, err2 = sched.PALAP(st.g, base, st.cons.Deadline, opts)
+		late, err2 = sched.PALAP(st.g, st.baseBind, st.cons.Deadline, opts)
 	}
 	baseOK := err1 == nil && early.Length() <= st.cons.Deadline && err2 == nil
 
@@ -69,20 +80,19 @@ func (st *state) scratchWindows() windowMap {
 			continue
 		}
 		v := cdfg.NodeID(i)
-		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+		for _, mi := range st.cand[v] {
 			if mi == st.moduleOf[v] && baseOK {
 				w := sched.Window{Early: early.Start[v], Late: late.Start[v]}
 				if w.Width() >= 1 {
-					addWindow(out, v, mi, w)
+					st.setWin(v, mi, w)
 				}
 				continue
 			}
 			if w, ok := st.windowFor(v, mi); ok {
-				addWindow(out, v, mi, w)
+				st.setWin(v, mi, w)
 			}
 		}
 	}
-	return out
 }
 
 // refreshedWindows is the engine's cold-path derivation: the same work as
@@ -91,21 +101,19 @@ func (st *state) scratchWindows() windowMap {
 // result (including infeasible candidates) stored in the cache. The cache
 // becomes warm only when the base pair succeeded, since the reuse path
 // pins clean nodes to base windows.
-func (st *state) refreshedWindows() windowMap {
+func (st *state) refreshedWindows() {
 	eng := st.eng
-	out := make(windowMap)
 	opts := st.schedOpts()
-	base := st.binding(cdfg.None, 0)
 	early, err1 := eng.probe, error(nil)
 	if early == nil {
 		st.stats.SchedulerRuns++
-		early, err1 = sched.PASAP(st.g, base, opts)
+		early, err1 = sched.PASAP(st.g, st.baseBind, opts)
 	}
 	var late *sched.Schedule
 	var err2 error
 	if err1 == nil && early.Length() <= st.cons.Deadline {
 		st.stats.SchedulerRuns++
-		late, err2 = sched.PALAP(st.g, base, st.cons.Deadline, opts)
+		late, err2 = sched.PALAP(st.g, st.baseBind, st.cons.Deadline, opts)
 	}
 	baseOK := err1 == nil && early.Length() <= st.cons.Deadline && err2 == nil
 	if baseOK {
@@ -124,24 +132,23 @@ func (st *state) refreshedWindows() windowMap {
 			continue
 		}
 		v := cdfg.NodeID(i)
-		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+		for _, mi := range st.cand[v] {
 			if mi == st.moduleOf[v] && baseOK {
 				w := eng.baseWin[v]
 				if w.Width() >= 1 {
-					addWindow(out, v, mi, w)
+					st.setWin(v, mi, w)
 				}
 				continue
 			}
 			st.stats.WindowCacheMisses++
 			ent := st.computeEntry(v, mi)
 			if baseOK {
-				if eng.over[v] == nil {
-					eng.over[v] = make(map[int]winEntry)
-				}
-				eng.over[v][mi] = ent
+				idx := int(v)*st.nm + mi
+				eng.over[idx] = ent
+				eng.overSet[idx] = true
 			}
 			if ent.ok {
-				addWindow(out, v, mi, ent.w)
+				st.setWin(v, mi, ent.w)
 			}
 		}
 	}
@@ -150,7 +157,6 @@ func (st *state) refreshedWindows() windowMap {
 	for i := range eng.dirty {
 		eng.dirty[i] = false
 	}
-	return out
 }
 
 // reusedWindows is the engine's warm path. When the last commitment
@@ -160,21 +166,20 @@ func (st *state) refreshedWindows() windowMap {
 // nodes re-placed) and audited against the exact post-commit pasap
 // probe. Override candidates are served from the cache — every surviving
 // entry was proven valid by the per-commit filter in noteProbe — and
-// only dropped entries are recomputed. ok=false means the pinned
+// only dropped entries are recomputed. false means the pinned
 // derivation was rejected — stale pin or audit mismatch — and the caller
 // must fall back to refreshedWindows.
-func (st *state) reusedWindows() (windowMap, bool) {
+func (st *state) reusedWindows() bool {
 	eng := st.eng
 	ws := eng.baseWin
 	if !eng.baseValid {
 		opts := st.schedOpts()
-		base := st.binding(cdfg.None, 0)
 		st.stats.IncrementalRuns += 2
 		var err error
-		ws, err = sched.WindowsDirty(st.g, base, st.cons.Deadline, opts, eng.baseWin, eng.dirty)
+		ws, err = sched.WindowsDirty(st.g, st.baseBind, st.cons.Deadline, opts, eng.baseWin, eng.dirty)
 		if err != nil {
 			st.stats.Fallbacks++
-			return nil, false
+			return false
 		}
 		// Audit: the incremental Early side must agree with the full pasap
 		// probe on every node; any disagreement means the dirty set was
@@ -182,39 +187,37 @@ func (st *state) reusedWindows() (windowMap, bool) {
 		for i := range ws {
 			if ws[i].Early != eng.probe.Start[i] {
 				st.stats.Fallbacks++
-				return nil, false
+				return false
 			}
 		}
 	}
-	out := make(windowMap)
 	for i, c := range st.committed {
 		if c {
 			continue
 		}
 		v := cdfg.NodeID(i)
-		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
+		for _, mi := range st.cand[v] {
 			if mi == st.moduleOf[v] {
 				w := ws[v]
 				if w.Width() >= 1 {
-					addWindow(out, v, mi, w)
+					st.setWin(v, mi, w)
 				}
 				continue
 			}
-			if ent, ok := eng.over[v][mi]; ok {
+			idx := int(v)*st.nm + mi
+			if eng.overSet[idx] {
 				st.stats.WindowCacheHits++
-				if ent.ok {
-					addWindow(out, v, mi, ent.w)
+				if ent := eng.over[idx]; ent.ok {
+					st.setWin(v, mi, ent.w)
 				}
 				continue
 			}
 			st.stats.WindowCacheMisses++
 			ent := st.computeEntry(v, mi)
-			if eng.over[v] == nil {
-				eng.over[v] = make(map[int]winEntry)
-			}
-			eng.over[v][mi] = ent
+			eng.over[idx] = ent
+			eng.overSet[idx] = true
 			if ent.ok {
-				addWindow(out, v, mi, ent.w)
+				st.setWin(v, mi, ent.w)
 			}
 		}
 	}
@@ -222,7 +225,7 @@ func (st *state) reusedWindows() (windowMap, bool) {
 	for i := range eng.dirty {
 		eng.dirty[i] = false
 	}
-	return out, true
+	return true
 }
 
 // muxEstimate approximates the interconnect cost of binding v onto
@@ -237,7 +240,6 @@ func (st *state) muxEstimate(v cdfg.NodeID, f int) float64 {
 	if len(fu.ops) == 0 {
 		return 0
 	}
-	cm := st.cfg.cost()
 	inputs := 0
 	preds := st.g.Preds(v)
 	for port, p := range preds {
@@ -258,7 +260,7 @@ func (st *state) muxEstimate(v cdfg.NodeID, f int) float64 {
 	}
 	// Result-side fan-out: sharing adds one register-write source.
 	inputs++
-	return float64(inputs) * cm.MuxInputArea
+	return float64(inputs) * st.cm.MuxInputArea
 }
 
 // amortizedArea estimates the effective cost of allocating a new instance
@@ -273,6 +275,14 @@ func (st *state) amortizedArea(mi int) float64 {
 			potential++
 		}
 	}
+	return st.amortizedAreaWith(mi, potential)
+}
+
+// amortizedAreaWith is amortizedArea with the potential-implementer count
+// precomputed — bestDecision counts all modules in one sweep instead of
+// re-scanning the graph per candidate.
+func (st *state) amortizedAreaWith(mi, potential int) float64 {
+	m := st.lib.Module(mi)
 	slots := st.cons.Deadline / m.Delay
 	if slots < 1 {
 		slots = 1
@@ -289,19 +299,25 @@ func (st *state) amortizedArea(mi int) float64 {
 
 type interval struct{ s, e int }
 
-// reservations returns the busy intervals of instance f: the engine's
-// incrementally maintained list, or (legacy path) re-derived from the
-// instance's operations.
-func (st *state) reservations(f int) []interval {
+// reservationsInto returns the busy intervals of instance f: the engine's
+// incrementally maintained list, or (legacy path) re-derived into the
+// given recycled buffer, which stays valid until its next use.
+func (st *state) reservationsInto(f int, buf *[]interval) []interval {
 	if st.eng != nil {
 		return st.eng.resv[f]
 	}
-	var busy []interval
+	busy := (*buf)[:0]
 	for _, op := range st.fus[f].ops {
-		m := st.lib.Module(st.moduleOf[op])
-		busy = append(busy, interval{st.start[op], st.start[op] + m.Delay})
+		busy = append(busy, interval{st.start[op], st.start[op] + st.delays[op]})
 	}
+	*buf = busy
 	return busy
+}
+
+// reservations is reservationsInto with a fresh buffer on the legacy path.
+func (st *state) reservations(f int) []interval {
+	var buf []interval
+	return st.reservationsInto(f, &buf)
 }
 
 // freeSlot returns the earliest start t within w at which none of the busy
@@ -316,7 +332,7 @@ func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64)
 			prof = st.eng.profile
 		} else {
 			st.stats.ProfileRebuilds++
-			prof = st.committedProfile(horizon)
+			prof = st.committedProfileScratch(horizon)
 		}
 	}
 	for t := w.Early; t <= w.Late; t++ {
@@ -351,26 +367,34 @@ func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64)
 // the most schedule-constrained operation (smallest window), then the
 // smallest node ID, then the smallest module area — all deterministic.
 func (st *state) bestDecision() (Decision, bool) {
-	windows := st.candidateWindows()
+	st.candidateWindows()
 	best := Decision{FU: -1}
 	bestWidth, bestWeight := 0, 0.0
 	found := false
+
+	// Per-module count of uncommitted operations it could implement, for
+	// the amortized-area estimate; one sweep instead of one graph scan per
+	// (op, module) candidate. mi implements node i's op exactly when mi is
+	// among the op's candidate modules.
+	for mi := range st.potential {
+		st.potential[mi] = 0
+	}
+	for i, c := range st.committed {
+		if c {
+			continue
+		}
+		for _, mi := range st.cand[i] {
+			st.potential[mi]++
+		}
+	}
 
 	// weight ranks operations by how expensive their resource class is
 	// (the cheapest module that could implement them): multiplications
 	// before ALU operations before transfers. Binding the expensive
 	// resources first keeps their sharing opportunities intact; cheap
 	// transfers adapt around them.
-	weight := func(d Decision) float64 {
-		m, err := st.lib.Smallest(st.g.Node(d.Node).Op)
-		if err != nil {
-			return 0
-		}
-		return m.Area
-	}
-
 	consider := func(d Decision, width int) {
-		w := weight(d)
+		w := st.smallestArea[d.Node]
 		if !found {
 			best, bestWidth, bestWeight, found = d, width, w, true
 			return
@@ -416,8 +440,8 @@ func (st *state) bestDecision() (Decision, bool) {
 		// so sharing an existing instance always wins when feasible.
 		newMi, newStart, newWidth := -1, 0, 0
 		var newAmort float64
-		for _, mi := range st.lib.Candidates(st.g.Node(v).Op) {
-			w, ok := windows[v][mi]
+		for _, mi := range st.cand[v] {
+			w, ok := st.getWin(v, mi)
 			if !ok {
 				continue
 			}
@@ -427,7 +451,7 @@ func (st *state) bestDecision() (Decision, bool) {
 				if st.fus[f].module != mi {
 					continue
 				}
-				if t, ok := st.freeSlot(st.reservations(f), w, m.Delay, m.Power); ok {
+				if t, ok := st.freeSlot(st.reservationsInto(f, &st.busyA), w, m.Delay, m.Power); ok {
 					consider(Decision{
 						Node: v, Module: m.Name, FU: f, NewFU: false,
 						Start: t, Cost: st.muxEstimate(v, f),
@@ -435,7 +459,7 @@ func (st *state) bestDecision() (Decision, bool) {
 				}
 			}
 			if t, ok := st.freeSlot(nil, w, m.Delay, m.Power); ok {
-				a := st.amortizedArea(mi)
+				a := st.amortizedAreaWith(mi, st.potential[mi])
 				if newMi < 0 || a < newAmort {
 					newMi, newStart, newWidth, newAmort = mi, t, w.Width(), a
 				}

@@ -31,6 +31,7 @@ func newTestState(t *testing.T, g *cdfg.Graph, cons Constraints) *state {
 		}
 		st.moduleOf[n.ID] = mi
 	}
+	st.initTables()
 	return st
 }
 

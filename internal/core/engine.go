@@ -60,9 +60,11 @@ type engine struct {
 	// baseWin is the last derived window of every node under the assumed
 	// modules.
 	baseWin []sched.Window
-	// over caches the override windows: over[v][mi] for a non-assumed
-	// candidate module mi of node v.
-	over []map[int]winEntry
+	// over caches the override windows in a flat (node, module) table:
+	// over[v*nm+mi] for a non-assumed candidate module mi of node v, with
+	// overSet as the parallel presence bit.
+	over    []winEntry
+	overSet []bool
 	// dirty marks nodes whose windows may have changed since baseWin/over
 	// were derived.
 	dirty []bool
@@ -78,6 +80,10 @@ type engine struct {
 	// maxDelay is the largest candidate delay of each node, used to cover
 	// a node's previous window span when seeding the fixpoint.
 	maxDelay []int
+
+	// markDirtyAfterCommit scratch, recycled across commits.
+	changed []bool
+	queue   []int
 }
 
 // newEngine builds the engine for a fresh state: empty profile and
@@ -130,12 +136,14 @@ func newEngine(st *state) (*engine, error) {
 		profile:  make([]float64, st.cons.Deadline),
 		warm:     false,
 		baseWin:  make([]sched.Window, n),
-		over:     make([]map[int]winEntry, n),
+		over:     make([]winEntry, n*st.nm),
+		overSet:  make([]bool, n*st.nm),
 		dirty:    make([]bool, n),
 		reach:    reach,
 		minStart: minStart,
 		maxEnd:   maxEnd,
 		maxDelay: maxDelay,
+		changed:  make([]bool, st.cons.Deadline),
 	}, nil
 }
 
@@ -173,8 +181,11 @@ func (e *engine) invalidateWindows() {
 	for i := range e.dirty {
 		e.dirty[i] = false
 	}
-	for i := range e.over {
-		e.over[i] = nil
+	for i := range e.overSet {
+		if e.overSet[i] {
+			e.overSet[i] = false
+			e.over[i] = winEntry{} // release the cached start arrays
+		}
 	}
 }
 
@@ -248,7 +259,10 @@ func (st *state) markDirtyAfterCommit(d Decision) {
 		}
 		return
 	}
-	changed := make([]bool, eng.horizon)
+	changed := eng.changed
+	for c := range changed {
+		changed[c] = false
+	}
 	mark := func(lo, hi int) { // [lo, hi)
 		if lo < 0 {
 			lo = 0
@@ -282,7 +296,7 @@ func (st *state) markDirtyAfterCommit(d Decision) {
 		return false
 	}
 
-	var queue []int
+	queue := eng.queue[:0]
 	add := func(v int) {
 		if !eng.dirty[v] && !st.committed[v] {
 			eng.dirty[v] = true
@@ -326,4 +340,5 @@ func (st *state) markDirtyAfterCommit(d Decision) {
 			break
 		}
 	}
+	eng.queue = queue[:0] // keep the grown capacity for the next commit
 }

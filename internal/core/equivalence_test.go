@@ -2,12 +2,15 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
 
 	"pchls/internal/bench"
+	"pchls/internal/cdfg"
 	"pchls/internal/library"
+	"pchls/internal/runner"
 	"pchls/internal/sched"
 )
 
@@ -129,6 +132,86 @@ func TestGoldenEquivalencePortfolio(t *testing.T) {
 		inc, incErr := SynthesizeBest(g, lib, cons, Config{})
 		legacy, legacyErr := SynthesizeBest(g, lib, cons, Config{DisableIncremental: true})
 		requireSameDesign(t, label, inc, legacy, incErr, legacyErr)
+	}
+}
+
+// TestGoldenEquivalenceParallelGrid replays the full benchmark × grid
+// equivalence matrix with every point synthesized concurrently (both the
+// incremental and the legacy path inside each worker), sharing one graph
+// and one library across all workers, and requires the results to be
+// byte-identical to a serial rerun. This is the aliasing gate for the
+// scratch-reuse optimizations: per-state arenas, flat window tables and
+// lookup slices must never leak between concurrent syntheses. Run under
+// -race this emulates what Sweep/ExploreSurface do through runner.Map
+// (the facade itself cannot be imported here without a cycle).
+func TestGoldenEquivalenceParallelGrid(t *testing.T) {
+	lib := library.Table1()
+	type point struct {
+		g    *cdfg.Graph
+		name string
+		cons Constraints
+	}
+	var points []point
+	for _, name := range goldenBenchmarks {
+		g, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cons := range goldenGrid(asap.Length(), asap.PeakPower()) {
+			points = append(points, point{g: g, name: name, cons: cons})
+		}
+	}
+	type outcome struct {
+		incJSON, legacyJSON []byte
+		incErr, legacyErr   error
+	}
+	run := func(workers int) []outcome {
+		res, err := runner.Map(context.Background(), len(points), runner.Config{Workers: workers},
+			func(_ context.Context, i int) (outcome, error) {
+				p := points[i]
+				var o outcome
+				var inc, legacy *Design
+				inc, o.incErr = Synthesize(p.g, lib, p.cons, Config{})
+				legacy, o.legacyErr = Synthesize(p.g, lib, p.cons, Config{DisableIncremental: true})
+				if o.incErr == nil {
+					if o.incJSON, o.incErr = inc.JSON(); o.incErr != nil {
+						return o, o.incErr
+					}
+				}
+				if o.legacyErr == nil {
+					if o.legacyJSON, o.legacyErr = legacy.JSON(); o.legacyErr != nil {
+						return o, o.legacyErr
+					}
+				}
+				return o, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	parallel := run(8)
+	serial := run(1)
+	for i, p := range points {
+		label := fmt.Sprintf("%s T=%d P<=%g", p.name, p.cons.Deadline, p.cons.PowerMax)
+		if (parallel[i].incErr != nil) != (serial[i].incErr != nil) ||
+			(parallel[i].legacyErr != nil) != (serial[i].legacyErr != nil) {
+			t.Fatalf("%s: parallel/serial error disposition diverges: %v/%v vs %v/%v",
+				label, parallel[i].incErr, parallel[i].legacyErr, serial[i].incErr, serial[i].legacyErr)
+		}
+		if !bytes.Equal(parallel[i].incJSON, serial[i].incJSON) {
+			t.Fatalf("%s: incremental design differs between parallel and serial run", label)
+		}
+		if !bytes.Equal(parallel[i].legacyJSON, serial[i].legacyJSON) {
+			t.Fatalf("%s: legacy design differs between parallel and serial run", label)
+		}
+		if parallel[i].incErr == nil && !bytes.Equal(parallel[i].incJSON, parallel[i].legacyJSON) {
+			t.Fatalf("%s: incremental and legacy designs diverge under concurrency", label)
+		}
 	}
 }
 

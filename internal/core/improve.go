@@ -19,7 +19,7 @@ import (
 func (st *state) refineInitialModules() error {
 	probe := func() (int, bool) {
 		st.stats.SchedulerRuns++
-		s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
+		s, err := sched.PASAP(st.g, st.baseBind, st.schedOpts())
 		if err != nil {
 			return 0, false
 		}
@@ -49,17 +49,17 @@ func (st *state) refineInitialModules() error {
 					continue
 				}
 				saved := st.moduleOf[i]
-				st.moduleOf[i] = mi
+				st.setModule(cdfg.NodeID(i), mi)
 				if l, ok := probe(); ok && l < bestLen {
 					bestNode, bestModule, bestLen = i, mi, l
 				}
-				st.moduleOf[i] = saved
+				st.setModule(cdfg.NodeID(i), saved)
 			}
 		}
 		if bestNode < 0 {
 			break
 		}
-		st.moduleOf[bestNode] = bestModule
+		st.setModule(cdfg.NodeID(bestNode), bestModule)
 		length = bestLen
 		if length <= st.cons.Deadline {
 			if !st.cfg.SkipAreaDescent {
@@ -83,7 +83,7 @@ func (st *state) refineInitialModules() error {
 func (st *state) areaDescent() {
 	probe := func() bool {
 		st.stats.SchedulerRuns++
-		s, err := sched.PASAP(st.g, st.binding(cdfg.None, 0), st.schedOpts())
+		s, err := sched.PASAP(st.g, st.baseBind, st.schedOpts())
 		return err == nil && s.Length() <= st.cons.Deadline
 	}
 	for changed := true; changed; {
@@ -106,14 +106,14 @@ func (st *state) areaDescent() {
 					continue
 				}
 				saved := st.moduleOf[i]
-				st.moduleOf[i] = mi
+				st.setModule(cdfg.NodeID(i), mi)
 				if probe() {
 					bestMi = mi
 				}
-				st.moduleOf[i] = saved
+				st.setModule(cdfg.NodeID(i), saved)
 			}
 			if bestMi >= 0 {
-				st.moduleOf[i] = bestMi
+				st.setModule(cdfg.NodeID(i), bestMi)
 				changed = true
 			}
 		}
@@ -161,9 +161,11 @@ func (st *state) mergePass() {
 }
 
 // overlaps reports whether any reservation of instance i overlaps one of j.
+// The two reservation lists are read simultaneously, so each gets its own
+// scratch buffer on the legacy path.
 func (st *state) overlaps(i, j int) bool {
-	for _, a := range st.reservations(i) {
-		for _, b := range st.reservations(j) {
+	for _, a := range st.reservationsInto(i, &st.busyA) {
+		for _, b := range st.reservationsInto(j, &st.busyB) {
 			if a.s < b.e && b.s < a.e {
 				return true
 			}

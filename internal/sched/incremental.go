@@ -13,9 +13,17 @@ import (
 var ErrStale = errors.New("pinned placement no longer consistent")
 
 // pinsFrom builds the pin slice for a dirty-subset run: dirty nodes get
-// -1 (full placement search), clean nodes are pinned to prev(i).
-func pinsFrom(n int, prev func(i int) int, dirty []bool) []int {
-	pin := make([]int, n)
+// -1 (full placement search), clean nodes are pinned to prev(i). With an
+// arena the slice is the recycled a.pin buffer, so it is only valid until
+// the next pinsFrom call; the schedulers read it during the run but never
+// retain it.
+func pinsFrom(a *Arena, n int, prev func(i int) int, dirty []bool) []int {
+	var pin []int
+	if a != nil {
+		pin = growInts(&a.pin, n)
+	} else {
+		pin = make([]int, n)
+	}
 	for i := range pin {
 		if dirty == nil || dirty[i] {
 			pin[i] = -1
@@ -41,7 +49,7 @@ func PASAPDirty(g *cdfg.Graph, bind Binding, opts Options, prev *Schedule, dirty
 	if prev == nil {
 		return nil, fmt.Errorf("sched: pasap dirty: nil previous schedule")
 	}
-	return pasapPinned(g, bind, opts, pinsFrom(g.N(), func(i int) int { return prev.Start[i] }, dirty))
+	return pasapPinned(g, bind, opts, pinsFrom(opts.arenaFor(g), g.N(), func(i int) int { return prev.Start[i] }, dirty))
 }
 
 // PALAPDirty is the as-late-as-possible analogue of PASAPDirty: clean
@@ -51,7 +59,7 @@ func PALAPDirty(g *cdfg.Graph, bind Binding, deadline int, opts Options, prev *S
 	if prev == nil {
 		return nil, fmt.Errorf("sched: palap dirty: nil previous schedule")
 	}
-	return palapPinned(g, bind, deadline, opts, pinsFrom(g.N(), func(i int) int { return prev.Start[i] }, dirty))
+	return palapPinned(g, bind, deadline, opts, pinsFrom(opts.arenaFor(g), g.N(), func(i int) int { return prev.Start[i] }, dirty))
 }
 
 // WindowsDirty re-derives the power-feasible mobility windows for a dirty
@@ -66,14 +74,15 @@ func WindowsDirty(g *cdfg.Graph, bind Binding, deadline int, opts Options, prev 
 	if len(prev) != g.N() {
 		return nil, fmt.Errorf("sched: windows dirty: %d previous windows for %d nodes", len(prev), g.N())
 	}
-	early, err := pasapPinned(g, bind, opts, pinsFrom(g.N(), func(i int) int { return prev[i].Early }, dirty))
+	a := opts.arenaFor(g)
+	early, err := pasapPinned(g, bind, opts, pinsFrom(a, g.N(), func(i int) int { return prev[i].Early }, dirty))
 	if err != nil {
 		return nil, err
 	}
 	if deadline > 0 && early.Length() > deadline {
 		return nil, fmt.Errorf("sched: windows: pasap length %d exceeds deadline %d: %w", early.Length(), deadline, ErrDeadline)
 	}
-	late, err := palapPinned(g, bind, deadline, opts, pinsFrom(g.N(), func(i int) int { return prev[i].Late }, dirty))
+	late, err := palapPinned(g, bind, deadline, opts, pinsFrom(a, g.N(), func(i int) int { return prev[i].Late }, dirty))
 	if err != nil {
 		return nil, err
 	}

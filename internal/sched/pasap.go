@@ -40,10 +40,30 @@ type Options struct {
 	// scheduler only places the remaining nodes. A fixed node's
 	// predecessors must also be consistent, which Validate will confirm.
 	Fixed map[cdfg.NodeID]int
+	// FixedStarts is the allocation-free form of Fixed: when non-nil it
+	// takes precedence, must have one entry per node, and FixedStarts[i]
+	// >= 0 fixes node i at that start (negative entries are free). The
+	// scheduler never mutates or retains the slice, so callers may reuse
+	// one buffer across runs.
+	FixedStarts []int
 	// Horizon caps the last cycle (exclusive) the scheduler may use. Zero
 	// means automatic: Base length plus the total serial delay of all
 	// nodes, which always admits a solution when one exists.
 	Horizon int
+	// Delays/Powers, when both non-nil, give each node's execution delay
+	// and per-cycle power directly, indexed by node ID, and the Binding
+	// is never called. Returned schedules alias the two slices (and leave
+	// Schedule.Module nil), so the caller must keep their contents
+	// unchanged for as long as it reads a returned schedule. This is the
+	// synthesizer's hot path: it maintains the tables incrementally
+	// instead of paying one Binding call per node per run.
+	Delays []int
+	Powers []float64
+	// Arena recycles scheduler scratch (topological orders, the reversed
+	// graph, profiles, pin buffers) across runs over the same graph. Nil
+	// means allocate per run. An arena bound to a different graph is
+	// ignored. Not safe for concurrent use.
+	Arena *Arena
 }
 
 // baseAt returns the ambient power at cycle c.
@@ -52,6 +72,39 @@ func (o *Options) baseAt(c int) float64 {
 		return o.Base[c]
 	}
 	return 0
+}
+
+// fixedAt returns node id's predetermined start, if any.
+func (o *Options) fixedAt(id cdfg.NodeID) (int, bool) {
+	if o.FixedStarts != nil {
+		if s := o.FixedStarts[id]; s >= 0 {
+			return s, true
+		}
+		return 0, false
+	}
+	s, ok := o.Fixed[id]
+	return s, ok
+}
+
+// hasFixed reports whether any node is predetermined.
+func (o *Options) hasFixed() bool {
+	if o.FixedStarts != nil {
+		for _, s := range o.FixedStarts {
+			if s >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return len(o.Fixed) > 0
+}
+
+// arenaFor returns the arena when it may serve graph g, else nil.
+func (o *Options) arenaFor(g *cdfg.Graph) *Arena {
+	if o.Arena.owns(g) {
+		return o.Arena
+	}
+	return nil
 }
 
 // PASAP computes the power-constrained as-soon-as-possible schedule of the
@@ -80,21 +133,22 @@ func PASAP(g *cdfg.Graph, bind Binding, opts Options) (*Schedule, error) {
 // instead of searching; pinned placements are still verified against
 // precedence, the fixed-successor bound, and the power profile built so
 // far, returning an error wrapping ErrStale when a replay is no longer
-// consistent. Entries with pin[id] < 0 (and all nodes in opts.Fixed) are
-// placed exactly as PASAP places them.
+// consistent. Entries with pin[id] < 0 (and all fixed nodes) are placed
+// exactly as PASAP places them.
 func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedule, error) {
+	a := opts.arenaFor(g)
 	var order []cdfg.NodeID
 	var err error
 	switch opts.Select {
 	case SmallestID:
-		order, err = g.TopoOrder()
+		order, err = a.topoFor(g)
 	default:
-		order, err = criticalFirstOrder(g, bind)
+		order, err = criticalFirstOrder(g, bind, &opts, a)
 	}
 	if err != nil {
 		return nil, err
 	}
-	s := newSchedule(g, bind)
+	s := newScheduleOpts(g, bind, &opts)
 	horizon := opts.Horizon
 	if horizon <= 0 {
 		// A serial placement always exists, but greedy stretching can
@@ -111,13 +165,29 @@ func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedul
 		horizon = len(opts.Base) + sumDelay*maxD + 1
 		// Fixed placements may sit arbitrarily late; leave room for their
 		// transitive successors beyond them.
-		for id, start := range opts.Fixed {
-			if end := start + s.Delay[id] + sumDelay*maxD; end > horizon {
-				horizon = end
+		if opts.FixedStarts != nil {
+			for id, start := range opts.FixedStarts {
+				if start < 0 {
+					continue
+				}
+				if end := start + s.Delay[id] + sumDelay*maxD; end > horizon {
+					horizon = end
+				}
+			}
+		} else {
+			for id, start := range opts.Fixed {
+				if end := start + s.Delay[id] + sumDelay*maxD; end > horizon {
+					horizon = end
+				}
 			}
 		}
 	}
-	profile := make([]float64, horizon)
+	var profile []float64
+	if a != nil {
+		profile = growFloats(&a.profile, horizon)
+	} else {
+		profile = make([]float64, horizon)
+	}
 	for c := range profile {
 		profile[c] = opts.baseAt(c)
 	}
@@ -138,20 +208,38 @@ func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedul
 		return nil
 	}
 
-	// Place fixed nodes first so their power is visible to everything else.
-	fixedIDs := make([]cdfg.NodeID, 0, len(opts.Fixed))
-	for id := range opts.Fixed {
-		fixedIDs = append(fixedIDs, id)
-	}
-	// Deterministic order (map iteration is random).
-	for i := 1; i < len(fixedIDs); i++ {
-		for j := i; j > 0 && fixedIDs[j] < fixedIDs[j-1]; j-- {
-			fixedIDs[j], fixedIDs[j-1] = fixedIDs[j-1], fixedIDs[j]
+	// Place fixed nodes first so their power is visible to everything else,
+	// in ascending node order (deterministic).
+	if opts.FixedStarts != nil {
+		for i, start := range opts.FixedStarts {
+			if start < 0 {
+				continue
+			}
+			if err := place(cdfg.NodeID(i), start); err != nil {
+				return nil, err
+			}
 		}
-	}
-	for _, id := range fixedIDs {
-		if err := place(id, opts.Fixed[id]); err != nil {
-			return nil, err
+	} else if len(opts.Fixed) > 0 {
+		var fixedIDs []cdfg.NodeID
+		if a != nil {
+			fixedIDs = growIDs(&a.fixedIDs, 0)
+		}
+		for id := range opts.Fixed {
+			fixedIDs = append(fixedIDs, id)
+		}
+		if a != nil {
+			a.fixedIDs = fixedIDs
+		}
+		// Deterministic order (map iteration is random).
+		for i := 1; i < len(fixedIDs); i++ {
+			for j := i; j > 0 && fixedIDs[j] < fixedIDs[j-1]; j-- {
+				fixedIDs[j], fixedIDs[j-1] = fixedIDs[j-1], fixedIDs[j]
+			}
+		}
+		for _, id := range fixedIDs {
+			if err := place(id, opts.Fixed[id]); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -168,7 +256,7 @@ func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedul
 	}
 
 	for _, id := range order {
-		if _, isFixed := opts.Fixed[id]; isFixed {
+		if _, isFixed := opts.fixedAt(id); isFixed {
 			continue
 		}
 		if opts.PowerMax > 0 && s.Power[id] > opts.PowerMax+1e-9 {
@@ -186,7 +274,7 @@ func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedul
 		// the horizon.
 		latest := horizon - s.Delay[id]
 		for _, v := range g.Succs(id) {
-			if fs, isFixed := opts.Fixed[v]; isFixed {
+			if fs, isFixed := opts.fixedAt(v); isFixed {
 				if lim := fs - s.Delay[id]; lim < latest {
 					latest = lim
 				}
@@ -230,15 +318,29 @@ func ASAP(g *cdfg.Graph, bind Binding) (*Schedule, error) {
 // criticalFirstOrder returns a topological order in which, among ready
 // operations, the one with the longest delay-weighted path to a sink comes
 // first (ties: smallest ID). It returns an error wrapping cdfg.ErrCycle on
-// cyclic graphs.
-func criticalFirstOrder(g *cdfg.Graph, bind Binding) ([]cdfg.NodeID, error) {
-	topo, err := g.TopoOrder()
+// cyclic graphs. With an arena, all scratch (including the returned order,
+// valid until the next scheduler run) is recycled. Ready extraction uses
+// swap-removal: the (priority, ID) comparator is a strict total order, so
+// the selected sequence is independent of the ready slice's layout.
+func criticalFirstOrder(g *cdfg.Graph, bind Binding, opts *Options, a *Arena) ([]cdfg.NodeID, error) {
+	topo, err := a.topoFor(g)
 	if err != nil {
 		return nil, err
 	}
 	n := g.N()
+	var prio, indeg []int
+	var ready, order []cdfg.NodeID
+	if a != nil {
+		prio = growInts(&a.prio, n)
+		indeg = growInts(&a.indeg, n)
+		ready = growIDs(&a.ready, 0)
+		order = growIDs(&a.order, 0)
+	} else {
+		prio = make([]int, n)
+		indeg = make([]int, n)
+		order = make([]cdfg.NodeID, 0, n)
+	}
 	// Delay-weighted longest path from each node (inclusive) to a sink.
-	prio := make([]int, n)
 	for i := len(topo) - 1; i >= 0; i-- {
 		u := topo[i]
 		best := 0
@@ -247,29 +349,30 @@ func criticalFirstOrder(g *cdfg.Graph, bind Binding) ([]cdfg.NodeID, error) {
 				best = prio[v]
 			}
 		}
-		prio[u] = best + bind(g.Node(u)).Delay
+		if opts != nil && opts.Delays != nil {
+			prio[u] = best + opts.Delays[u]
+		} else {
+			prio[u] = best + bind(g.Node(u)).Delay
+		}
 	}
-	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
 		indeg[i] = len(g.Preds(cdfg.NodeID(i)))
-	}
-	var ready []cdfg.NodeID
-	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
 			ready = append(ready, cdfg.NodeID(i))
 		}
 	}
-	order := make([]cdfg.NodeID, 0, n)
 	for len(ready) > 0 {
 		bi := 0
 		for k := 1; k < len(ready); k++ {
-			a, b := ready[k], ready[bi]
-			if prio[a] > prio[b] || (prio[a] == prio[b] && a < b) {
+			x, b := ready[k], ready[bi]
+			if prio[x] > prio[b] || (prio[x] == prio[b] && x < b) {
 				bi = k
 			}
 		}
 		u := ready[bi]
-		ready = append(ready[:bi], ready[bi+1:]...)
+		last := len(ready) - 1
+		ready[bi] = ready[last]
+		ready = ready[:last]
 		order = append(order, u)
 		for _, v := range g.Succs(u) {
 			indeg[v]--
@@ -277,6 +380,9 @@ func criticalFirstOrder(g *cdfg.Graph, bind Binding) ([]cdfg.NodeID, error) {
 				ready = append(ready, v)
 			}
 		}
+	}
+	if a != nil {
+		a.ready, a.order = ready[:0], order
 	}
 	return order, nil
 }
@@ -288,9 +394,10 @@ func criticalFirstOrder(g *cdfg.Graph, bind Binding) ([]cdfg.NodeID, error) {
 // the graph cannot finish within deadline cycles under the constraint, and
 // ErrPowerInfeasible when some single operation exceeds PowerMax.
 //
-// Options semantics match PASAP; Base and Fixed are interpreted in the
-// forward time frame ([0, deadline)) and converted internally. A nonzero
-// opts.Horizon is ignored: the horizon of a PALAP schedule is the deadline.
+// Options semantics match PASAP; Base and Fixed/FixedStarts are
+// interpreted in the forward time frame ([0, deadline)) and converted
+// internally. A nonzero opts.Horizon is ignored: the horizon of a PALAP
+// schedule is the deadline.
 func PALAP(g *cdfg.Graph, bind Binding, deadline int, opts Options) (*Schedule, error) {
 	return palapPinned(g, bind, deadline, opts, nil)
 }
@@ -303,20 +410,46 @@ func palapPinned(g *cdfg.Graph, bind Binding, deadline int, opts Options, pin []
 	if deadline <= 0 {
 		return nil, fmt.Errorf("sched: palap: deadline %d must be positive", deadline)
 	}
-	r := g.Reverse()
+	a := opts.arenaFor(g)
+	r := a.reverseOf(g)
 	// Reverse the ambient profile into the reversed time frame.
-	ropts := Options{PowerMax: opts.PowerMax, Select: opts.Select, Horizon: deadline}
-	if len(opts.Base) > 0 {
-		ropts.Base = make([]float64, deadline)
-		for c := 0; c < deadline; c++ {
-			ropts.Base[c] = opts.baseAt(deadline - 1 - c)
-		}
+	ropts := Options{
+		PowerMax: opts.PowerMax, Select: opts.Select, Horizon: deadline,
+		Delays: opts.Delays, Powers: opts.Powers, Arena: opts.Arena,
 	}
-	var delays []int
-	if len(opts.Fixed) > 0 || pin != nil {
+	if len(opts.Base) > 0 {
+		var rbase []float64
+		if a != nil {
+			rbase = growFloats(&a.rbase, deadline)
+		} else {
+			rbase = make([]float64, deadline)
+		}
+		for c := 0; c < deadline; c++ {
+			rbase[c] = opts.baseAt(deadline - 1 - c)
+		}
+		ropts.Base = rbase
+	}
+	delays := opts.Delays
+	if delays == nil && (opts.hasFixed() || pin != nil) {
 		delays = newSchedule(g, bind).Delay
 	}
-	if len(opts.Fixed) > 0 {
+	switch {
+	case opts.FixedStarts != nil:
+		var rfixed []int
+		if a != nil {
+			rfixed = growInts(&a.rfixed, len(opts.FixedStarts))
+		} else {
+			rfixed = make([]int, len(opts.FixedStarts))
+		}
+		for id, start := range opts.FixedStarts {
+			if start < 0 {
+				rfixed[id] = -1
+			} else {
+				rfixed[id] = deadline - start - delays[id]
+			}
+		}
+		ropts.FixedStarts = rfixed
+	case len(opts.Fixed) > 0:
 		ropts.Fixed = make(map[cdfg.NodeID]int, len(opts.Fixed))
 		for id, start := range opts.Fixed {
 			ropts.Fixed[id] = deadline - start - delays[id]
@@ -324,7 +457,11 @@ func palapPinned(g *cdfg.Graph, bind Binding, deadline int, opts Options, pin []
 	}
 	var rpin []int
 	if pin != nil {
-		rpin = make([]int, len(pin))
+		if a != nil {
+			rpin = growInts(&a.rpin, len(pin))
+		} else {
+			rpin = make([]int, len(pin))
+		}
 		for id, p := range pin {
 			if p < 0 {
 				rpin[id] = -1
@@ -343,7 +480,7 @@ func palapPinned(g *cdfg.Graph, bind Binding, deadline int, opts Options, pin []
 		}
 		return nil, fmt.Errorf("sched: palap: %w", err)
 	}
-	s := newSchedule(g, bind)
+	s := newScheduleOpts(g, bind, &opts)
 	for i := range s.Start {
 		s.Start[i] = deadline - rs.Start[i] - rs.Delay[i]
 		if s.Start[i] < 0 {

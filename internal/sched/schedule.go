@@ -98,6 +98,23 @@ func newSchedule(g *cdfg.Graph, bind Binding) *Schedule {
 	return s
 }
 
+// newScheduleOpts allocates a schedule shell honoring the precomputed
+// Delays/Powers tables when both are set: the shell aliases the two tables
+// (the caller keeps them stable while the schedule is read) and leaves
+// Module nil, skipping the n Binding calls of newSchedule. This is the
+// synthesizer's hot path; diagnostic rendering uses the classic shell.
+func newScheduleOpts(g *cdfg.Graph, bind Binding, opts *Options) *Schedule {
+	if opts.Delays == nil || opts.Powers == nil {
+		return newSchedule(g, bind)
+	}
+	return &Schedule{
+		G:     g,
+		Start: make([]int, g.N()),
+		Delay: opts.Delays,
+		Power: opts.Powers,
+	}
+}
+
 // End returns the first cycle after node i finishes (Start[i] + Delay[i]).
 func (s *Schedule) End(i cdfg.NodeID) int { return s.Start[i] + s.Delay[i] }
 

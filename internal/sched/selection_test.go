@@ -78,7 +78,7 @@ func TestPALAPPropagatesSelection(t *testing.T) {
 func TestCriticalFirstOrderIsTopological(t *testing.T) {
 	g := bench.Elliptic()
 	bind := UniformFastest(library.Table1())
-	order, err := criticalFirstOrder(g, bind)
+	order, err := criticalFirstOrder(g, bind, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

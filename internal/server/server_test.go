@@ -642,11 +642,13 @@ func BenchmarkServerSynthesize(b *testing.B) {
 		return rec.Body.Len()
 	}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			post(b, New(Config{}))
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		s := New(Config{})
 		post(b, s) // prime the cache
 		b.ResetTimer()

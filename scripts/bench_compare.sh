@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: re-runs the two checked-in benchmark suites
+# and diffs ns/op and allocs/op against results/BENCH_*.json via
+# scripts/benchcompare. Exits nonzero when any metric regresses more than
+# BENCH_TOLERANCE (fractional, default 0.20).
+#
+# Usage: scripts/bench_compare.sh   (or: make bench-compare)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${BENCH_TOLERANCE:-0.20}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+# -count 2: the comparer keeps the last occurrence, so the first pass is
+# warmup — the very first sub-benchmark of a fresh process is otherwise
+# up to ~2x slower than steady state and trips the ns/op gate spuriously.
+echo "== BenchmarkSynthesize (-benchtime 20x -benchmem -count 2)"
+go test -run '^$' -bench 'BenchmarkSynthesize$' -benchtime 20x -benchmem -count 2 . | tee "$OUT/synth.txt"
+
+echo "== BenchmarkServerSynthesize (-benchtime 50x -benchmem -count 2)"
+go test -run '^$' -bench 'BenchmarkServerSynthesize' -benchtime 50x -benchmem -count 2 ./internal/server | tee "$OUT/server.txt"
+
+echo "== compare vs results/BENCH_*.json (tolerance ${TOL})"
+go run ./scripts/benchcompare \
+    -synth results/BENCH_synthesize.json -synthout "$OUT/synth.txt" \
+    -server results/BENCH_server.json -serverout "$OUT/server.txt" \
+    -tolerance "$TOL"

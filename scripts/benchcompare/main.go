@@ -1,0 +1,176 @@
+// Command benchcompare diffs a fresh `go test -bench` run against the
+// checked-in baselines in results/BENCH_*.json and fails (exit 1) when
+// ns/op or allocs/op regresses beyond the tolerance. It is the regression
+// gate behind `make bench-compare` (scripts/bench_compare.sh).
+//
+// Only benchmarks present in the baseline files are checked; allocs/op is
+// deterministic for this workload, ns/op is machine-dependent, so the
+// tolerance (default 0.20 = 20%) applies to both but is expected to matter
+// for ns/op only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type metrics struct {
+	ns     float64
+	allocs float64
+}
+
+type modeEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type synthBaseline struct {
+	Benchmarks map[string]map[string]modeEntry `json:"benchmarks"`
+}
+
+type serverBaseline struct {
+	Results map[string]modeEntry `json:"results"`
+}
+
+// parseBenchOutput extracts ns/op and allocs/op per benchmark name from
+// go-test bench output. The trailing -N GOMAXPROCS suffix is stripped.
+// When a benchmark appears more than once (-count > 1), the last
+// occurrence wins: the first pass doubles as warmup, which matters for
+// ns/op stability on shared runners.
+func parseBenchOutput(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		m := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.ns = v
+			case "allocs/op":
+				m.allocs = v
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// check compares one metric and returns a failure line, an info line, or
+// nothing (metric missing from baseline).
+func check(fails *int, name, metric string, cur, base, tol float64) {
+	if base <= 0 {
+		return
+	}
+	ratio := cur / base
+	switch {
+	case ratio > 1+tol:
+		*fails++
+		fmt.Printf("FAIL %-55s %s %12.0f vs baseline %12.0f (%+.1f%%, tolerance %.0f%%)\n",
+			name, metric, cur, base, (ratio-1)*100, tol*100)
+	default:
+		fmt.Printf("ok   %-55s %s %12.0f vs baseline %12.0f (%+.1f%%)\n",
+			name, metric, cur, base, (ratio-1)*100)
+	}
+}
+
+func compare(fails *int, got map[string]metrics, name string, base modeEntry, tol float64) {
+	cur, ok := got[name]
+	if !ok {
+		*fails++
+		fmt.Printf("FAIL %-55s missing from benchmark output\n", name)
+		return
+	}
+	check(fails, name, "ns/op    ", cur.ns, base.NsPerOp, tol)
+	check(fails, name, "allocs/op", cur.allocs, base.AllocsPerOp, tol)
+}
+
+func main() {
+	synthJSON := flag.String("synth", "results/BENCH_synthesize.json", "synthesize baseline JSON")
+	serverJSON := flag.String("server", "results/BENCH_server.json", "server baseline JSON")
+	synthOut := flag.String("synthout", "", "go-bench output for BenchmarkSynthesize")
+	serverOut := flag.String("serverout", "", "go-bench output for BenchmarkServerSynthesize")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional regression for ns/op and allocs/op")
+	flag.Parse()
+
+	fails := 0
+	if *synthOut != "" {
+		var base synthBaseline
+		raw, err := os.ReadFile(*synthJSON)
+		if err == nil {
+			err = json.Unmarshal(raw, &base)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare:", err)
+			os.Exit(2)
+		}
+		got, err := parseBenchOutput(*synthOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare:", err)
+			os.Exit(2)
+		}
+		for _, name := range sortedKeys(base.Benchmarks) {
+			for _, mode := range sortedKeys(base.Benchmarks[name]) {
+				compare(&fails, got, "BenchmarkSynthesize/"+name+"/"+mode, base.Benchmarks[name][mode], *tol)
+			}
+		}
+	}
+	if *serverOut != "" {
+		var base serverBaseline
+		raw, err := os.ReadFile(*serverJSON)
+		if err == nil {
+			err = json.Unmarshal(raw, &base)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare:", err)
+			os.Exit(2)
+		}
+		got, err := parseBenchOutput(*serverOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare:", err)
+			os.Exit(2)
+		}
+		for _, mode := range sortedKeys(base.Results) {
+			compare(&fails, got, "BenchmarkServerSynthesize/"+mode, base.Results[mode], *tol)
+		}
+	}
+	if fails > 0 {
+		fmt.Printf("\nbenchcompare: %d regression(s) beyond %.0f%% tolerance\n", fails, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcompare: all benchmarks within tolerance")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-compare test-alloc figures fuzz cover serve smoke clean
+.PHONY: all build test test-race vet bench bench-compare test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke clean
 
 all: build vet test
 
@@ -46,10 +46,13 @@ figures:
 	$(GO) run ./cmd/pchls-battery -g hal -P 12 -html results/figure1.html > /dev/null
 
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cdfg/
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/library/
+	$(GO) test -fuzz='FuzzParse$$' -fuzztime=30s ./internal/cdfg/
+	$(GO) test -fuzz=FuzzParseJSON -fuzztime=30s ./internal/cdfg/
+	$(GO) test -fuzz='FuzzParse$$' -fuzztime=30s ./internal/library/
+	$(GO) test -fuzz=FuzzParseJSON -fuzztime=30s ./internal/library/
 	$(GO) test -fuzz=FuzzRunnerMap -fuzztime=30s ./internal/runner/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/server/
+	$(GO) test -fuzz=FuzzSynthesizeVerify -fuzztime=30s .
 
 # Run the synthesis daemon locally.
 serve:
@@ -63,6 +66,33 @@ smoke:
 
 cover:
 	$(GO) test ./... -cover
+
+# Coverage profile + per-function report (writes cover.out).
+cover-report:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Full-size property sweep: 10k random instances through
+# synthesize -> independent verify (override PCHLS_PROPERTY_DESIGNS).
+sweep:
+	$(GO) test -run TestPropertySynthesizeVerify -v .
+
+# Static analysis beyond vet. staticcheck/govulncheck are not vendored;
+# the targets no-op with a notice when the binaries are absent so the
+# default dev container stays dependency-free (CI installs them).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -19,6 +19,7 @@ import (
 	"pchls"
 	"pchls/internal/bench"
 	"pchls/internal/cdfg"
+	"pchls/internal/gen"
 )
 
 func main() {
@@ -48,12 +49,41 @@ func main() {
 		n := fs.Int("n", 20, "number of computation nodes")
 		seed := fs.Int64("seed", 1, "generator seed")
 		width := fs.Int("width", 4, "max nodes per layer")
-		mul := fs.Float64("mul", 0.3, "multiply fraction")
+		mul := fs.Float64("mul", 0.3, "multiply fraction of the op mix")
+		cmp := fs.Float64("cmp", 0.1, "compare fraction of the op mix")
+		edges := fs.Float64("edges", 0.5, "edge density in [0,1]: chance of a second predecessor per node")
+		libOut := fs.String("libout", "", "also generate a random library: write it to this file (\"-\" = stdout)")
+		modsPerOp := fs.Int("mods", 2, "with -libout: max alternative modules per operation")
+		delayMax := fs.Int("delaymax", 3, "with -libout: max module delay in cycles")
+		powMin := fs.Float64("pmin", 0.5, "with -libout: min per-cycle module power")
+		powMax := fs.Float64("pmax", 8, "with -libout: max per-cycle module power")
+		legacy := fs.Bool("legacy", false, "use the pre-gen layered generator (bench.Random) for old seeds")
 		fs.Parse(args)
-		g := bench.Random(rand.New(rand.NewSource(*seed)), bench.RandomConfig{
-			Nodes: *n, MaxWidth: *width, MulFraction: *mul,
+		if *legacy {
+			g := bench.Random(rand.New(rand.NewSource(*seed)), bench.RandomConfig{
+				Nodes: *n, MaxWidth: *width, MulFraction: *mul,
+			})
+			fmt.Print(g.Text())
+			return
+		}
+		g := gen.Graph(*seed, gen.GraphConfig{
+			Nodes: *n, MaxWidth: *width, EdgeDensity: *edges,
+			MulFraction: *mul, CmpFraction: *cmp,
 		})
 		fmt.Print(g.Text())
+		if *libOut != "" {
+			lib := gen.Library(*seed, gen.LibraryConfig{
+				ModulesPerOp: *modsPerOp, DelayMax: *delayMax,
+				PowerMin: *powMin, PowerMax: *powMax,
+			})
+			if *libOut == "-" {
+				fmt.Print(lib.Text())
+			} else if err := os.WriteFile(*libOut, []byte(lib.Text()), 0o644); err != nil {
+				fatal(err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *libOut)
+			}
+		}
 	case "pipeline":
 		fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 		maxII := fs.Int("maxii", 16, "largest initiation interval to try")
@@ -135,7 +165,8 @@ func usage() {
   dot   <g>        Graphviz DOT to stdout
   text  <g>        .cdfg text format to stdout
   sched <g> -T N   ASAP/ALAP mobility table under Table 1
-  gen -n N -seed S random layered DAG to stdout
+  gen -n N -seed S [-edges D] [-mul F] [-cmp F] [-libout F]
+                   seeded random DAG to stdout (optionally + random library)
   verify <g> [-T N] [-P W] [-trials K]  synthesize + check FSMD vs evaluation
   pipeline <g> [-maxii N] [-T N] [-P W] pipelined II/area/power trade-off
 <g> is a benchmark name (hal, cosine, elliptic, fir16, ar, diffeq2) or a .cdfg file.`)

@@ -47,6 +47,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		maxBody  = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		xworkers = flag.Int("explore-workers", 0, "per-request worker count for sweep/surface grids (0 = GOMAXPROCS)")
+		validate = flag.Bool("validate", false, "re-check every synthesized design with the independent constraint validator before serving it")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		ExploreWorkers: *xworkers,
+		Validate:       *validate,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -42,6 +42,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the design as JSON to this file")
 		tbOut    = flag.String("testbench", "", "with -simulate: write a self-checking Verilog testbench to this file")
 		workers  = flag.Int("j", 0, "concurrent synthesis runs in the portfolio (0 = GOMAXPROCS, 1 = serial); the design is identical for every setting")
+		verifyD  = flag.Bool("verify", false, "re-check the design with the independent constraint validator (precedence, T, P<, occupancy, binding, area)")
 	)
 	flag.Parse()
 
@@ -84,6 +85,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(d.Report())
+	if *verifyD {
+		if err := pchls.Verify(d); err != nil {
+			fatal(fmt.Errorf("independent validator rejected the design: %w", err))
+		}
+		fmt.Println("\nverified: precedence, deadline, power cap, instance occupancy, binding compatibility, area accounting")
+	}
 	if *stats {
 		fmt.Println("\nsynthesis work:")
 		fmt.Print(d.Stats.String())

@@ -1,0 +1,56 @@
+package pchls_test
+
+import (
+	"errors"
+	"testing"
+
+	"pchls"
+	"pchls/internal/gen"
+)
+
+// FuzzSynthesizeVerify drives the whole pipeline from a fuzzed seed and
+// constraint perturbation: generate an instance, synthesize it, and hold
+// the engine to its two allowed outcomes — a design that passes the
+// independent validator, or an explicit infeasibility verdict. The fuzzer
+// owns the constraint knobs, so it explores corners the property sweep's
+// fixed grid does not (zero and huge slack, sub-floor power caps).
+func FuzzSynthesizeVerify(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(130), uint8(120), false)
+	f.Add(int64(42), uint8(4), uint8(100), uint8(0), true)
+	f.Add(int64(7), uint8(12), uint8(255), uint8(255), false)
+	f.Add(int64(-3), uint8(1), uint8(110), uint8(100), true)
+	f.Add(int64(999), uint8(9), uint8(140), uint8(10), false)
+	f.Fuzz(func(t *testing.T, seed int64, nodes, slackPct, powerPct uint8, portfolio bool) {
+		n := 1 + int(nodes)%14
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph:   gen.GraphConfig{Nodes: n, MaxWidth: 1 + n/3},
+			Library: gen.LibraryConfig{ModulesPerOp: 2, DelayMax: 3, ALUChance: 0.25},
+			// NewInstance keeps its defaults; the fuzzed percentages below
+			// override the constraint point entirely.
+			SlackMin: 1.2, SlackMax: 1.3,
+		})
+		// Deadline: slackPct percent of the derived deadline, floor 1.
+		deadline := inst.Deadline * int(slackPct) / 100
+		if deadline < 1 {
+			deadline = 1
+		}
+		// Power cap: powerPct percent of the derived cap; 0 = unconstrained.
+		powerMax := inst.PowerMax * float64(powerPct) / 100
+
+		synth := pchls.Synthesize
+		if portfolio {
+			synth = pchls.SynthesizeBest
+		}
+		d, err := synth(inst.Graph, inst.Library, pchls.Constraints{Deadline: deadline, PowerMax: powerMax}, pchls.Config{Workers: 1})
+		if err != nil {
+			if !errors.Is(err, pchls.ErrInfeasible) {
+				t.Fatalf("seed %d nodes %d T=%d P<=%g: non-infeasibility failure: %v", seed, n, deadline, powerMax, err)
+			}
+			return
+		}
+		if verr := pchls.Verify(d); verr != nil {
+			t.Fatalf("seed %d nodes %d T=%d P<=%g: design rejected by the independent validator: %v",
+				seed, n, deadline, powerMax, verr)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package cdfg
+
+import "testing"
+
+// FuzzParseJSON exercises the JSON graph decoder — the synthesis
+// service's request-payload format — with arbitrary bytes: it must never
+// panic, anything it accepts must pass structural validation, and the
+// accepted graph must survive a marshal/unmarshal round trip unchanged in
+// shape.
+func FuzzParseJSON(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"nodes":[],"edges":[]}`,
+		`{"name":"g","nodes":[{"name":"a","op":"imp"},{"name":"b","op":"+"},{"name":"o","op":"xpt"}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"o"}]}`,
+		`{"nodes":[{"name":"a","op":"bogus"}]}`,
+		`{"nodes":[{"name":"a","op":"+"},{"name":"a","op":"+"}]}`,
+		`{"nodes":[{"name":"a","op":"+"}],"edges":[{"from":"a","to":"a"}]}`,
+		`{"nodes":[{"name":"a","op":"+"}],"edges":[{"from":"a","to":"ghost"}]}`,
+		`{"nodes":[{"name":"a","op":"+"},{"name":"b","op":"+"}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`,
+		`[1,2,3]`,
+		`{"nodes":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("JSON decoder accepted invalid graph: %v\ninput: %q", err, data)
+		}
+		out, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted graph does not marshal: %v", err)
+		}
+		g2, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("marshaled graph does not reparse: %v\njson: %s", err, out)
+		}
+		if g2.N() != g.N() || g2.E() != g.E() || g2.Name != g.Name {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges", g.N(), g2.N(), g.E(), g2.E())
+		}
+	})
+}

@@ -44,6 +44,16 @@ var ErrDuplicateName = errors.New("duplicate node name")
 // directed cycle.
 var ErrCycle = errors.New("graph contains a cycle")
 
+// ErrSelfLoop is wrapped by AddEdge when both endpoints are the same node.
+var ErrSelfLoop = errors.New("self-loop edge")
+
+// ErrDuplicateEdge is wrapped by AddEdge when the edge already exists.
+var ErrDuplicateEdge = errors.New("duplicate edge")
+
+// ErrUnknownNode is wrapped by the text and JSON parsers when an edge
+// references a node that was never declared.
+var ErrUnknownNode = errors.New("unknown node")
+
 // AddNode appends a node with the given unique name and operation and
 // returns its identifier.
 func (g *Graph) AddNode(name string, op Op) (NodeID, error) {
@@ -85,11 +95,11 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 		return fmt.Errorf("cdfg: AddEdge(%d,%d): node id out of range [0,%d)", u, v, len(g.nodes))
 	}
 	if u == v {
-		return fmt.Errorf("cdfg: AddEdge: self-loop on node %q", g.nodes[u].Name)
+		return fmt.Errorf("cdfg: AddEdge: node %q: %w", g.nodes[u].Name, ErrSelfLoop)
 	}
 	for _, w := range g.succs[u] {
 		if w == v {
-			return fmt.Errorf("cdfg: AddEdge: duplicate edge %q -> %q", g.nodes[u].Name, g.nodes[v].Name)
+			return fmt.Errorf("cdfg: AddEdge: %q -> %q: %w", g.nodes[u].Name, g.nodes[v].Name, ErrDuplicateEdge)
 		}
 	}
 	g.succs[u] = append(g.succs[u], v)

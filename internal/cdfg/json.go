@@ -78,11 +78,11 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	for i, e := range raw.Edges {
 		u, ok := ng.byName[e.From]
 		if !ok {
-			return fmt.Errorf("cdfg: edge %d: unknown source node %q", i, e.From)
+			return fmt.Errorf("cdfg: edge %d: source is %w %q", i, ErrUnknownNode, e.From)
 		}
 		v, ok := ng.byName[e.To]
 		if !ok {
-			return fmt.Errorf("cdfg: edge %d: unknown target node %q", i, e.To)
+			return fmt.Errorf("cdfg: edge %d: target is %w %q", i, ErrUnknownNode, e.To)
 		}
 		if err := ng.AddEdge(u, v); err != nil {
 			return fmt.Errorf("cdfg: edge %d: %w", i, err)

@@ -51,8 +51,8 @@ func TestGraphJSONRejects(t *testing.T) {
 		{"unknown op", `{"nodes":[{"name":"a","op":"frobnicate"}],"edges":[]}`, "unknown operation"},
 		{"empty node name", `{"nodes":[{"name":"","op":"+"}],"edges":[]}`, "empty node name"},
 		{"duplicate node", `{"nodes":[{"name":"a","op":"imp"},{"name":"a","op":"imp"}],"edges":[]}`, "duplicate node name"},
-		{"unknown edge source", `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"zz","to":"a"}]}`, "unknown source"},
-		{"unknown edge target", `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"a","to":"zz"}]}`, "unknown target"},
+		{"unknown edge source", `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"zz","to":"a"}]}`, "unknown node"},
+		{"unknown edge target", `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"a","to":"zz"}]}`, "unknown node"},
 		{"self loop", `{"nodes":[{"name":"a","op":"+"}],"edges":[{"from":"a","to":"a"}]}`, "self-loop"},
 		{"duplicate edge", `{"nodes":[{"name":"a","op":"imp"},{"name":"b","op":"xpt"}],"edges":[{"from":"a","to":"b"},{"from":"a","to":"b"}]}`, "duplicate edge"},
 		{"cycle", `{"nodes":[{"name":"a","op":"+"},{"name":"b","op":"+"}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`, "cycle"},

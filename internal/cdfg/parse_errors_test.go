@@ -1,0 +1,84 @@
+package cdfg
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseRejectsMalformedGraphs pins down the distinct error classes
+// of the two graph parsers: each structural defect must be rejected with
+// its own sentinel so callers (and the synthesis service's request
+// validation) can classify failures with errors.Is instead of string
+// matching.
+func TestParseRejectsMalformedGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		json string
+		want error
+	}{
+		{
+			name: "duplicate node name",
+			text: "node a +\nnode a -\n",
+			json: `{"nodes":[{"name":"a","op":"+"},{"name":"a","op":"-"}]}`,
+			want: ErrDuplicateName,
+		},
+		{
+			name: "self-edge",
+			text: "node a +\nedge a a\n",
+			json: `{"nodes":[{"name":"a","op":"+"}],"edges":[{"from":"a","to":"a"}]}`,
+			want: ErrSelfLoop,
+		},
+		{
+			name: "duplicate edge",
+			text: "node a imp\nnode b +\nedge a b\nedge a b\n",
+			json: `{"nodes":[{"name":"a","op":"imp"},{"name":"b","op":"+"}],"edges":[{"from":"a","to":"b"},{"from":"a","to":"b"}]}`,
+			want: ErrDuplicateEdge,
+		},
+		{
+			name: "dangling edge source",
+			text: "node b +\nedge ghost b\n",
+			json: `{"nodes":[{"name":"b","op":"+"}],"edges":[{"from":"ghost","to":"b"}]}`,
+			want: ErrUnknownNode,
+		},
+		{
+			name: "dangling edge target",
+			text: "node a imp\nedge a ghost\n",
+			json: `{"nodes":[{"name":"a","op":"imp"}],"edges":[{"from":"a","to":"ghost"}]}`,
+			want: ErrUnknownNode,
+		},
+		{
+			name: "cycle",
+			text: "node a +\nnode b +\nedge a b\nedge b a\n",
+			json: `{"nodes":[{"name":"a","op":"+"},{"name":"b","op":"+"}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`,
+			want: ErrCycle,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name+"/text", func(t *testing.T) {
+			_, err := ParseString(c.text)
+			if !errors.Is(err, c.want) {
+				t.Errorf("text parser: got %v, want %v", err, c.want)
+			}
+		})
+		t.Run(c.name+"/json", func(t *testing.T) {
+			_, err := ParseJSON([]byte(c.json))
+			if !errors.Is(err, c.want) {
+				t.Errorf("JSON parser: got %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseErrorClassesAreDistinct guards against two sentinels aliasing
+// each other (which would make errors.Is classification meaningless).
+func TestParseErrorClassesAreDistinct(t *testing.T) {
+	sentinels := []error{ErrDuplicateName, ErrCycle, ErrSelfLoop, ErrDuplicateEdge, ErrUnknownNode}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v aliases %v", a, b)
+			}
+		}
+	}
+}

@@ -67,11 +67,11 @@ func Parse(r io.Reader) (*Graph, error) {
 			}
 			u, ok := g.byName[fields[1]]
 			if !ok {
-				return nil, fmt.Errorf("cdfg: line %d: edge references unknown node %q", lineNo, fields[1])
+				return nil, fmt.Errorf("cdfg: line %d: edge references %w %q", lineNo, ErrUnknownNode, fields[1])
 			}
 			v, ok := g.byName[fields[2]]
 			if !ok {
-				return nil, fmt.Errorf("cdfg: line %d: edge references unknown node %q", lineNo, fields[2])
+				return nil, fmt.Errorf("cdfg: line %d: edge references %w %q", lineNo, ErrUnknownNode, fields[2])
 			}
 			if err := g.AddEdge(u, v); err != nil {
 				return nil, fmt.Errorf("cdfg: line %d: %w", lineNo, err)

@@ -1,0 +1,26 @@
+package core
+
+import "pchls/internal/verify"
+
+// VerifyInput flattens a Design into the engine-independent form the
+// internal/verify validator consumes. The dependency points this way
+// only — core knows about verify, verify must never import core — so the
+// validator re-derives every invariant with none of the engine's code in
+// its import graph (verify's own tests enforce that).
+func VerifyInput(d *Design) verify.Input {
+	fuModules := make([]string, len(d.FUs))
+	for i := range d.FUs {
+		fuModules[i] = d.FUs[i].Module.Name
+	}
+	return verify.Input{
+		Graph:          d.Graph,
+		Library:        d.Library,
+		Deadline:       d.Cons.Deadline,
+		PowerMax:       d.Cons.PowerMax,
+		Start:          d.Schedule.Start,
+		Module:         d.Schedule.Module,
+		FU:             d.FUOf,
+		FUModules:      fuModules,
+		ReportedFUArea: d.Datapath.FUArea,
+	}
+}

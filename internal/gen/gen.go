@@ -1,0 +1,299 @@
+// Package gen generates seeded, deterministic random synthesis
+// instances — CDFGs, functional-unit libraries and constraint points —
+// for property-based testing of the synthesis engine and for the
+// cdfgtool gen command. Everything is a pure function of the seed and
+// the configuration: the same (seed, config) pair produces the same
+// instance on every platform and in every run, so a failing seed printed
+// by a property test reproduces the failure exactly.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+)
+
+// GraphConfig parameterizes the random CDFG generator.
+type GraphConfig struct {
+	// Nodes is the number of computation nodes (input/output transfers
+	// are attached on top). Must be >= 1.
+	Nodes int
+	// MaxWidth bounds the number of computation nodes per layer (<= 0: 4).
+	MaxWidth int
+	// EdgeDensity in [0, 1] is the probability that a non-source node
+	// draws a second predecessor (every non-source always draws one, so
+	// the graph is connected layer to layer). <= 0 defaults to 0.5.
+	EdgeDensity float64
+	// MulFraction, CmpFraction are the approximate operation-mix
+	// fractions of multiplies and compares among computations; the rest
+	// split evenly between adds and subs. MulFraction <= 0 defaults to
+	// 0.3; CmpFraction < 0 defaults to 0.1.
+	MulFraction float64
+	CmpFraction float64
+}
+
+func (c GraphConfig) withDefaults() GraphConfig {
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 4
+	}
+	if c.EdgeDensity <= 0 {
+		c.EdgeDensity = 0.5
+	}
+	if c.EdgeDensity > 1 {
+		c.EdgeDensity = 1
+	}
+	if c.MulFraction <= 0 {
+		c.MulFraction = 0.3
+	}
+	if c.CmpFraction < 0 {
+		c.CmpFraction = 0.1
+	}
+	return c
+}
+
+// Graph generates a random layered DAG, fully determined by (seed, cfg):
+// computation nodes are grouped into layers of at most MaxWidth, each
+// non-source computation draws one mandatory predecessor from an earlier
+// layer plus a second with probability EdgeDensity, every source is fed
+// by an Input transfer and every sink drives an Output transfer. The
+// result always passes cdfg.Validate.
+func Graph(seed int64, cfg GraphConfig) *cdfg.Graph {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("gen: Graph: Nodes = %d", cfg.Nodes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := cdfg.New(fmt.Sprintf("gen-%d", seed))
+
+	var earlier []cdfg.NodeID
+	made, layer := 0, 0
+	for made < cfg.Nodes {
+		width := rng.Intn(cfg.MaxWidth) + 1
+		if width > cfg.Nodes-made {
+			width = cfg.Nodes - made
+		}
+		var thisLayer []cdfg.NodeID
+		for k := 0; k < width; k++ {
+			id := g.MustAddNode(fmt.Sprintf("n%d_%d", layer, k), pickOp(rng, cfg))
+			if len(earlier) > 0 {
+				first := earlier[rng.Intn(len(earlier))]
+				g.MustAddEdge(first, id)
+				if rng.Float64() < cfg.EdgeDensity {
+					second := earlier[rng.Intn(len(earlier))]
+					if second != first {
+						g.MustAddEdge(second, id)
+					}
+				}
+			}
+			thisLayer = append(thisLayer, id)
+			made++
+		}
+		earlier = append(earlier, thisLayer...)
+		layer++
+	}
+	// Attach transfers so the graph is arity-valid: computations need at
+	// least one predecessor, outputs exactly one, inputs none.
+	for _, id := range append([]cdfg.NodeID(nil), earlier...) {
+		n := g.Node(id)
+		if len(g.Preds(id)) == 0 {
+			in := g.MustAddNode("in_"+n.Name, cdfg.Input)
+			g.MustAddEdge(in, id)
+		}
+		if len(g.Succs(id)) == 0 {
+			out := g.MustAddNode("out_"+n.Name, cdfg.Output)
+			g.MustAddEdge(id, out)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: generated invalid graph (seed %d): %v", seed, err))
+	}
+	return g
+}
+
+func pickOp(rng *rand.Rand, cfg GraphConfig) cdfg.Op {
+	r := rng.Float64()
+	switch {
+	case r < cfg.MulFraction:
+		return cdfg.Mul
+	case r < cfg.MulFraction+cfg.CmpFraction:
+		return cdfg.Cmp
+	case rng.Intn(2) == 0:
+		return cdfg.Add
+	default:
+		return cdfg.Sub
+	}
+}
+
+// LibraryConfig parameterizes the random functional-unit library
+// generator.
+type LibraryConfig struct {
+	// ModulesPerOp is the maximum number of alternative modules per
+	// computation operation; each op gets 1..ModulesPerOp choices
+	// (<= 0: 2). Input and output transfers always get exactly one
+	// module each.
+	ModulesPerOp int
+	// DelayMax bounds module delays; delays are drawn uniformly from
+	// 1..DelayMax (<= 0: 3).
+	DelayMax int
+	// AreaMin/AreaMax bound module areas (defaults 20..200 when both
+	// are zero).
+	AreaMin, AreaMax float64
+	// PowerMin/PowerMax bound per-cycle module powers (defaults 0.5..8
+	// when both are zero).
+	PowerMin, PowerMax float64
+	// ALUChance in [0, 1] is the probability of adding one multi-function
+	// ALU module implementing +, - and > (default 0 = never).
+	ALUChance float64
+}
+
+func (c LibraryConfig) withDefaults() LibraryConfig {
+	if c.ModulesPerOp <= 0 {
+		c.ModulesPerOp = 2
+	}
+	if c.DelayMax <= 0 {
+		c.DelayMax = 3
+	}
+	if c.AreaMin == 0 && c.AreaMax == 0 {
+		c.AreaMin, c.AreaMax = 20, 200
+	}
+	if c.PowerMin == 0 && c.PowerMax == 0 {
+		c.PowerMin, c.PowerMax = 0.5, 8
+	}
+	return c
+}
+
+// round2 quantizes generated floats to 2 decimals so printed instances
+// (cdfgtool gen -libout) reparse to the exact same library.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// Library generates a random validated library fully determined by
+// (seed, cfg). Every computation operation (+, -, >, *) gets 1 to
+// ModulesPerOp implementing modules with areas, delays and powers drawn
+// from the configured ranges (modules with more delay tend to get less
+// power, mimicking the serial/parallel trade-off of the paper's Table 1);
+// input and output transfers get one cheap single-cycle module each, so
+// any generated graph is covered.
+func Library(seed int64, cfg LibraryConfig) *library.Library {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var mods []library.Module
+	areaSpan := cfg.AreaMax - cfg.AreaMin
+	powerSpan := cfg.PowerMax - cfg.PowerMin
+	for _, op := range []struct {
+		op    cdfg.Op
+		label string
+	}{
+		{cdfg.Add, "add"}, {cdfg.Sub, "sub"}, {cdfg.Cmp, "cmp"}, {cdfg.Mul, "mul"},
+	} {
+		k := rng.Intn(cfg.ModulesPerOp) + 1
+		for i := 0; i < k; i++ {
+			delay := rng.Intn(cfg.DelayMax) + 1
+			// Slower variants draw proportionally less power, so multi-
+			// cycle modules are the low-power/low-area end of the menu.
+			scale := 1.0 / float64(delay)
+			mods = append(mods, library.Module{
+				Name:  fmt.Sprintf("%s%d", op.label, i),
+				Ops:   []cdfg.Op{op.op},
+				Area:  round2(cfg.AreaMin + rng.Float64()*areaSpan*scale),
+				Delay: delay,
+				Power: round2(cfg.PowerMin + rng.Float64()*powerSpan*scale),
+			})
+		}
+	}
+	if rng.Float64() < cfg.ALUChance {
+		mods = append(mods, library.Module{
+			Name:  "alu",
+			Ops:   []cdfg.Op{cdfg.Add, cdfg.Sub, cdfg.Cmp},
+			Area:  round2(cfg.AreaMin + rng.Float64()*areaSpan),
+			Delay: 1,
+			Power: round2(cfg.PowerMin + rng.Float64()*powerSpan),
+		})
+	}
+	mods = append(mods,
+		library.Module{Name: "in", Ops: []cdfg.Op{cdfg.Input}, Area: round2(cfg.AreaMin / 2), Delay: 1, Power: round2(cfg.PowerMin)},
+		library.Module{Name: "out", Ops: []cdfg.Op{cdfg.Output}, Area: round2(cfg.AreaMin / 2), Delay: 1, Power: round2(cfg.PowerMin)},
+	)
+	lib, err := library.New(mods)
+	if err != nil {
+		panic(fmt.Sprintf("gen: generated invalid library (seed %d): %v", seed, err))
+	}
+	return lib
+}
+
+// Instance is one complete random synthesis problem.
+type Instance struct {
+	Seed     int64
+	Graph    *cdfg.Graph
+	Library  *library.Library
+	Deadline int
+	PowerMax float64
+}
+
+// InstanceConfig parameterizes Instances.
+type InstanceConfig struct {
+	Graph   GraphConfig
+	Library LibraryConfig
+	// SlackMin/SlackMax bound the deadline slack factor applied to the
+	// fastest-module critical path: T = ceil(cp * slack). Defaults
+	// 1.2..2.5 when both are zero.
+	SlackMin, SlackMax float64
+	// PowerFactorMin/Max bound the power cap as a multiple of the
+	// tightest cap any schedule could meet (the maximum over ops of the
+	// minimum implementing-module power). Defaults 1.5..4 when both are
+	// zero. A factor of 0 in a derived point means unconstrained.
+	PowerFactorMin, PowerFactorMax float64
+}
+
+func (c InstanceConfig) withDefaults() InstanceConfig {
+	if c.SlackMin == 0 && c.SlackMax == 0 {
+		c.SlackMin, c.SlackMax = 1.2, 2.5
+	}
+	if c.PowerFactorMin == 0 && c.PowerFactorMax == 0 {
+		c.PowerFactorMin, c.PowerFactorMax = 1.5, 4
+	}
+	return c
+}
+
+// NewInstance derives one random synthesis problem from the seed: a
+// graph, a library covering it, and a constraint point derived from the
+// instance's own critical path and power floor so that most instances
+// are feasible without being trivial. Deterministic in (seed, cfg).
+func NewInstance(seed int64, cfg InstanceConfig) Instance {
+	cfg = cfg.withDefaults()
+	g := Graph(seed, cfg.Graph)
+	lib := Library(seed^0x5DEECE66D, cfg.Library)
+	rng := rand.New(rand.NewSource(seed ^ 0x2545F4914F6CDD1D))
+
+	// Critical path under the fastest modules: the latency-optimistic
+	// bound the deadline slack multiplies.
+	cp, _ := g.CriticalPath(func(n cdfg.Node) int {
+		m, err := lib.Fastest(n.Op)
+		if err != nil {
+			return 1
+		}
+		return m.Delay
+	})
+	if cp < 1 {
+		cp = 1
+	}
+	slack := cfg.SlackMin + rng.Float64()*(cfg.SlackMax-cfg.SlackMin)
+	deadline := int(math.Ceil(float64(cp) * slack))
+	if deadline < cp {
+		deadline = cp
+	}
+
+	powerMax := 0.0
+	if floor, err := lib.MinPowerFloor(g); err == nil {
+		factor := cfg.PowerFactorMin + rng.Float64()*(cfg.PowerFactorMax-cfg.PowerFactorMin)
+		powerMax = round2(floor * factor)
+	}
+	// One instance in five is latency-only, exercising the unconstrained
+	// power path.
+	if rng.Intn(5) == 0 {
+		powerMax = 0
+	}
+	return Instance{Seed: seed, Graph: g, Library: lib, Deadline: deadline, PowerMax: powerMax}
+}

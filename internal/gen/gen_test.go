@@ -1,0 +1,119 @@
+package gen_test
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/gen"
+	"pchls/internal/library"
+)
+
+func TestGraphDeterministic(t *testing.T) {
+	cfg := gen.GraphConfig{Nodes: 25, MaxWidth: 5, EdgeDensity: 0.7, MulFraction: 0.4, CmpFraction: 0.1}
+	for seed := int64(1); seed <= 10; seed++ {
+		a := gen.Graph(seed, cfg).Text()
+		b := gen.Graph(seed, cfg).Text()
+		if a != b {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestGraphSeedsDiffer(t *testing.T) {
+	cfg := gen.GraphConfig{Nodes: 12}
+	a := gen.Graph(1, cfg).Text()
+	distinct := false
+	for seed := int64(2); seed <= 6; seed++ {
+		if gen.Graph(seed, cfg).Text() != a {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("five different seeds all produced the same graph")
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		cfg := gen.GraphConfig{Nodes: 3 + int(seed%20), MaxWidth: 1 + int(seed%4)}
+		g := gen.Graph(seed, cfg)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		comps := 0
+		for _, n := range g.Nodes() {
+			if n.Op != cdfg.Input && n.Op != cdfg.Output {
+				comps++
+			}
+		}
+		if comps != cfg.Nodes {
+			t.Errorf("seed %d: %d computation nodes, want %d", seed, comps, cfg.Nodes)
+		}
+		// Text round-trips: cdfgtool gen output must reload identically.
+		g2, err := cdfg.ParseString(g.Text())
+		if err != nil {
+			t.Fatalf("seed %d: generated graph does not reparse: %v", seed, err)
+		}
+		if g2.Text() != g.Text() {
+			t.Errorf("seed %d: text round trip changed the graph", seed)
+		}
+	}
+}
+
+func TestLibraryDeterministicAndRoundTrips(t *testing.T) {
+	cfg := gen.LibraryConfig{ModulesPerOp: 3, DelayMax: 4, ALUChance: 0.5}
+	for seed := int64(1); seed <= 25; seed++ {
+		lib := gen.Library(seed, cfg)
+		if gen.Library(seed, cfg).Text() != lib.Text() {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		// The serialized library must reparse to the same library — this
+		// is what makes cdfgtool gen -libout output usable with -lib.
+		lib2, err := library.Parse(strings.NewReader(lib.Text()))
+		if err != nil {
+			t.Fatalf("seed %d: generated library does not reparse: %v\n%s", seed, err, lib.Text())
+		}
+		if lib2.Text() != lib.Text() {
+			t.Errorf("seed %d: text round trip changed the library:\n%s\nvs\n%s", seed, lib.Text(), lib2.Text())
+		}
+	}
+}
+
+func TestLibraryCoversGeneratedGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph:   gen.GraphConfig{Nodes: 10},
+			Library: gen.LibraryConfig{ALUChance: 0.3},
+		})
+		if missing := inst.Library.Covers(inst.Graph); missing != nil {
+			t.Errorf("seed %d: library does not cover %v", seed, missing)
+		}
+		if inst.Deadline <= 0 {
+			t.Errorf("seed %d: non-positive deadline %d", seed, inst.Deadline)
+		}
+		if inst.PowerMax < 0 {
+			t.Errorf("seed %d: negative power cap %g", seed, inst.PowerMax)
+		}
+	}
+}
+
+func TestInstanceDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := gen.NewInstance(seed, gen.InstanceConfig{Graph: gen.GraphConfig{Nodes: 8}})
+		b := gen.NewInstance(seed, gen.InstanceConfig{Graph: gen.GraphConfig{Nodes: 8}})
+		if a.Deadline != b.Deadline || a.PowerMax != b.PowerMax ||
+			a.Graph.Text() != b.Graph.Text() || a.Library.Text() != b.Library.Text() {
+			t.Fatalf("seed %d: NewInstance is not deterministic", seed)
+		}
+	}
+}
+
+func TestGraphPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nodes = 0 did not panic")
+		}
+	}()
+	gen.Graph(1, gen.GraphConfig{Nodes: 0})
+}

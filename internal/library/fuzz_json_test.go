@@ -1,0 +1,48 @@
+package library
+
+import "testing"
+
+// FuzzParseJSON exercises the JSON library decoder — the optional
+// "library" field of synthesis service requests — with arbitrary bytes:
+// it must never panic, anything it accepts must satisfy every module
+// validation rule, and accepted libraries must round trip through
+// marshal/unmarshal byte-identically (marshaling is canonical).
+func FuzzParseJSON(f *testing.F) {
+	seeds := []string{
+		``,
+		`[]`,
+		`[{"name":"add","ops":["+"],"area":87,"delay":1,"power":2.5}]`,
+		`[{"name":"ALU","ops":["+","-",">"],"area":97,"delay":1,"power":2.5},{"name":"mul","ops":["*"],"area":103,"delay":4,"power":2.7}]`,
+		`[{"name":"bad","ops":["?"],"area":1,"delay":1,"power":1}]`,
+		`[{"name":"neg","ops":["+"],"area":-1,"delay":1,"power":1}]`,
+		`[{"name":"zero","ops":["+"],"area":1,"delay":0,"power":1}]`,
+		`[{"name":"dup","ops":["+"],"area":1,"delay":1,"power":1},{"name":"dup","ops":["-"],"area":1,"delay":1,"power":1}]`,
+		`[{"name":"nan","ops":["+"],"area":1e999,"delay":1,"power":1}]`,
+		`{"not":"a list"}`,
+		`[{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := l.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted library does not marshal: %v", err)
+		}
+		l2, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("marshaled library does not reparse: %v\njson: %s", err, out)
+		}
+		out2, err := l2.MarshalJSON()
+		if err != nil {
+			t.Fatalf("reparsed library does not marshal: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("round trip is not canonical:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

@@ -35,10 +35,10 @@ func TestLibraryJSONRejects(t *testing.T) {
 	}{
 		{"syntax", `[`, "unexpected end of JSON input"},
 		{"unknown op", `[{"name":"m","ops":["frob"],"area":1,"delay":1,"power":1}]`, "unknown operation"},
-		{"zero delay", `[{"name":"m","ops":["+"],"area":1,"delay":0,"power":1}]`, "delay 0 < 1"},
-		{"negative delay", `[{"name":"m","ops":["+"],"area":1,"delay":-3,"power":1}]`, "delay -3 < 1"},
-		{"negative area", `[{"name":"m","ops":["+"],"area":-1,"delay":1,"power":1}]`, "bad area"},
-		{"negative power", `[{"name":"m","ops":["+"],"area":1,"delay":1,"power":-2}]`, "bad power"},
+		{"zero delay", `[{"name":"m","ops":["+"],"area":1,"delay":0,"power":1}]`, "delay 0"},
+		{"negative delay", `[{"name":"m","ops":["+"],"area":1,"delay":-3,"power":1}]`, "delay -3"},
+		{"negative area", `[{"name":"m","ops":["+"],"area":-1,"delay":1,"power":1}]`, "area -1"},
+		{"negative power", `[{"name":"m","ops":["+"],"area":1,"delay":1,"power":-2}]`, "power -2"},
 		{"no ops", `[{"name":"m","ops":[],"area":1,"delay":1,"power":1}]`, "implements no operations"},
 		{"duplicate name", `[{"name":"m","ops":["+"],"area":1,"delay":1,"power":1},{"name":"m","ops":["-"],"area":1,"delay":1,"power":1}]`, "duplicate module name"},
 		{"empty list", `[]`, "empty module list"},

@@ -77,13 +77,13 @@ func (m *Module) validate() error {
 		seen[o] = true
 	}
 	if m.Area < 0 || math.IsNaN(m.Area) || math.IsInf(m.Area, 0) {
-		errs = append(errs, fmt.Errorf("library: module %q: bad area %v", m.Name, m.Area))
+		errs = append(errs, fmt.Errorf("library: module %q: area %v: %w", m.Name, m.Area, ErrBadArea))
 	}
 	if m.Delay < 1 {
-		errs = append(errs, fmt.Errorf("library: module %q: delay %d < 1", m.Name, m.Delay))
+		errs = append(errs, fmt.Errorf("library: module %q: delay %d: %w", m.Name, m.Delay, ErrBadDelay))
 	}
 	if m.Power < 0 || math.IsNaN(m.Power) || math.IsInf(m.Power, 0) {
-		errs = append(errs, fmt.Errorf("library: module %q: bad power %v", m.Name, m.Power))
+		errs = append(errs, fmt.Errorf("library: module %q: power %v: %w", m.Name, m.Power, ErrBadPower))
 	}
 	return errors.Join(errs...)
 }
@@ -98,6 +98,21 @@ type Library struct {
 
 // ErrNoModule is wrapped by lookups that find no module for an operation.
 var ErrNoModule = errors.New("no module implements operation")
+
+// The distinct module-validation failure classes, wrapped by New (and
+// therefore by every parser, which funnels through New) so callers can
+// classify rejects with errors.Is.
+var (
+	// ErrBadDelay marks a module whose delay is not at least one cycle.
+	ErrBadDelay = errors.New("module delay must be >= 1 cycle")
+	// ErrBadArea marks a module whose area is negative, NaN or infinite.
+	ErrBadArea = errors.New("module area must be finite and non-negative")
+	// ErrBadPower marks a module whose per-cycle power is negative, NaN or
+	// infinite.
+	ErrBadPower = errors.New("module power must be finite and non-negative")
+	// ErrDuplicateModule marks a reused module name.
+	ErrDuplicateModule = errors.New("duplicate module name")
+)
 
 // New builds a validated library from the given modules. Module order is
 // preserved and is the deterministic iteration order everywhere.
@@ -115,7 +130,7 @@ func New(modules []Module) (*Library, error) {
 			continue
 		}
 		if _, dup := l.byName[m.Name]; dup {
-			errs = append(errs, fmt.Errorf("library: duplicate module name %q", m.Name))
+			errs = append(errs, fmt.Errorf("library: module %q: %w", m.Name, ErrDuplicateModule))
 			continue
 		}
 		l.byName[m.Name] = i

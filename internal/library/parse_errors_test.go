@@ -1,0 +1,102 @@
+package library
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseRejectsMalformedLibraries pins down the distinct error
+// classes of the two library parsers: every defect funnels through New,
+// so text and JSON inputs with the same flaw must both be rejected with
+// the same sentinel.
+func TestParseRejectsMalformedLibraries(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		json string
+		want error
+	}{
+		{
+			name: "zero delay",
+			text: "module a + 10 0 1\n",
+			json: `[{"name":"a","ops":["+"],"area":10,"delay":0,"power":1}]`,
+			want: ErrBadDelay,
+		},
+		{
+			name: "negative delay",
+			text: "module a + 10 -3 1\n",
+			json: `[{"name":"a","ops":["+"],"area":10,"delay":-3,"power":1}]`,
+			want: ErrBadDelay,
+		},
+		{
+			name: "negative area",
+			text: "module a + -10 1 1\n",
+			json: `[{"name":"a","ops":["+"],"area":-10,"delay":1,"power":1}]`,
+			want: ErrBadArea,
+		},
+		{
+			name: "infinite area",
+			text: "module a + Inf 1 1\n",
+			json: ``, // encoding/json already rejects out-of-range numbers; text-only case
+			want: ErrBadArea,
+		},
+		{
+			name: "negative power",
+			text: "module a + 10 1 -2\n",
+			json: `[{"name":"a","ops":["+"],"area":10,"delay":1,"power":-2}]`,
+			want: ErrBadPower,
+		},
+		{
+			name: "NaN power",
+			text: "module a + 10 1 NaN\n",
+			json: ``, // JSON has no NaN literal; text-only case
+			want: ErrBadPower,
+		},
+		{
+			name: "duplicate module name",
+			text: "module a + 10 1 1\nmodule a - 10 1 1\n",
+			json: `[{"name":"a","ops":["+"],"area":10,"delay":1,"power":1},{"name":"a","ops":["-"],"area":10,"delay":1,"power":1}]`,
+			want: ErrDuplicateModule,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name+"/text", func(t *testing.T) {
+			_, err := ParseString(c.text)
+			if !errors.Is(err, c.want) {
+				t.Errorf("text parser: got %v, want %v", err, c.want)
+			}
+		})
+		if c.json == "" {
+			continue
+		}
+		t.Run(c.name+"/json", func(t *testing.T) {
+			_, err := ParseJSON([]byte(c.json))
+			if !errors.Is(err, c.want) {
+				t.Errorf("JSON parser: got %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestModuleErrorClassesAreDistinct guards against sentinel aliasing.
+func TestModuleErrorClassesAreDistinct(t *testing.T) {
+	sentinels := []error{ErrBadDelay, ErrBadArea, ErrBadPower, ErrDuplicateModule, ErrNoModule}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v aliases %v", a, b)
+			}
+		}
+	}
+}
+
+// TestNewJoinsAllModuleDefects: a module list with several independent
+// defects reports every class at once, not just the first.
+func TestNewJoinsAllModuleDefects(t *testing.T) {
+	_, err := ParseString("module a + -1 0 -1\nmodule b - 1 1 1\nmodule b > 1 1 1\n")
+	for _, want := range []error{ErrBadArea, ErrBadDelay, ErrBadPower, ErrDuplicateModule} {
+		if !errors.Is(err, want) {
+			t.Errorf("joined error misses %v; got: %v", want, err)
+		}
+	}
+}

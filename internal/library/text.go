@@ -1,0 +1,25 @@
+package library
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text serializes the library in the line-oriented format Parse reads
+// ("module <name> <op>[,<op>...] <area> <delay> <power>"). For libraries
+// whose module names contain no whitespace or comment characters — all
+// generated and built-in libraries — the output reparses to an equal
+// library, which is what lets cdfgtool gen emit a random library that
+// pchls -lib can consume.
+func (l *Library) Text() string {
+	var sb strings.Builder
+	for i := range l.modules {
+		m := &l.modules[i]
+		ops := make([]string, len(m.Ops))
+		for j, o := range m.Ops {
+			ops[j] = o.String()
+		}
+		fmt.Fprintf(&sb, "module %s %s %g %d %g\n", m.Name, strings.Join(ops, ","), m.Area, m.Delay, m.Power)
+	}
+	return sb.String()
+}

@@ -127,6 +127,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
+			if err := s.validateDesign(d); err != nil {
+				return nil, err
+			}
 			s.noteStats(d.Stats)
 			body, err := d.JSON()
 			if err != nil {

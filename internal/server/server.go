@@ -33,6 +33,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"strconv"
@@ -44,6 +45,7 @@ import (
 	"pchls/internal/core"
 	"pchls/internal/library"
 	"pchls/internal/obs"
+	"pchls/internal/verify"
 )
 
 // Config parameterizes the daemon.
@@ -66,6 +68,14 @@ type Config struct {
 	// Grid cells still count against the server's admission slots as a
 	// single computation; this knob only controls intra-request fan-out.
 	ExploreWorkers int
+	// Validate re-checks every freshly synthesized design with the
+	// independent constraint validator (internal/verify) before the
+	// response is cached or served. A validation failure is a 500 — the
+	// engine produced an invalid design — and is never cached. Cached
+	// (warm) responses are not re-validated: they are byte-identical to a
+	// validated cold run. Off by default; it costs O(T x n + n^2) per
+	// synthesis.
+	Validate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +140,8 @@ type Server struct {
 	rejected        *obs.Counter
 	inflight        *obs.Gauge
 	runnerInflight  *obs.Gauge
+	validations     *obs.Counter
+	validationFails *obs.Counter
 }
 
 // New builds a Server with its routes and metrics registered.
@@ -150,6 +162,8 @@ func New(cfg Config) *Server {
 	s.windowHits = s.reg.Counter("pchls_engine_window_cache_hits_total", "engine window-cache hits across all requests")
 	s.windowMisses = s.reg.Counter("pchls_engine_window_cache_misses_total", "engine window-cache misses across all requests")
 	s.rejected = s.reg.Counter("pchls_admission_rejected_total", "requests rejected by admission control (429)")
+	s.validations = s.reg.Counter("pchls_validations_total", "designs re-checked by the independent constraint validator")
+	s.validationFails = s.reg.Counter("pchls_validation_failures_total", "designs the independent validator rejected (served as 500, never cached)")
 	s.inflight = s.reg.Gauge("pchls_http_inflight", "requests currently being served")
 	s.runnerInflight = s.reg.Gauge("pchls_runner_inflight", "exploration worker-pool items currently executing")
 	s.reg.GaugeFunc("pchls_queue_waiting", "admitted requests waiting for a worker slot",
@@ -251,6 +265,22 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// validateDesign re-checks a freshly synthesized design with the
+// independent validator when Config.Validate is set. A failure means the
+// engine emitted a design violating the paper's invariants; it surfaces
+// as a non-cacheable 500 so a buggy build can never poison the cache.
+func (s *Server) validateDesign(d *core.Design) error {
+	if !s.cfg.Validate {
+		return nil
+	}
+	s.validations.Inc()
+	if err := verify.Check(core.VerifyInput(d)); err != nil {
+		s.validationFails.Inc()
+		return fmt.Errorf("engine produced an invalid design: %w", err)
+	}
+	return nil
 }
 
 // noteStats folds one run's engine work counters into the global metrics.

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// metricValue extracts a metric's value line from the /metrics text.
+func metricValue(t *testing.T, base, name string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body := string(readBody(t, resp))
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return ""
+}
+
+// TestValidateMode turns on response validation and requires it to be
+// invisible in the bytes served: cold and warm responses stay identical
+// to an unvalidated server's, warm hits are not re-validated, and the
+// work is visible only in the metrics counters.
+func TestValidateMode(t *testing.T) {
+	_, plain := newTestServer(t, Config{})
+	_, validating := newTestServer(t, Config{Validate: true})
+
+	req := `{"benchmark":"hal","deadline":17,"power_max":7.5}`
+	refResp := postJSON(t, plain.URL+"/v1/synthesize", req)
+	ref := readBody(t, refResp)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("plain server: status %d: %s", refResp.StatusCode, ref)
+	}
+
+	cold := postJSON(t, validating.URL+"/v1/synthesize", req)
+	coldBody := readBody(t, cold)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("validating server: status %d: %s", cold.StatusCode, coldBody)
+	}
+	if cold.Header.Get(headerCache) != "miss" {
+		t.Fatalf("cold outcome = %q, want miss", cold.Header.Get(headerCache))
+	}
+	if !bytes.Equal(coldBody, ref) {
+		t.Errorf("validation changed the served bytes (%d vs %d)", len(coldBody), len(ref))
+	}
+	if got := metricValue(t, validating.URL, "pchls_validations_total"); got != "1" {
+		t.Errorf("pchls_validations_total = %s after cold request, want 1", got)
+	}
+
+	warm := postJSON(t, validating.URL+"/v1/synthesize", req)
+	warmBody := readBody(t, warm)
+	if warm.Header.Get(headerCache) != "hit" {
+		t.Fatalf("warm outcome = %q, want hit", warm.Header.Get(headerCache))
+	}
+	if !bytes.Equal(warmBody, coldBody) {
+		t.Error("warm response differs from cold response")
+	}
+	if got := metricValue(t, validating.URL, "pchls_validations_total"); got != "1" {
+		t.Errorf("pchls_validations_total = %s after warm hit, want 1 (warm responses are not re-validated)", got)
+	}
+	if got := metricValue(t, validating.URL, "pchls_validation_failures_total"); got != "0" {
+		t.Errorf("pchls_validation_failures_total = %s, want 0", got)
+	}
+
+	// The plain server never validates.
+	if got := metricValue(t, plain.URL, "pchls_validations_total"); got != "0" {
+		t.Errorf("unvalidated server counted %s validations", got)
+	}
+}
+
+// TestValidateModeGridAndInfeasible covers the remaining response paths
+// under validation: a sweep across feasibility regimes and a cacheable
+// infeasibility verdict, neither of which changes under Validate.
+func TestValidateModeGridAndInfeasible(t *testing.T) {
+	_, ts := newTestServer(t, Config{Validate: true})
+
+	resp := postJSON(t, ts.URL+"/v1/synthesize", `{"benchmark":"hal","deadline":2,"power_max":1}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible request: status %d: %s", resp.StatusCode, body)
+	}
+	if got := metricValue(t, ts.URL, "pchls_validations_total"); got != "0" {
+		t.Errorf("infeasible synthesis was counted as a validation: %s", got)
+	}
+
+	for _, d := range []int{10, 17} {
+		resp := postJSON(t, ts.URL+"/v1/synthesize", fmt.Sprintf(`{"benchmark":"hal","deadline":%d,"power_max":20}`, d))
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("T=%d: status %d: %s", d, resp.StatusCode, body)
+		}
+	}
+	if got := metricValue(t, ts.URL, "pchls_validations_total"); got != "2" {
+		t.Errorf("pchls_validations_total = %s, want 2", got)
+	}
+	if got := metricValue(t, ts.URL, "pchls_validation_failures_total"); got != "0" {
+		t.Errorf("pchls_validation_failures_total = %s, want 0", got)
+	}
+}

@@ -1,0 +1,201 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/verify"
+)
+
+// TestMutationsAreCaught is the validator's self-test: every class of
+// corruption applied to a known-good design must be caught and attributed
+// to the precise invariant it breaks. A validator that misses any of
+// these would also wave through the corresponding engine bug.
+func TestMutationsAreCaught(t *testing.T) {
+	base := validInput(t, "hal", 17, 7.5)
+	if err := verify.Check(base); err != nil {
+		t.Fatalf("baseline design must be valid: %v", err)
+	}
+
+	// Helper lookups over the pristine input.
+	delay := func(in verify.Input, v int) int {
+		m, ok := in.Library.Lookup(in.Module[v])
+		if !ok {
+			t.Fatalf("unknown module %q", in.Module[v])
+		}
+		return m.Delay
+	}
+	// A node with at least one predecessor, for precedence corruption.
+	dependent := -1
+	for _, n := range base.Graph.Nodes() {
+		if len(base.Graph.Preds(n.ID)) > 0 {
+			dependent = int(n.ID)
+			break
+		}
+	}
+	if dependent < 0 {
+		t.Fatal("benchmark has no dependent node")
+	}
+	// Two nodes whose execution intervals overlap but run on different
+	// instances, for the overbinding corruption.
+	overA, overB := -1, -1
+	n := base.Graph.N()
+	for a := 0; a < n && overA < 0; a++ {
+		for b := a + 1; b < n; b++ {
+			if base.FU[a] == base.FU[b] {
+				continue
+			}
+			aEnd := base.Start[a] + delay(base, a)
+			bEnd := base.Start[b] + delay(base, b)
+			if base.Start[a] < bEnd && base.Start[b] < aEnd {
+				overA, overB = a, b
+				break
+			}
+		}
+	}
+	if overA < 0 {
+		t.Fatal("no concurrently executing node pair found; pick a tighter benchmark")
+	}
+	// peak per-cycle power of the valid schedule, for the power corruption.
+	peak := 0.0
+	for cycle := 0; cycle < base.Deadline; cycle++ {
+		total := 0.0
+		for v := 0; v < n; v++ {
+			if base.Start[v] <= cycle && cycle < base.Start[v]+delay(base, v) {
+				m, _ := base.Library.Lookup(base.Module[v])
+				total += m.Power
+			}
+		}
+		if total > peak {
+			peak = total
+		}
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(in *verify.Input)
+		want   error
+	}{
+		{
+			name: "start shifted before producer finishes",
+			mutate: func(in *verify.Input) {
+				pred := base.Graph.Preds(cdfg.NodeID(dependent))[0]
+				in.Start[dependent] = in.Start[pred] // producer still executing
+			},
+			want: verify.ErrPrecedence,
+		},
+		{
+			name: "negative start time",
+			mutate: func(in *verify.Input) {
+				in.Start[dependent] = -1
+			},
+			want: verify.ErrPrecedence,
+		},
+		{
+			name: "sink pushed past the deadline",
+			mutate: func(in *verify.Input) {
+				sink := base.Graph.Sinks()[0]
+				in.Start[sink] = in.Deadline // ends at T+delay > T
+			},
+			want: verify.ErrDeadline,
+		},
+		{
+			name: "power cap tightened below the schedule's peak",
+			mutate: func(in *verify.Input) {
+				in.PowerMax = peak / 2
+			},
+			want: verify.ErrPower,
+		},
+		{
+			name: "two concurrent operations overbound to one instance",
+			mutate: func(in *verify.Input) {
+				in.FU[overA] = in.FU[overB]
+			},
+			want: verify.ErrOverlap,
+		},
+		{
+			name: "node rebound to a module that cannot execute it",
+			mutate: func(in *verify.Input) {
+				// hal has both * and + nodes; claim a multiplier runs on
+				// the adder.
+				for _, nd := range base.Graph.Nodes() {
+					if nd.Op == cdfg.Mul {
+						in.Module[nd.ID] = library.NameAdd
+						return
+					}
+				}
+				t.Fatal("no multiply node")
+			},
+			want: verify.ErrBinding,
+		},
+		{
+			name: "schedule module disagrees with bound instance",
+			mutate: func(in *verify.Input) {
+				// Claim a different but type-compatible module (add vs ALU)
+				// for an add node without moving its instance binding.
+				for _, nd := range base.Graph.Nodes() {
+					if nd.Op != cdfg.Add {
+						continue
+					}
+					if in.Module[nd.ID] == library.NameALU {
+						in.Module[nd.ID] = library.NameAdd
+					} else {
+						in.Module[nd.ID] = library.NameALU
+					}
+					return
+				}
+				t.Fatal("no add node")
+			},
+			want: verify.ErrBinding,
+		},
+		{
+			name: "instance dropped with bindings left dangling",
+			mutate: func(in *verify.Input) {
+				in.FUModules = in.FUModules[:len(in.FUModules)-1]
+			},
+			want: verify.ErrShape,
+		},
+		{
+			name: "phantom unused instance allocated",
+			mutate: func(in *verify.Input) {
+				in.FUModules = append(in.FUModules, library.NameAdd)
+			},
+			want: verify.ErrArea,
+		},
+		{
+			name: "reported area inflated",
+			mutate: func(in *verify.Input) {
+				in.ReportedFUArea += 1
+			},
+			want: verify.ErrArea,
+		},
+		{
+			name: "reported area deflated",
+			mutate: func(in *verify.Input) {
+				in.ReportedFUArea -= 1
+			},
+			want: verify.ErrArea,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := base.Clone()
+			c.mutate(&in)
+			err := verify.Check(in)
+			if err == nil {
+				t.Fatal("corrupted design passed the validator")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("corruption attributed to the wrong class:\n got: %v\nwant: %v", err, c.want)
+			}
+		})
+	}
+
+	// Cloning really isolates mutations: the baseline must still pass
+	// after every case above corrupted its clone.
+	if err := verify.Check(base); err != nil {
+		t.Fatalf("baseline was mutated by a test case: %v", err)
+	}
+}

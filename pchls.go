@@ -31,12 +31,14 @@ import (
 	"pchls/internal/cdfg"
 	"pchls/internal/core"
 	"pchls/internal/explore"
+	"pchls/internal/gen"
 	"pchls/internal/library"
 	"pchls/internal/pipeline"
 	"pchls/internal/power"
 	"pchls/internal/report"
 	"pchls/internal/rtl"
 	"pchls/internal/sched"
+	"pchls/internal/verify"
 )
 
 // Data-flow graph substrate.
@@ -155,6 +157,30 @@ var (
 	// ErrUncovered indicates the library lacks a module for some
 	// operation of the graph.
 	ErrUncovered = core.ErrUncovered
+)
+
+// Parse errors (match with errors.Is). The graph and library parsers —
+// text and JSON alike — classify every structural reject with one of
+// these sentinels.
+var (
+	// ErrDuplicateName marks a reused node name.
+	ErrDuplicateName = cdfg.ErrDuplicateName
+	// ErrCycle marks a directed cycle in the graph.
+	ErrCycle = cdfg.ErrCycle
+	// ErrSelfLoop marks an edge whose endpoints coincide.
+	ErrSelfLoop = cdfg.ErrSelfLoop
+	// ErrDuplicateEdge marks a repeated edge declaration.
+	ErrDuplicateEdge = cdfg.ErrDuplicateEdge
+	// ErrUnknownNode marks an edge referencing an undeclared node.
+	ErrUnknownNode = cdfg.ErrUnknownNode
+	// ErrBadDelay marks a library module whose delay is below one cycle.
+	ErrBadDelay = library.ErrBadDelay
+	// ErrBadArea marks a library module with a negative or non-finite area.
+	ErrBadArea = library.ErrBadArea
+	// ErrBadPower marks a library module with a negative or non-finite power.
+	ErrBadPower = library.ErrBadPower
+	// ErrDuplicateModule marks a reused library module name.
+	ErrDuplicateModule = library.ErrDuplicateModule
 )
 
 // Synthesize runs the paper's one-pass combined scheduling/allocation/
@@ -374,6 +400,53 @@ func SimulateDesign(d *Design, inputs map[string]int64) (map[string]int64, error
 	}
 	return rtl.Simulate(m, inputs)
 }
+
+// Verify checks a design against every constraint invariant of the paper
+// with an independent validator (internal/verify) that shares no code
+// with the synthesis engine: precedence edges respected, makespan <= T,
+// per-cycle power <= P<, exclusive module-instance occupancy, binding
+// type-compatibility, and functional-unit area accounting. A nil return
+// means the design is a correct solution of its stated problem; the
+// returned error joins every violation, each matchable with errors.Is
+// against the verify package's sentinel errors.
+//
+// Verify validates constraint satisfaction; VerifyDesign validates
+// functional behaviour (FSMD simulation against data-flow evaluation).
+// The two are complementary.
+func Verify(d *Design) error { return verify.Check(core.VerifyInput(d)) }
+
+// Validator violation classes (match with errors.Is against Verify's
+// return).
+var (
+	// ErrVerifyPrecedence: a consumer starts before its producer ends.
+	ErrVerifyPrecedence = verify.ErrPrecedence
+	// ErrVerifyDeadline: the makespan exceeds T.
+	ErrVerifyDeadline = verify.ErrDeadline
+	// ErrVerifyPower: some cycle exceeds P<.
+	ErrVerifyPower = verify.ErrPower
+	// ErrVerifyOverlap: two operations overlap on one instance.
+	ErrVerifyOverlap = verify.ErrOverlap
+	// ErrVerifyBinding: an operation is bound to an incompatible module.
+	ErrVerifyBinding = verify.ErrBinding
+	// ErrVerifyArea: reported FU area disagrees with the allocation.
+	ErrVerifyArea = verify.ErrArea
+)
+
+// Random-instance generation (property testing and cdfgtool gen).
+type (
+	// GenGraphConfig parameterizes RandomGraph.
+	GenGraphConfig = gen.GraphConfig
+	// GenLibraryConfig parameterizes RandomLibrary.
+	GenLibraryConfig = gen.LibraryConfig
+)
+
+// RandomGraph generates a random layered CDFG fully determined by
+// (seed, cfg); the result always passes validation.
+func RandomGraph(seed int64, cfg GenGraphConfig) *Graph { return gen.Graph(seed, cfg) }
+
+// RandomLibrary generates a random validated functional-unit library
+// fully determined by (seed, cfg); it covers every operation.
+func RandomLibrary(seed int64, cfg GenLibraryConfig) *Library { return gen.Library(seed, cfg) }
 
 // VerifyDesign checks the design end to end: the FSMD simulation must
 // agree with the direct data-flow evaluation of the source graph on the

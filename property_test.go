@@ -1,0 +1,125 @@
+package pchls_test
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"pchls"
+	"pchls/internal/gen"
+)
+
+// propertyDesigns returns how many random designs the sweep pushes
+// through synthesize -> verify. The default is 10000; -short drops to
+// 1000 (the CI budget), and PCHLS_PROPERTY_DESIGNS overrides both for
+// soak runs or quick local iteration.
+func propertyDesigns(t *testing.T) int {
+	if s := os.Getenv("PCHLS_PROPERTY_DESIGNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("PCHLS_PROPERTY_DESIGNS=%q: want a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 1000
+	}
+	return 10000
+}
+
+// propertyInstance derives the seed'th random synthesis problem. Every
+// generator knob cycles on a different modulus so the sweep covers the
+// cross product: graph size and shape, op mix, library richness,
+// multi-function ALUs, and constraint tightness (the instance's own
+// slack/power factors vary with the seed inside NewInstance).
+func propertyInstance(seed int64) gen.Instance {
+	return gen.NewInstance(seed, gen.InstanceConfig{
+		Graph: gen.GraphConfig{
+			Nodes:       4 + int(seed%9),
+			MaxWidth:    2 + int(seed%3),
+			EdgeDensity: 0.3 + 0.15*float64(seed%5),
+			MulFraction: 0.15 + 0.1*float64(seed%4),
+			CmpFraction: 0.1,
+		},
+		Library: gen.LibraryConfig{
+			ModulesPerOp: 1 + int(seed%3),
+			DelayMax:     1 + int(seed%4),
+			ALUChance:    float64(seed%2) * 0.5,
+		},
+		// Include the over-tight regime: infeasible verdicts are part of
+		// the property (they must be reported as ErrInfeasible, never as
+		// an invalid design).
+		SlackMin: 1.0, SlackMax: 2.5,
+		PowerFactorMin: 1.0, PowerFactorMax: 4,
+	})
+}
+
+// TestPropertySynthesizeVerify is the 10k-design sweep demanded by the
+// verification layer's charter: every random instance the generator can
+// produce either synthesizes into a design that passes the independent
+// validator, or fails with an explicit infeasibility verdict. Any other
+// outcome prints the seed, which reproduces the instance exactly
+// (gen.NewInstance is a pure function of the seed).
+func TestPropertySynthesizeVerify(t *testing.T) {
+	total := propertyDesigns(t)
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 8 {
+		shards = 8
+	}
+	per := (total + shards - 1) / shards
+
+	var synthesized, infeasible [8]int64 // per-shard, summed in cleanup
+	for shard := 0; shard < shards; shard++ {
+		shard := shard
+		lo := int64(shard*per + 1)
+		hi := int64((shard + 1) * per)
+		if hi > int64(total) {
+			hi = int64(total)
+		}
+		t.Run("shard"+strconv.Itoa(shard), func(t *testing.T) {
+			t.Parallel()
+			for seed := lo; seed <= hi; seed++ {
+				inst := propertyInstance(seed)
+				cons := pchls.Constraints{Deadline: inst.Deadline, PowerMax: inst.PowerMax}
+				// The single-pass paper algorithm for every seed; every
+				// 16th instance also runs the full portfolio so both entry
+				// points stay under the validator.
+				d, err := pchls.Synthesize(inst.Graph, inst.Library, cons, pchls.Config{Workers: 1})
+				if err != nil {
+					if !errors.Is(err, pchls.ErrInfeasible) {
+						t.Errorf("seed %d (T=%d, P<=%g): synthesize failed outside the infeasibility contract: %v",
+							seed, inst.Deadline, inst.PowerMax, err)
+						continue
+					}
+					infeasible[shard]++
+					continue
+				}
+				synthesized[shard]++
+				if verr := pchls.Verify(d); verr != nil {
+					t.Errorf("seed %d (T=%d, P<=%g): engine design rejected by the independent validator: %v",
+						seed, inst.Deadline, inst.PowerMax, verr)
+				}
+				if seed%16 == 0 {
+					db, berr := pchls.SynthesizeBest(inst.Graph, inst.Library, cons, pchls.Config{Workers: 1})
+					if berr != nil {
+						t.Errorf("seed %d: portfolio failed where single-pass succeeded: %v", seed, berr)
+						continue
+					}
+					if verr := pchls.Verify(db); verr != nil {
+						t.Errorf("seed %d: portfolio design rejected by the independent validator: %v", seed, verr)
+					}
+				}
+			}
+		})
+	}
+	t.Cleanup(func() {
+		var s, i int64
+		for shard := 0; shard < shards; shard++ {
+			s += synthesized[shard]
+			i += infeasible[shard]
+		}
+		t.Logf("%d instances: %d designs verified, %d infeasible verdicts", total, s, i)
+	})
+}

@@ -211,6 +211,50 @@ func BenchmarkSynthesizePortfolio(b *testing.B) {
 	}
 }
 
+// BenchmarkAnytimePortfolio measures the anytime portfolio layer
+// (internal/portfolio: K perturbed passes + subgraph re-exploration) on a
+// representative subset of benchmarks at the binding constraint point of
+// BenchmarkSynthesize (deadline = critical path + 3, power cap = 80% of
+// the unconstrained peak, loosened until feasible). Worker count and seed
+// are pinned so allocs/op stays deterministic; the area metric records
+// the QoR the portfolio converges to. results/BENCH_portfolio.json holds
+// the recorded baseline for `make bench-compare`.
+func BenchmarkAnytimePortfolio(b *testing.B) {
+	lib := Table1()
+	for _, name := range []string{"hal", "diffeq2", "fft8"} {
+		g := MustBenchmark(name)
+		asap, err := ASAP(g, UniformFastest(lib))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cons := Constraints{Deadline: asap.Length() + 3, PowerMax: asap.PeakPower() * 0.8}
+		for {
+			if _, err := Synthesize(g, lib, cons, Config{}); err == nil {
+				break
+			}
+			cons.PowerMax *= 1.1
+			if cons.PowerMax > asap.PeakPower()*2 {
+				b.Fatalf("%s: no feasible cap found", name)
+			}
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *PortfolioResult
+			for i := 0; i < b.N; i++ {
+				r, err := SynthesizePortfolio(g, lib, cons, PortfolioConfig{
+					K: 8, Budget: 2, Seed: 1, Workers: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.Design.Area(), "area")
+			b.ReportMetric(res.BaselineArea, "baseline-area")
+		})
+	}
+}
+
 // BenchmarkAblationTwoStepBaseline compares the two-phase baseline
 // (force-directed schedule, then power repair; refs [1][2] style) against
 // the paper's one-step pasap on HAL across a power grid: the metric is the

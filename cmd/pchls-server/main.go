@@ -1,6 +1,7 @@
 // Command pchls-server runs the power-constrained high-level synthesis
-// daemon: an HTTP/JSON service exposing single-design synthesis, power
-// sweeps and time-power surface exploration over the pchls engine, with a
+// daemon: an HTTP/JSON service exposing single-design synthesis, anytime
+// portfolio synthesis, power sweeps and time-power surface exploration
+// over the pchls engine, with a
 // content-addressed result cache, singleflight deduplication of identical
 // in-flight requests, bounded admission, and Prometheus-text metrics.
 //
@@ -11,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/synthesize   {"benchmark":"hal","deadline":10,"power_max":20}
+//	POST /v1/portfolio    {"benchmark":"hal","deadline":10,"power_max":20,"k":8,"budget":2,"seed":1}
 //	POST /v1/sweep        {"benchmark":"hal","deadline":17,"power_min":5,"power_max":50,"step":5}
 //	POST /v1/surface      {"benchmark":"hal","deadlines":[10,12],"powers":[20,40]}
 //	GET  /v1/benchmarks

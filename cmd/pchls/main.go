@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pchls -g hal -T 10 -P 20
+//	pchls -g hal -T 10 -P 20 -portfolio 8 -budget 2 -seed 1
 //	pchls -g design.cdfg -lib mylib.txt -T 12 -P 40 -verilog out.v -dot out.dot
 //	pchls -print-lib
 //
@@ -30,6 +31,9 @@ func main() {
 		deadline = flag.Int("T", 0, "latency constraint in clock cycles (required)")
 		powerMax = flag.Float64("P", 0, "per-cycle power constraint P< (0 = unconstrained)")
 		single   = flag.Bool("single", false, "use the one-pass paper algorithm instead of the portfolio")
+		portf    = flag.Int("portfolio", 0, "run the anytime portfolio with this many perturbed passes per round (0 = off; try 8)")
+		budget   = flag.Int("budget", 2, "with -portfolio: maximum improvement rounds")
+		seed     = flag.Int64("seed", 1, "with -portfolio: perturbation seed (fixed seed = identical result)")
 		verilog  = flag.String("verilog", "", "write the FSMD Verilog implementation to this file")
 		width    = flag.Int("width", 16, "datapath bit width for -verilog")
 		dotOut   = flag.String("dot", "", "write the scheduled CDFG in DOT format to this file")
@@ -72,11 +76,34 @@ func main() {
 		fatal(err)
 	}
 
-	synth := pchls.SynthesizeBest
-	if *single {
-		synth = pchls.Synthesize
+	cons := pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}
+	var d *pchls.Design
+	if *portf > 0 {
+		var res *pchls.PortfolioResult
+		res, err = pchls.SynthesizePortfolio(g, lib, cons, pchls.PortfolioConfig{
+			K: *portf, Budget: *budget, Seed: *seed,
+			Workers: *workers, Core: pchls.Config{},
+		})
+		if err == nil {
+			d = res.Design
+			fmt.Printf("portfolio: %d passes over %d round(s), %d bound-aborted, %d infeasible; %d pass + %d splice improvement(s)\n",
+				res.Passes, res.Rounds, res.Aborted, res.Infeasible, res.PassImprovements, res.SpliceImprovements)
+			if res.Improved {
+				fmt.Printf("portfolio: area %.1f -> %.1f (%.1f%% below the single greedy pass)\n\n",
+					res.BaselineArea, d.Area(), 100*res.Gap())
+			} else if res.BaselineArea > 0 {
+				fmt.Printf("portfolio: matched the single greedy pass (area %.1f)\n\n", res.BaselineArea)
+			} else {
+				fmt.Printf("portfolio: found a design where the single greedy pass was infeasible\n\n")
+			}
+		}
+	} else {
+		synth := pchls.SynthesizeBest
+		if *single {
+			synth = pchls.Synthesize
+		}
+		d, err = synth(g, lib, cons, pchls.Config{Workers: *workers})
 	}
-	d, err := synth(g, lib, pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}, pchls.Config{Workers: *workers})
 	if err != nil {
 		if errors.Is(err, pchls.ErrInfeasible) {
 			fmt.Fprintf(os.Stderr, "pchls: infeasible: %v\n", err)

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"pchls/internal/bind"
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// Assemble builds a complete, validated Design from an explicit solution:
+// per-node start cycles and module indices, a node-to-instance binding and
+// the module of every instance. It is the entry point for synthesis layers
+// that construct solutions outside the greedy engine — the portfolio's
+// subgraph splice rebuilds a design from a re-explored fragment through
+// here — and rejects anything violating the schedule constraints or the
+// binding invariants (bind.Build re-checks occupancy and compatibility).
+//
+// The returned design has no decision log and zero work counters: it
+// records a solution, not a search.
+func Assemble(g *cdfg.Graph, lib *library.Library, cons Constraints,
+	start, moduleOf, fuOf, fuModule []int, cfg Config) (*Design, error) {
+	n := g.N()
+	if len(start) != n || len(moduleOf) != n || len(fuOf) != n {
+		return nil, fmt.Errorf("core: assemble: start/moduleOf/fuOf have %d/%d/%d entries for %d nodes",
+			len(start), len(moduleOf), len(fuOf), n)
+	}
+	if cons.Deadline <= 0 {
+		return nil, fmt.Errorf("core: assemble: deadline %d must be positive", cons.Deadline)
+	}
+	s := sched.Schedule{
+		G:      g,
+		Start:  append([]int(nil), start...),
+		Delay:  make([]int, n),
+		Power:  make([]float64, n),
+		Module: make([]string, n),
+	}
+	for v := 0; v < n; v++ {
+		if moduleOf[v] < 0 || moduleOf[v] >= lib.Len() {
+			return nil, fmt.Errorf("core: assemble: node %d names module index %d of %d", v, moduleOf[v], lib.Len())
+		}
+		m := lib.Module(moduleOf[v])
+		if !m.Implements(g.Node(cdfg.NodeID(v)).Op) {
+			return nil, fmt.Errorf("core: assemble: node %q (%s) assigned module %q which cannot execute it",
+				g.Node(cdfg.NodeID(v)).Name, g.Node(cdfg.NodeID(v)).Op, m.Name)
+		}
+		s.Delay[v] = m.Delay
+		s.Power[v] = m.Power
+		s.Module[v] = m.Name
+	}
+	if err := s.Validate(cons.PowerMax, cons.Deadline); err != nil {
+		return nil, fmt.Errorf("core: assemble: invalid schedule: %w", err)
+	}
+	fus := make([]bind.FU, len(fuModule))
+	for f, mi := range fuModule {
+		if mi < 0 || mi >= lib.Len() {
+			return nil, fmt.Errorf("core: assemble: instance %d names module index %d of %d", f, mi, lib.Len())
+		}
+		fus[f].Module = lib.Module(mi)
+	}
+	for v := 0; v < n; v++ {
+		f := fuOf[v]
+		if f < 0 || f >= len(fus) {
+			return nil, fmt.Errorf("core: assemble: node %d bound to instance %d of %d", v, f, len(fus))
+		}
+		if moduleOf[v] != fuModule[f] {
+			return nil, fmt.Errorf("core: assemble: node %d runs module %d but its instance %d is module %d",
+				v, moduleOf[v], f, fuModule[f])
+		}
+		fus[f].Ops = append(fus[f].Ops, cdfg.NodeID(v))
+	}
+	for f := range fus {
+		if len(fus[f].Ops) == 0 {
+			return nil, fmt.Errorf("core: assemble: instance %d has no operations bound to it", f)
+		}
+	}
+	dp, err := bind.Build(g, &s, fus, fuOf, cfg.cost())
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble: %w", err)
+	}
+	return &Design{
+		Graph:    g,
+		Library:  lib,
+		Cons:     cons,
+		Schedule: &s,
+		Datapath: dp,
+		FUs:      fus,
+		FUOf:     append([]int(nil), fuOf...),
+	}, nil
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"pchls/internal/bind"
 	"pchls/internal/cdfg"
@@ -37,6 +38,30 @@ type Constraints struct {
 	// PowerMax is the per-cycle power constraint P<; <= 0 disables it.
 	PowerMax float64
 }
+
+// Perturb seeds controlled randomization of the greedy search, the
+// diversity source of the anytime portfolio (internal/portfolio). The
+// zero value leaves the paper's deterministic ordering untouched; any
+// non-zero setting is still a pure function of the seed, so a perturbed
+// run is exactly reproducible.
+type Perturb struct {
+	// Seed selects the perturbation stream.
+	Seed int64
+	// Jitter is the relative amplitude of the multiplicative noise applied
+	// to the resource-class weight that orders greedy decisions (0.1 means
+	// each node's weight is scaled by a seeded factor in [0.9, 1.1]).
+	// <= 0 disables weight jitter.
+	Jitter float64
+	// ShuffleTies replaces the node-ID tie-break among equal-cost
+	// candidate decisions with a seeded random priority permutation.
+	ShuffleTies bool
+	// PlaceLate commits operations at the latest feasible slot of their
+	// mobility window instead of the earliest (palap-direction packing).
+	PlaceLate bool
+}
+
+// enabled reports whether any perturbation is active.
+func (p Perturb) enabled() bool { return p.Jitter > 0 || p.ShuffleTies }
 
 // Config tunes the synthesizer beyond the constraints.
 type Config struct {
@@ -64,6 +89,22 @@ type Config struct {
 	// GOMAXPROCS, 1 keeps the legacy serial path. The returned design is
 	// identical for every setting.
 	Workers int
+	// Select chooses the pasap/palap ready-operation selection policy
+	// (default CriticalFirst, the paper's rule). SmallestID is the naive
+	// topological policy; the portfolio mixes both directions.
+	Select sched.Selection
+	// Perturb seeds controlled randomization of the greedy ordering; the
+	// zero value keeps the paper's deterministic search.
+	Perturb Perturb
+	// AreaBound, when positive, aborts synthesis with ErrDominated as soon
+	// as the committed functional-unit area alone reaches the bound. The
+	// portfolio sets it to the incumbent's total area so provably dominated
+	// passes stop early (the incumbent-bounding idea of the brute-force
+	// search lifted into the heuristic). The cut is heuristic for quality —
+	// the merge pass can still shrink committed FU area — but never unsound:
+	// an aborted pass produces no design, and the portfolio only ever adopts
+	// verified improvements over an incumbent it already holds.
+	AreaBound float64
 }
 
 func (c Config) cost() bind.CostModel {
@@ -111,6 +152,11 @@ var (
 	ErrInfeasible = errors.New("no feasible design under the constraints")
 	// ErrUncovered indicates the library lacks a module for some operation.
 	ErrUncovered = errors.New("library does not cover all operations")
+	// ErrDominated indicates a run was cut off by Config.AreaBound: its
+	// committed functional-unit area reached the incumbent bound, so it
+	// could not have produced a strictly better design (modulo the merge
+	// pass). Only runs with a positive AreaBound can return it.
+	ErrDominated = errors.New("dominated by the incumbent area bound")
 )
 
 // state is the synthesizer's working state.
@@ -128,6 +174,9 @@ type state struct {
 
 	locked    bool
 	decisions []Decision
+	// fuAreaCommitted is the summed module area of the allocated
+	// instances, maintained by commit/uncommit for the AreaBound cut.
+	fuAreaCommitted float64
 
 	// eng holds the incremental caches; nil when cfg.DisableIncremental
 	// selects the legacy recompute-everything path.
@@ -154,6 +203,12 @@ type state struct {
 	profScratch  []float64      // legacy committedProfile scratch
 	busyA, busyB []interval     // reservation-list scratch (legacy path)
 	cm           bind.CostModel
+
+	// Perturbation tables (nil when Config.Perturb is zero): jitterW
+	// scales the per-node decision weight, tieRank replaces the node-ID
+	// tie-break with a seeded permutation rank.
+	jitterW []float64
+	tieRank []int
 }
 
 // initTables builds the per-state lookup tables and scratch once the
@@ -192,6 +247,20 @@ func (st *state) initTables() {
 	st.winSet = make([]bool, n*st.nm)
 	st.potential = make([]int, st.nm)
 	st.cm = st.cfg.cost()
+	if p := st.cfg.Perturb; p.enabled() {
+		// One fixed draw order (jitter factors, then the tie permutation)
+		// keeps every perturbed run a pure function of the seed.
+		rng := rand.New(rand.NewSource(p.Seed))
+		if p.Jitter > 0 {
+			st.jitterW = make([]float64, n)
+			for i := range st.jitterW {
+				st.jitterW[i] = 1 + p.Jitter*(2*rng.Float64()-1)
+			}
+		}
+		if p.ShuffleTies {
+			st.tieRank = rng.Perm(n)
+		}
+	}
 }
 
 // setModule updates a node's module assumption and the delay/power tables
@@ -309,6 +378,13 @@ func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Confi
 			} else {
 				st.noteProbe(dec, probe)
 			}
+		}
+		// Incumbent cut: once the committed FU area alone reaches the
+		// bound, this run cannot beat the incumbent it was raced against
+		// (up to merge-pass shrinkage — see Config.AreaBound).
+		if cfg.AreaBound > 0 && st.fuAreaCommitted >= cfg.AreaBound {
+			return nil, fmt.Errorf("core: committed FU area %.6g reached the bound %.6g: %w",
+				st.fuAreaCommitted, cfg.AreaBound, ErrDominated)
 		}
 	}
 	// Post-pass: merge instances whenever that reduces the exact area.
@@ -471,6 +547,7 @@ func (st *state) schedOpts() sched.Options {
 	}
 	return sched.Options{
 		PowerMax:    st.cons.PowerMax,
+		Select:      st.cfg.Select,
 		FixedStarts: st.fixedStarts,
 		Delays:      st.delays,
 		Powers:      st.powers,
@@ -586,6 +663,7 @@ func (st *state) commit(d Decision) {
 	st.setModule(d.Node, mi)
 	if d.NewFU {
 		st.fus = append(st.fus, instance{module: mi})
+		st.fuAreaCommitted += st.lib.Module(mi).Area
 	}
 	st.fuOf[d.Node] = d.FU
 	st.fus[d.FU].ops = append(st.fus[d.FU].ops, d.Node)
@@ -610,6 +688,7 @@ func (st *state) uncommit(d Decision) {
 	f := &st.fus[d.FU]
 	f.ops = f.ops[:len(f.ops)-1]
 	if d.NewFU {
+		st.fuAreaCommitted -= st.lib.Module(st.fus[d.FU].module).Area
 		st.fus = st.fus[:len(st.fus)-1]
 	}
 	st.decisions = st.decisions[:len(st.decisions)-1]

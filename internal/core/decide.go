@@ -335,9 +335,16 @@ func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64)
 			prof = st.committedProfileScratch(horizon)
 		}
 	}
-	for t := w.Early; t <= w.Late; t++ {
+	// The paper packs operations as early as possible; a PlaceLate
+	// perturbation walks the window from the palap end instead, which
+	// shifts sharing opportunities toward later cycles.
+	from, to, step := w.Early, w.Late, 1
+	if st.cfg.Perturb.PlaceLate {
+		from, to, step = w.Late, w.Early, -1
+	}
+	for t := from; (step > 0 && t <= to) || (step < 0 && t >= to); t += step {
 		if t+d > horizon {
-			break
+			continue
 		}
 		ok := true
 		for _, b := range busy {
@@ -395,6 +402,11 @@ func (st *state) bestDecision() (Decision, bool) {
 	// transfers adapt around them.
 	consider := func(d Decision, width int) {
 		w := st.smallestArea[d.Node]
+		if st.jitterW != nil {
+			// Seeded priority-order jitter: scale the resource-class weight
+			// so perturbed passes explore different commit orders.
+			w *= st.jitterW[d.Node]
+		}
 		if !found {
 			best, bestWidth, bestWeight, found = d, width, w, true
 			return
@@ -418,6 +430,14 @@ func (st *state) bestDecision() (Decision, bool) {
 			return
 		}
 		if d.Node != best.Node {
+			// Candidate-tie reshuffling: a seeded permutation rank replaces
+			// the node-ID order among otherwise equal decisions.
+			if st.tieRank != nil {
+				if st.tieRank[d.Node] < st.tieRank[best.Node] {
+					best, bestWidth, bestWeight = d, width, w
+				}
+				return
+			}
 			if d.Node < best.Node {
 				best, bestWidth, bestWeight = d, width, w
 			}

@@ -73,6 +73,11 @@ type Histogram struct {
 // sub-millisecond cache hits to multi-second surface explorations.
 var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 
+// RatioBuckets are buckets for relative-improvement observations in
+// [0, 1) — e.g. the portfolio's incumbent gap over its baseline, where 0
+// means "matched the single pass" and 0.2 means 20% less area.
+var RatioBuckets = []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5}
+
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)

@@ -1,0 +1,118 @@
+package portfolio
+
+import (
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// worstSubgraph picks the region of the incumbent most worth re-exploring
+// exhaustively: a connected set of at most maxNodes nodes grown around
+// the node with the highest combined area-contribution / scarcity score.
+//
+// Each node's score is its share of its instance's area (area the design
+// could recover if the node shared a cheaper unit) scaled up when the
+// node's mobility under the incumbent's module selection is low — rigid,
+// expensive nodes are exactly where the greedy pass's one ordering is
+// most likely to have locked in a bad sharing decision. Graphs with at
+// most maxNodes nodes are re-explored whole, which makes the splice a
+// full exhaustive search on small instances.
+func worstSubgraph(d *core.Design, maxNodes int) []cdfg.NodeID {
+	g := d.Graph
+	n := g.N()
+	if n <= maxNodes {
+		all := make([]cdfg.NodeID, n)
+		for v := range all {
+			all[v] = cdfg.NodeID(v)
+		}
+		return all
+	}
+
+	score := nodeScores(d)
+	seed := cdfg.NodeID(0)
+	for v := 1; v < n; v++ {
+		if score[v] > score[seed] {
+			seed = cdfg.NodeID(v)
+		}
+	}
+
+	// Grow a connected region from the seed, always absorbing the
+	// highest-scoring frontier neighbour (ties: lowest ID, so the set is
+	// deterministic).
+	in := make([]bool, n)
+	in[seed] = true
+	picked := []cdfg.NodeID{seed}
+	for len(picked) < maxNodes {
+		best := cdfg.NodeID(-1)
+		for _, u := range picked {
+			for _, nb := range g.Preds(u) {
+				if !in[nb] && (best < 0 || score[nb] > score[best] || (score[nb] == score[best] && nb < best)) {
+					best = nb
+				}
+			}
+			for _, nb := range g.Succs(u) {
+				if !in[nb] && (best < 0 || score[nb] > score[best] || (score[nb] == score[best] && nb < best)) {
+					best = nb
+				}
+			}
+		}
+		if best < 0 {
+			break // component exhausted
+		}
+		in[best] = true
+		picked = append(picked, best)
+	}
+
+	// Return in ID order: the splice search wants a stable topo-friendly
+	// ordering, and callers treat the set as canonical.
+	sub := make([]cdfg.NodeID, 0, len(picked))
+	for v := 0; v < n; v++ {
+		if in[v] {
+			sub = append(sub, cdfg.NodeID(v))
+		}
+	}
+	return sub
+}
+
+// nodeScores computes fuShare(v) * (1 + 1/(1+mobility(v))): the node's
+// amortized instance area, weighted toward low-mobility nodes.
+func nodeScores(d *core.Design) []float64 {
+	g := d.Graph
+	n := g.N()
+	share := make([]float64, n)
+	for f := range d.FUs {
+		fu := &d.FUs[f]
+		if len(fu.Ops) == 0 {
+			continue
+		}
+		per := fu.Module.Area / float64(len(fu.Ops))
+		for _, v := range fu.Ops {
+			share[v] = per
+		}
+	}
+
+	// Mobility under the incumbent's module selection: ALAP minus ASAP
+	// start. Falls back to zero mobility (most conservative: "rigid") if
+	// either pass fails, which cannot happen for a valid design.
+	mob := make([]int, n)
+	binding := func(nd cdfg.Node) *library.Module {
+		m, _ := d.Library.Lookup(d.Schedule.Module[nd.ID])
+		return m
+	}
+	asap, errA := sched.ASAP(g, binding)
+	alap, errB := sched.ALAP(g, binding, d.Cons.Deadline)
+	if errA == nil && errB == nil {
+		for v := 0; v < n; v++ {
+			if m := alap.Start[v] - asap.Start[v]; m > 0 {
+				mob[v] = m
+			}
+		}
+	}
+
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		score[v] = share[v] * (1 + 1/float64(1+mob[v]))
+	}
+	return score
+}

@@ -1,0 +1,330 @@
+// Package portfolio is the anytime, feedback-guided synthesis layer on
+// top of the greedy engine (internal/core): it races K perturbed greedy
+// passes in parallel, keeps the best verified design as the incumbent,
+// and then re-explores the incumbent's worst subgraph exhaustively,
+// splicing improved fragments back in. Candidates must beat the incumbent
+// AND pass the independent validator (internal/verify) before adoption,
+// so every quality improvement is provably sound.
+//
+// The search is organized in rounds. Each round:
+//
+//  1. runs K perturbed passes (seeded priority-order jitter, candidate-tie
+//     reshuffling, pasap/palap direction mixing, selection-policy and
+//     peak-shaving variation) concurrently on internal/runner, each pass
+//     racing the incumbent bound: a pass whose committed functional-unit
+//     area reaches the bound aborts with core.ErrDominated;
+//  2. adopts the best verified pass design, if it improves the incumbent;
+//  3. extracts the incumbent's worst-mobility / highest-area-contribution
+//     subgraph (<= SubgraphMax nodes) and re-synthesizes it exhaustively
+//     in the context of the rest of the design, splicing the fragment
+//     back when the rebuilt, re-verified design is better.
+//
+// Rounds repeat until a round yields no improvement or Budget rounds have
+// run. The incumbent bound lives in an atomic cell shared with the
+// workers, but it is published only at round barriers and adoption is a
+// deterministic in-order scan of the round's results — so the outcome is
+// a pure function of (inputs, Config), byte-identical across runs and
+// worker counts. See DESIGN.md §12 for why publication is quantized.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+	"pchls/internal/runner"
+	"pchls/internal/sched"
+	"pchls/internal/verify"
+)
+
+// areaEps separates strictly better areas from float noise, matching the
+// engine's comparison slack.
+const areaEps = 1e-9
+
+// Config tunes the anytime portfolio.
+type Config struct {
+	// K is the number of perturbed greedy passes per round (<= 0: 8).
+	K int
+	// Budget is the maximum number of improvement rounds (<= 0: 2); the
+	// loop also stops early after any round without improvement.
+	Budget int
+	// Seed selects the perturbation streams; the full result is a pure
+	// function of (inputs, Config), so a fixed seed fixes the output.
+	Seed int64
+	// SubgraphMax bounds the re-explored subgraph (<= 0 or > 8: 8, the
+	// exhaustive search's tractability limit).
+	SubgraphMax int
+	// MaxExpansions bounds the splice search tree per round (<= 0: 2e6).
+	// Exhausting it keeps the best fragment found so far — the incumbent
+	// seeds the bound, so a truncated search can only improve on it.
+	MaxExpansions int
+	// Workers bounds how many passes run concurrently: 0 uses GOMAXPROCS,
+	// 1 is serial. The result is identical for every setting.
+	Workers int
+	// Core is the base engine configuration every pass derives from.
+	Core core.Config
+	// InFlight, when non-nil, tracks the number of passes currently
+	// executing (an obs.Gauge in the server).
+	InFlight runner.Gauge
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2
+	}
+	if cfg.SubgraphMax <= 0 || cfg.SubgraphMax > 8 {
+		cfg.SubgraphMax = 8
+	}
+	if cfg.MaxExpansions <= 0 {
+		cfg.MaxExpansions = 2_000_000
+	}
+	return cfg
+}
+
+// Result is the outcome of one portfolio synthesis.
+type Result struct {
+	// Design is the best verified design found (never worse than the
+	// single greedy pass whenever that pass is feasible).
+	Design *core.Design
+	// BaselineArea and BaselinePeak are the single greedy pass's total
+	// area and peak power (zero when the single pass is infeasible).
+	BaselineArea float64
+	BaselinePeak float64
+	// Improved reports whether Design strictly beats the baseline area.
+	Improved bool
+	// Rounds is the number of improvement rounds executed.
+	Rounds int
+	// Passes counts perturbed passes run; Aborted counts those cut off by
+	// the incumbent bound (core.ErrDominated); Infeasible counts those
+	// that found no design under their (possibly tightened) constraints.
+	Passes     int
+	Aborted    int
+	Infeasible int
+	// PassImprovements and SpliceImprovements count incumbent adoptions
+	// by source; Splices counts subgraph re-explorations attempted.
+	PassImprovements   int
+	Splices            int
+	SpliceImprovements int
+}
+
+// Gap is the relative area improvement over the single-pass baseline in
+// [0, 1); 0 when the baseline was infeasible or not improved.
+func (r *Result) Gap() float64 {
+	if r.BaselineArea <= 0 || r.Design == nil {
+		return 0
+	}
+	gap := (r.BaselineArea - r.Design.Area()) / r.BaselineArea
+	if gap < 0 {
+		return 0
+	}
+	return gap
+}
+
+// bound is the shared incumbent area bound: an atomic float64 the main
+// loop publishes to at round barriers and pass-spec construction reads
+// from. Monotone non-increasing.
+type bound struct{ bits atomic.Uint64 }
+
+func (b *bound) store(v float64) { b.bits.Store(math.Float64bits(v)) }
+func (b *bound) load() float64   { return math.Float64frombits(b.bits.Load()) }
+
+// passOutcome carries one pass's design or failure as data, so the worker
+// pool treats an infeasible or dominated pass as a result, not an error.
+type passOutcome struct {
+	d   *core.Design
+	err error
+}
+
+// Synthesize runs the anytime portfolio. The returned design always
+// satisfies cons and passes the independent validator; when the single
+// greedy pass is feasible, the result's area is never worse than it.
+func Synthesize(g *cdfg.Graph, lib *library.Library, cons core.Constraints, cfg Config) (*Result, error) {
+	return SynthesizeContext(context.Background(), g, lib, cons, cfg)
+}
+
+// SynthesizeContext is Synthesize with cancellation: ctx aborts the
+// portfolio between synthesis runs.
+func SynthesizeContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, cons core.Constraints, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	var inc *core.Design
+	var incBound bound
+	incBound.store(math.Inf(1))
+
+	// The single greedy pass is the paper's algorithm and the QoR
+	// baseline; it seeds the incumbent, which guarantees the portfolio
+	// never returns anything worse.
+	baseline, baseErr := core.Synthesize(g, lib, cons, cfg.Core)
+	switch {
+	case baseErr == nil:
+		if err := checkAdoption(baseline); err != nil {
+			return nil, err
+		}
+		inc = baseline
+		res.BaselineArea = baseline.Area()
+		res.BaselinePeak = baseline.Schedule.PeakPower()
+		incBound.store(inc.Area())
+	case errors.Is(baseErr, core.ErrInfeasible):
+		// Perturbed passes search different orderings and may still find a
+		// design where the default greedy gave up.
+	default:
+		return nil, baseErr
+	}
+
+	for round := 0; round < cfg.Budget; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		improved := false
+		res.Rounds = round + 1
+
+		// Phase 1: K perturbed passes against the round-start bound. The
+		// bound is read once here — not mid-pass — so every pass's abort
+		// behaviour is a pure function of the round-start incumbent.
+		roundBound := incBound.load()
+		specs := make([]passSpec, cfg.K)
+		for i := range specs {
+			specs[i] = cfg.passSpec(round, i, roundBound, cons, inc)
+		}
+		outcomes, err := runner.Map(ctx, cfg.K, runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
+			func(_ context.Context, i int) (passOutcome, error) {
+				d, err := core.Synthesize(g, lib, specs[i].cons, specs[i].cfg)
+				return passOutcome{d, err}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Passes += len(outcomes)
+		// Deterministic adoption: scan results in pass order after the
+		// barrier; ties keep the earlier design.
+		for _, out := range outcomes {
+			switch {
+			case out.err == nil:
+				// The pass may have run under a tightened internal cap; the
+				// design satisfies the original constraints, which it reports.
+				out.d.Cons = cons
+				if inc == nil || out.d.Area() < inc.Area()-areaEps {
+					if err := checkAdoption(out.d); err != nil {
+						return nil, err
+					}
+					inc = out.d
+					improved = true
+					res.PassImprovements++
+				}
+			case errors.Is(out.err, core.ErrDominated):
+				res.Aborted++
+			case errors.Is(out.err, core.ErrInfeasible):
+				res.Infeasible++
+			default:
+				return nil, out.err
+			}
+		}
+		if inc != nil {
+			incBound.store(inc.Area()) // round-barrier publication
+		}
+
+		// Phase 2: exhaustive re-exploration of the incumbent's worst
+		// subgraph, spliced back only when the rebuilt design verifies and
+		// improves.
+		if inc != nil {
+			sub := worstSubgraph(inc, cfg.SubgraphMax)
+			cand, err := resynthesize(inc, cons, sub, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Splices++
+			if cand != nil {
+				if err := checkAdoption(cand); err != nil {
+					return nil, err
+				}
+				inc = cand
+				improved = true
+				res.SpliceImprovements++
+				incBound.store(inc.Area())
+			}
+		}
+		if !improved {
+			break // anytime convergence: this round found nothing new
+		}
+	}
+
+	if inc == nil {
+		return nil, fmt.Errorf("portfolio: all %d passes infeasible: %w", res.Passes, baseErr)
+	}
+	res.Design = inc
+	res.Improved = res.BaselineArea > 0 && inc.Area() < res.BaselineArea-areaEps
+	return res, nil
+}
+
+// checkAdoption gates every incumbent adoption (and the baseline) behind
+// the independent validator: a candidate that fails it indicates an
+// engine or splice bug and aborts the whole synthesis rather than
+// silently keeping a wrong "improvement".
+func checkAdoption(d *core.Design) error {
+	if err := verify.Check(core.VerifyInput(d)); err != nil {
+		return fmt.Errorf("portfolio: candidate failed independent validation: %w", err)
+	}
+	return nil
+}
+
+// passSpec is one perturbed pass: an engine configuration plus the
+// (possibly internally tightened) constraints it synthesizes under.
+type passSpec struct {
+	cfg  core.Config
+	cons core.Constraints
+}
+
+// jitterAmps cycles the weight-jitter amplitude across passes: small
+// nudges reorder only near-ties, large ones explore genuinely different
+// commit orders.
+var jitterAmps = [...]float64{0.05, 0.1, 0.2, 0.35}
+
+// shaveFactors tighten the cap to just below the incumbent peak, the
+// peak-shaving move that narrows pasap/palap windows.
+var shaveFactors = [...]float64{0.95, 0.9, 0.85}
+
+// passSpec derives pass i of the given round: a deterministic mix of
+// perturbation seed, jitter amplitude, tie reshuffling, placement
+// direction, scheduler selection policy, area-descent toggle and peak
+// shaving, with the round-start incumbent bound installed as the
+// dominated-abort cut.
+func (cfg Config) passSpec(round, i int, roundBound float64, cons core.Constraints, inc *core.Design) passSpec {
+	c := cfg.Core
+	c.Perturb = core.Perturb{
+		Seed:        cfg.Seed*1_000_003 + int64(round)*8191 + int64(i),
+		Jitter:      jitterAmps[i%len(jitterAmps)],
+		ShuffleTies: i%2 == 1,
+		PlaceLate:   (i/2)%2 == 1,
+	}
+	if (i/4)%2 == 1 {
+		if c.Select == sched.CriticalFirst {
+			c.Select = sched.SmallestID
+		} else {
+			c.Select = sched.CriticalFirst
+		}
+	}
+	if (i/8)%2 == 1 {
+		c.SkipAreaDescent = !c.SkipAreaDescent
+	}
+	if !math.IsInf(roundBound, 1) {
+		c.AreaBound = roundBound
+	}
+	pcons := cons
+	if inc != nil && i%3 == 2 {
+		// Peak-shave this pass: cap just below the incumbent's peak. The
+		// design still satisfies the original constraints.
+		cap := inc.Schedule.PeakPower() * shaveFactors[(i/3)%len(shaveFactors)]
+		if cap > 0 && (cons.PowerMax <= 0 || cap < cons.PowerMax) {
+			pcons.PowerMax = cap
+		}
+	}
+	return passSpec{cfg: c, cons: pcons}
+}

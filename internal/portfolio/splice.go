@@ -1,0 +1,404 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/library"
+)
+
+const (
+	// powerEps matches the validator's per-cycle cap slack.
+	powerEps = 1e-9
+	// maxTieEvals bounds how many added-area-tied leaves get an exact
+	// total-area evaluation (each one rebuilds registers and muxes).
+	maxTieEvals = 256
+)
+
+// resynthesize exhaustively re-explores the sub nodes of the incumbent d
+// in the context of the rest of the design: every node outside sub keeps
+// its start cycle, module and instance, the outside power profile is
+// fixed, and the search branches over (module, start cycle, instance)
+// for each sub node in topological order — an instance is either a kept
+// one with a free slot, one the search already created, or a fresh
+// allocation that costs area. The primary objective is the area added
+// back for the fragment (the incumbent's own completion — the area of
+// the instances sub exclusively occupied — seeds the bound, so pruning
+// mirrors the brute-force oracle's incumbent cut); added-area ties are
+// broken by the exact total area of the reassembled design.
+//
+// On a partial splice the winner is adopted only when it strictly
+// shrinks the total area, or strictly shrinks the functional-unit area
+// without growing the total — added FU area is a local proxy there, so
+// the exact total governs and the portfolio's total never regresses.
+// When sub covers the whole graph the search is a true full exhaustive
+// search and its FU optimum is the brute-force oracle's optimum, so
+// adoption is lexicographic on (FU area, total area): the paper's
+// primary cost driver wins, registers and muxes break ties. It returns
+// (nil, nil) when the incumbent survives.
+func resynthesize(d *core.Design, cons core.Constraints, sub []cdfg.NodeID, cfg Config) (*core.Design, error) {
+	sp, err := newSplicer(d, cons, sub, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.search(0); err != nil {
+		return nil, err
+	}
+	if sp.best == nil {
+		return nil, nil
+	}
+	candTotal, incTotal := sp.best.Area(), d.Area()
+	candFU, incFU := sp.best.Datapath.FUArea, d.Datapath.FUArea
+	var adopt bool
+	if len(sp.order) == sp.g.N() {
+		adopt = candFU < incFU-areaEps ||
+			(candFU <= incFU+areaEps && candTotal < incTotal-areaEps)
+	} else {
+		adopt = candTotal < incTotal-areaEps ||
+			(candFU < incFU-areaEps && candTotal <= incTotal+areaEps)
+	}
+	if adopt {
+		return sp.best, nil
+	}
+	return nil, nil
+}
+
+// keptInst is an instance that keeps at least one outside operation: its
+// module and the occupancy intervals of those fixed operations. Search
+// placements are pushed after the fixed prefix and popped on backtrack.
+type keptInst struct {
+	module       int
+	starts, ends []int
+}
+
+type splicer struct {
+	g    *cdfg.Graph
+	lib  *library.Library
+	cons core.Constraints
+	d    *core.Design
+	cfg  Config
+
+	inS                []bool
+	order              []cdfg.NodeID // sub in topological order
+	baseStart, baseEnd []int
+	baseMi             []int // incumbent module index per node
+
+	profile []float64 // per-cycle power: fixed outside ops + placements
+	kept    []keptInst
+	keptIdx []int // original instance -> kept index, -1 when freed
+	// freedArea is the area of instances every operation of which is in
+	// sub: what the incumbent itself pays to complete the fragment.
+	freedArea float64
+
+	newMods            []int // search-created instances' modules
+	newStarts, newEnds [][]int
+	addedArea          float64
+
+	placedStart, placedEnd []int
+	curMi, curFU           []int // per order position; curFU < len(kept) is a
+	// kept index, otherwise len(kept)+j names search-created instance j
+
+	best      *core.Design
+	bestAdded float64
+	bestTotal float64
+
+	expansions int
+	tieEvals   int
+	capped     bool
+}
+
+func newSplicer(d *core.Design, cons core.Constraints, sub []cdfg.NodeID, cfg Config) (*splicer, error) {
+	g, lib := d.Graph, d.Library
+	n := g.N()
+	sp := &splicer{
+		g: g, lib: lib, cons: cons, d: d, cfg: cfg,
+		inS:         make([]bool, n),
+		baseStart:   make([]int, n),
+		baseEnd:     make([]int, n),
+		baseMi:      make([]int, n),
+		profile:     make([]float64, cons.Deadline),
+		keptIdx:     make([]int, len(d.FUs)),
+		placedStart: make([]int, n),
+		placedEnd:   make([]int, n),
+		curMi:       make([]int, len(sub)),
+		curFU:       make([]int, len(sub)),
+		bestTotal:   d.Area(),
+	}
+	for _, v := range sub {
+		sp.inS[v] = true
+	}
+
+	idxOf := make(map[string]int, lib.Len())
+	for i := 0; i < lib.Len(); i++ {
+		idxOf[lib.Module(i).Name] = i
+	}
+	for v := 0; v < n; v++ {
+		sp.baseStart[v] = d.Schedule.Start[v]
+		sp.baseEnd[v] = d.Schedule.Start[v] + d.Schedule.Delay[v]
+		mi, ok := idxOf[d.Schedule.Module[v]]
+		if !ok {
+			return nil, fmt.Errorf("portfolio: design names module %q not in its library", d.Schedule.Module[v])
+		}
+		sp.baseMi[v] = mi
+		if !sp.inS[v] {
+			for c := sp.baseStart[v]; c < sp.baseEnd[v] && c < len(sp.profile); c++ {
+				sp.profile[c] += d.Schedule.Power[v]
+			}
+		}
+	}
+
+	for f := range d.FUs {
+		fu := &d.FUs[f]
+		var starts, ends []int
+		for _, op := range fu.Ops {
+			if !sp.inS[op] {
+				starts = append(starts, sp.baseStart[op])
+				ends = append(ends, sp.baseEnd[op])
+			}
+		}
+		if len(starts) == 0 {
+			sp.keptIdx[f] = -1
+			sp.freedArea += fu.Module.Area
+			continue
+		}
+		mi, ok := idxOf[fu.Module.Name]
+		if !ok {
+			return nil, fmt.Errorf("portfolio: instance %d names module %q not in its library", f, fu.Module.Name)
+		}
+		sp.keptIdx[f] = len(sp.kept)
+		sp.kept = append(sp.kept, keptInst{module: mi, starts: starts, ends: ends})
+	}
+	sp.bestAdded = sp.freedArea
+
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: %w", err)
+	}
+	sp.order = sp.order[:0]
+	for _, v := range topo {
+		if sp.inS[v] {
+			sp.order = append(sp.order, v)
+		}
+	}
+	return sp, nil
+}
+
+func (sp *splicer) search(k int) error {
+	if sp.capped {
+		return nil
+	}
+	if sp.expansions++; sp.expansions > sp.cfg.MaxExpansions {
+		// Budget exhausted: keep whatever the search has found so far.
+		// The incumbent seeds the bound, so truncation never loses ground.
+		sp.capped = true
+		return nil
+	}
+	if sp.addedArea > sp.bestAdded+areaEps {
+		return nil // cannot even tie the best completion found so far
+	}
+	if k == len(sp.order) {
+		return sp.leaf()
+	}
+	v := sp.order[k]
+	op := sp.g.Node(v).Op
+	lo := sp.earliest(v)
+	for _, mi := range sp.lib.Candidates(op) {
+		m := sp.lib.Module(mi)
+		if sp.cons.PowerMax > 0 && m.Power > sp.cons.PowerMax+powerEps {
+			continue
+		}
+		hi := sp.latest(v, m.Delay)
+		for t := lo; t <= hi; t++ {
+			if !sp.powerOK(t, m) {
+				continue
+			}
+			sp.place(v, k, t, mi, m)
+			if err := sp.branchInstances(v, k, t, mi, m); err != nil {
+				return err
+			}
+			sp.unplace(t, m)
+			if sp.capped {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// branchInstances tries every way of hosting node v at cycle t on module
+// mi: each compatible kept instance with a free slot, each compatible
+// search-created instance, and — when the added-area bound still allows
+// it — a fresh allocation.
+func (sp *splicer) branchInstances(v cdfg.NodeID, k, t, mi int, m *library.Module) error {
+	end := t + m.Delay
+	for ki := range sp.kept {
+		in := &sp.kept[ki]
+		if in.module != mi || overlaps(in.starts, in.ends, t, end) {
+			continue
+		}
+		in.starts = append(in.starts, t)
+		in.ends = append(in.ends, end)
+		sp.curFU[k] = ki
+		err := sp.search(k + 1)
+		in.starts = in.starts[:len(in.starts)-1]
+		in.ends = in.ends[:len(in.ends)-1]
+		if err != nil {
+			return err
+		}
+	}
+	for j := range sp.newMods {
+		if sp.newMods[j] != mi || overlaps(sp.newStarts[j], sp.newEnds[j], t, end) {
+			continue
+		}
+		sp.newStarts[j] = append(sp.newStarts[j], t)
+		sp.newEnds[j] = append(sp.newEnds[j], end)
+		sp.curFU[k] = len(sp.kept) + j
+		err := sp.search(k + 1)
+		sp.newStarts[j] = sp.newStarts[j][:len(sp.newStarts[j])-1]
+		sp.newEnds[j] = sp.newEnds[j][:len(sp.newEnds[j])-1]
+		if err != nil {
+			return err
+		}
+	}
+	if sp.addedArea+m.Area <= sp.bestAdded+areaEps {
+		sp.newMods = append(sp.newMods, mi)
+		sp.newStarts = append(sp.newStarts, []int{t})
+		sp.newEnds = append(sp.newEnds, []int{end})
+		sp.addedArea += m.Area
+		sp.curFU[k] = len(sp.kept) + len(sp.newMods) - 1
+		err := sp.search(k + 1)
+		sp.addedArea -= m.Area
+		sp.newMods = sp.newMods[:len(sp.newMods)-1]
+		sp.newStarts = sp.newStarts[:len(sp.newStarts)-1]
+		sp.newEnds = sp.newEnds[:len(sp.newEnds)-1]
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leaf scores a complete assignment: a strictly smaller added area always
+// becomes the new best; an added-area tie is kept only when its exact
+// reassembled total (registers and muxes included) beats the best total.
+func (sp *splicer) leaf() error {
+	strict := sp.addedArea < sp.bestAdded-areaEps
+	if !strict {
+		if sp.tieEvals >= maxTieEvals {
+			return nil
+		}
+		sp.tieEvals++
+	}
+	cand, err := sp.assemble()
+	if err != nil {
+		return fmt.Errorf("portfolio: splice produced an unassemblable design: %w", err)
+	}
+	if strict {
+		sp.bestAdded = sp.addedArea
+		sp.best = cand
+		sp.bestTotal = cand.Area()
+		return nil
+	}
+	if cand.Area() < sp.bestTotal-areaEps {
+		sp.best = cand
+		sp.bestTotal = cand.Area()
+	}
+	return nil
+}
+
+// assemble rebuilds a full design from the incumbent plus the current
+// fragment assignment, through core.Assemble's validation.
+func (sp *splicer) assemble() (*core.Design, error) {
+	n := sp.g.N()
+	start := append([]int(nil), sp.baseStart...)
+	moduleOf := append([]int(nil), sp.baseMi...)
+	fuOf := make([]int, n)
+	fuModule := make([]int, 0, len(sp.kept)+len(sp.newMods))
+	for ki := range sp.kept {
+		fuModule = append(fuModule, sp.kept[ki].module)
+	}
+	fuModule = append(fuModule, sp.newMods...)
+	for v := 0; v < n; v++ {
+		if sp.inS[v] {
+			continue
+		}
+		fuOf[v] = sp.keptIdx[sp.d.FUOf[v]]
+	}
+	for k, v := range sp.order {
+		start[v] = sp.placedStart[v]
+		moduleOf[v] = sp.curMi[k]
+		fuOf[v] = sp.curFU[k]
+	}
+	return core.Assemble(sp.g, sp.lib, sp.cons, start, moduleOf, fuOf, fuModule, sp.cfg.Core)
+}
+
+// earliest is the first cycle every predecessor of v has finished:
+// placed fragment predecessors (earlier in topo order) or fixed outside
+// ones.
+func (sp *splicer) earliest(v cdfg.NodeID) int {
+	lo := 0
+	for _, p := range sp.g.Preds(v) {
+		e := sp.baseEnd[p]
+		if sp.inS[p] {
+			e = sp.placedEnd[p]
+		}
+		if e > lo {
+			lo = e
+		}
+	}
+	return lo
+}
+
+// latest is the last start cycle keeping v inside the deadline and ahead
+// of every fixed outside successor; fragment successors constrain
+// nothing here — their own earliest() accounts for v once placed.
+func (sp *splicer) latest(v cdfg.NodeID, delay int) int {
+	hi := sp.cons.Deadline - delay
+	for _, s := range sp.g.Succs(v) {
+		if sp.inS[s] {
+			continue
+		}
+		if lim := sp.baseStart[s] - delay; lim < hi {
+			hi = lim
+		}
+	}
+	return hi
+}
+
+func (sp *splicer) powerOK(t int, m *library.Module) bool {
+	if sp.cons.PowerMax <= 0 {
+		return true
+	}
+	for c := t; c < t+m.Delay; c++ {
+		if sp.profile[c]+m.Power > sp.cons.PowerMax+powerEps {
+			return false
+		}
+	}
+	return true
+}
+
+func (sp *splicer) place(v cdfg.NodeID, k, t, mi int, m *library.Module) {
+	for c := t; c < t+m.Delay; c++ {
+		sp.profile[c] += m.Power
+	}
+	sp.placedStart[v] = t
+	sp.placedEnd[v] = t + m.Delay
+	sp.curMi[k] = mi
+}
+
+func (sp *splicer) unplace(t int, m *library.Module) {
+	for c := t; c < t+m.Delay; c++ {
+		sp.profile[c] -= m.Power
+	}
+}
+
+// overlaps reports whether [t, e) intersects any of the intervals.
+func overlaps(starts, ends []int, t, e int) bool {
+	for i := range starts {
+		if t < ends[i] && starts[i] < e {
+			return true
+		}
+	}
+	return false
+}

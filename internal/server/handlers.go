@@ -13,6 +13,7 @@ import (
 	"pchls/internal/cdfg"
 	"pchls/internal/core"
 	"pchls/internal/explore"
+	"pchls/internal/portfolio"
 )
 
 // Response headers carrying per-request observability: the cache outcome
@@ -136,6 +137,98 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			return &result{status: http.StatusOK, body: body, stats: d.Stats}, nil
+		})
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeResult(w, res, outcome)
+}
+
+// portfolioStatsJSON summarizes the portfolio search alongside the
+// winning design (deterministic for a given request, so safe to cache).
+type portfolioStatsJSON struct {
+	BaselineArea       float64 `json:"baseline_area"`
+	BaselinePeak       float64 `json:"baseline_peak"`
+	Area               float64 `json:"area"`
+	PeakPower          float64 `json:"peak_power"`
+	Improved           bool    `json:"improved"`
+	Gap                float64 `json:"gap"`
+	Rounds             int     `json:"rounds"`
+	Passes             int     `json:"passes"`
+	Aborted            int     `json:"aborted"`
+	Infeasible         int     `json:"infeasible"`
+	PassImprovements   int     `json:"pass_improvements"`
+	Splices            int     `json:"splices"`
+	SpliceImprovements int     `json:"splice_improvements"`
+}
+
+type portfolioJSON struct {
+	Design    json.RawMessage    `json:"design"`
+	Portfolio portfolioStatsJSON `json:"portfolio"`
+}
+
+func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	var req portfolioRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	g, lib, cons, err := req.validate()
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	key := portfolioKey(g, lib, cons, req.K, req.Budget, req.Seed)
+	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		return s.compute(ctx, func(ctx context.Context) (*result, error) {
+			pres, err := portfolio.SynthesizeContext(ctx, g, lib, cons, portfolio.Config{
+				K:        req.K,
+				Budget:   req.Budget,
+				Seed:     req.Seed,
+				Workers:  s.cfg.ExploreWorkers,
+				InFlight: s.runnerInflight,
+				Core:     core.Config{Workers: 1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := s.validateDesign(pres.Design); err != nil {
+				return nil, err
+			}
+			s.noteStats(pres.Design.Stats)
+			s.portfolioImprovements.Add(int64(pres.PassImprovements + pres.SpliceImprovements))
+			s.portfolioGap.Observe(pres.Gap())
+			design, err := pres.Design.JSON()
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.MarshalIndent(portfolioJSON{
+				Design: design,
+				Portfolio: portfolioStatsJSON{
+					BaselineArea:       pres.BaselineArea,
+					BaselinePeak:       pres.BaselinePeak,
+					Area:               pres.Design.Area(),
+					PeakPower:          pres.Design.Schedule.PeakPower(),
+					Improved:           pres.Improved,
+					Gap:                pres.Gap(),
+					Rounds:             pres.Rounds,
+					Passes:             pres.Passes,
+					Aborted:            pres.Aborted,
+					Infeasible:         pres.Infeasible,
+					PassImprovements:   pres.PassImprovements,
+					Splices:            pres.Splices,
+					SpliceImprovements: pres.SpliceImprovements,
+				},
+			}, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			return &result{status: http.StatusOK, body: body, stats: pres.Design.Stats}, nil
 		})
 	})
 	if err != nil {

@@ -57,6 +57,17 @@ func synthesizeKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, s
 	return finishKey(&sb)
 }
 
+// portfolioKey derives the content address of one /v1/portfolio result.
+// The effort knobs (k, budget) and the seed are part of the address: the
+// portfolio's output is a pure function of them.
+func portfolioKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, k, budget int, seed int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s portfolio k=%d budget=%d seed=%d deadline=%d power=%s\n",
+		keyVersion, k, budget, seed, cons.Deadline, canonFloat(cons.PowerMax))
+	writeGraphLib(&sb, g, lib)
+	return finishKey(&sb)
+}
+
 // sweepKey derives the content address of one /v1/sweep result.
 func sweepKey(g *cdfg.Graph, lib *library.Library, deadline int, pmin, pmax, step float64, singlePass bool) string {
 	var sb strings.Builder

@@ -37,6 +37,32 @@ type synthesizeRequest struct {
 	SinglePass bool `json:"single_pass,omitempty"`
 }
 
+// portfolioRequest is the body of POST /v1/portfolio: anytime portfolio
+// synthesis with effort knobs.
+type portfolioRequest struct {
+	Benchmark string           `json:"benchmark,omitempty"`
+	Graph     *cdfg.Graph      `json:"graph,omitempty"`
+	Library   *library.Library `json:"library,omitempty"`
+	Deadline  int              `json:"deadline"`
+	PowerMax  float64          `json:"power_max,omitempty"`
+	// K is the number of perturbed passes per round (0 = server default 8,
+	// capped at maxPortfolioPasses).
+	K int `json:"k,omitempty"`
+	// Budget is the maximum improvement rounds (0 = default 2, capped at
+	// maxPortfolioRounds).
+	Budget int `json:"budget,omitempty"`
+	// Seed fixes the perturbation streams; identical requests produce
+	// byte-identical responses for a fixed seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Portfolio effort caps: one request may not fan out arbitrarily wide or
+// loop arbitrarily long.
+const (
+	maxPortfolioPasses = 16
+	maxPortfolioRounds = 8
+)
+
 // sweepRequest is the body of POST /v1/sweep: an area-versus-power sweep
 // at a fixed deadline.
 type sweepRequest struct {
@@ -144,6 +170,28 @@ func (req *synthesizeRequest) validate() (*cdfg.Graph, *library.Library, core.Co
 	}
 	if err := checkPower("power_max", req.PowerMax); err != nil {
 		return nil, nil, core.Constraints{}, err
+	}
+	return g, resolveLibrary(req.Library), core.Constraints{Deadline: req.Deadline, PowerMax: req.PowerMax}, nil
+}
+
+// validate cross-checks a decoded portfolio request and resolves its
+// graph and library.
+func (req *portfolioRequest) validate() (*cdfg.Graph, *library.Library, core.Constraints, error) {
+	g, err := resolveGraph(req.Benchmark, req.Graph)
+	if err != nil {
+		return nil, nil, core.Constraints{}, err
+	}
+	if req.Deadline <= 0 {
+		return nil, nil, core.Constraints{}, badRequest(`"deadline" must be a positive cycle count`, nil)
+	}
+	if err := checkPower("power_max", req.PowerMax); err != nil {
+		return nil, nil, core.Constraints{}, err
+	}
+	if req.K < 0 || req.K > maxPortfolioPasses {
+		return nil, nil, core.Constraints{}, badRequest(fmt.Sprintf(`"k" must be in [0, %d]`, maxPortfolioPasses), nil)
+	}
+	if req.Budget < 0 || req.Budget > maxPortfolioRounds {
+		return nil, nil, core.Constraints{}, badRequest(fmt.Sprintf(`"budget" must be in [0, %d]`, maxPortfolioRounds), nil)
 	}
 	return g, resolveLibrary(req.Library), core.Constraints{Deadline: req.Deadline, PowerMax: req.PowerMax}, nil
 }

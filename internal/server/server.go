@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST /v1/synthesize   synthesize one design (body: synthesizeRequest)
+//	POST /v1/portfolio    anytime portfolio synthesis (body: portfolioRequest)
 //	POST /v1/sweep        area-versus-power sweep at fixed T
 //	POST /v1/surface      (deadline x power) grid exploration
 //	GET  /v1/benchmarks   the built-in benchmark CDFGs
@@ -142,6 +143,12 @@ type Server struct {
 	runnerInflight  *obs.Gauge
 	validations     *obs.Counter
 	validationFails *obs.Counter
+
+	// Portfolio QoR metrics: incumbent adoptions across all /v1/portfolio
+	// runs, and the distribution of the relative gap closed over the
+	// single-pass baseline.
+	portfolioImprovements *obs.Counter
+	portfolioGap          *obs.Histogram
 }
 
 // New builds a Server with its routes and metrics registered.
@@ -164,6 +171,8 @@ func New(cfg Config) *Server {
 	s.rejected = s.reg.Counter("pchls_admission_rejected_total", "requests rejected by admission control (429)")
 	s.validations = s.reg.Counter("pchls_validations_total", "designs re-checked by the independent constraint validator")
 	s.validationFails = s.reg.Counter("pchls_validation_failures_total", "designs the independent validator rejected (served as 500, never cached)")
+	s.portfolioImprovements = s.reg.Counter("pchls_portfolio_improvements_total", "incumbent adoptions (pass or splice) across portfolio runs")
+	s.portfolioGap = s.reg.Histogram("pchls_portfolio_gap", "relative area improvement of portfolio runs over the single-pass baseline", obs.RatioBuckets)
 	s.inflight = s.reg.Gauge("pchls_http_inflight", "requests currently being served")
 	s.runnerInflight = s.reg.Gauge("pchls_runner_inflight", "exploration worker-pool items currently executing")
 	s.reg.GaugeFunc("pchls_queue_waiting", "admitted requests waiting for a worker slot",
@@ -182,6 +191,7 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.cache.Stats().Expirations) })
 
 	s.mux.HandleFunc("POST /v1/synthesize", s.instrument("/v1/synthesize", s.handleSynthesize))
+	s.mux.HandleFunc("POST /v1/portfolio", s.instrument("/v1/portfolio", s.handlePortfolio))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("POST /v1/surface", s.instrument("/v1/surface", s.handleSurface))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.handleBenchmarks))

@@ -1,0 +1,93 @@
+package verify_test
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+
+	"pchls/internal/core"
+	"pchls/internal/portfolio"
+	"pchls/internal/verify"
+)
+
+// diffSeeds returns the seed-sweep width for the portfolio differential:
+// 200 by default, 60 under -short, PCHLS_PROPERTY_DESIGNS (capped at
+// 200) for CI lanes that trade coverage for latency.
+func diffSeeds(t *testing.T) int64 {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 60
+	}
+	if s := os.Getenv("PCHLS_PROPERTY_DESIGNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("PCHLS_PROPERTY_DESIGNS=%q: want a positive integer", s)
+		}
+		if int64(n) < seeds {
+			seeds = int64(n)
+		}
+	}
+	return seeds
+}
+
+// TestPortfolioMatchesBruteForce is the portfolio layer's optimality
+// gate: on every generated graph small enough for the subgraph splice to
+// cover whole (<= 8 nodes) with the generator's relaxed slack regime
+// (>= 1.2x the critical path), the portfolio's functional-unit area must
+// EQUAL the exhaustive oracle's proven optimum — not just stay above it.
+// The splice degenerates into a full exhaustive search on such graphs,
+// so any gap means the splice search, its pruning, or the adoption rule
+// is losing solutions.
+func TestPortfolioMatchesBruteForce(t *testing.T) {
+	seeds := diffSeeds(t)
+	feasible, infeasible, skipped := 0, 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		inst := tinyInstance(seed, 3+int(seed%2), 1.2, 2.2)
+		if inst.Graph.N() > 8 {
+			skipped++
+			continue
+		}
+		cons := core.Constraints{Deadline: inst.Deadline, PowerMax: inst.PowerMax}
+		res, perr := portfolio.Synthesize(inst.Graph, inst.Library, cons, portfolio.Config{Seed: seed, Workers: 1})
+		br, berr := verify.BruteForce(inst.Graph, inst.Library, inst.Deadline, inst.PowerMax,
+			verify.BruteOptions{MaxNodes: 8})
+		if berr != nil {
+			t.Fatalf("seed %d: brute force: %v", seed, berr)
+		}
+		if perr != nil {
+			if !errors.Is(perr, core.ErrInfeasible) {
+				t.Fatalf("seed %d: portfolio failed with a non-infeasibility error: %v", seed, perr)
+			}
+			if br.Feasible {
+				t.Errorf("seed %d: portfolio declared infeasible but the oracle found FU area %.2f (T=%d, P<=%g)",
+					seed, br.FUArea, inst.Deadline, inst.PowerMax)
+			}
+			infeasible++
+			continue
+		}
+		if !br.Feasible {
+			t.Errorf("seed %d: portfolio produced a design but the oracle proves the instance infeasible (T=%d, P<=%g)",
+				seed, inst.Deadline, inst.PowerMax)
+			continue
+		}
+		feasible++
+		got := res.Design.Datapath.FUArea
+		if got < br.FUArea-1e-6 {
+			t.Errorf("seed %d: portfolio FU area %.2f beats the proven optimum %.2f — one of the two is wrong",
+				seed, got, br.FUArea)
+		}
+		if got > br.FUArea+1e-6 {
+			t.Errorf("seed %d: portfolio FU area %.2f misses the optimum %.2f (T=%d, P<=%g, %d nodes)",
+				seed, got, br.FUArea, inst.Deadline, inst.PowerMax, inst.Graph.N())
+		}
+		if err := verify.Check(core.VerifyInput(res.Design)); err != nil {
+			t.Errorf("seed %d: portfolio design fails the validator: %v", seed, err)
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("constraint distribution degenerate: %d feasible, %d infeasible — the differential needs both", feasible, infeasible)
+	}
+	t.Logf("%d seeds: %d optimal matches, %d infeasible agreements, %d graphs over 8 nodes skipped",
+		seeds, feasible, infeasible, skipped)
+}

@@ -34,6 +34,7 @@ import (
 	"pchls/internal/gen"
 	"pchls/internal/library"
 	"pchls/internal/pipeline"
+	"pchls/internal/portfolio"
 	"pchls/internal/power"
 	"pchls/internal/report"
 	"pchls/internal/rtl"
@@ -206,6 +207,36 @@ func SynthesizeBestContext(ctx context.Context, g *Graph, lib *Library, cons Con
 // DefaultCostModel returns the register/mux area coefficients used by the
 // experiments.
 func DefaultCostModel() CostModel { return bind.DefaultCostModel() }
+
+// Anytime portfolio synthesis.
+type (
+	// PortfolioConfig tunes the anytime portfolio: passes per round (K),
+	// round budget, perturbation seed, subgraph and expansion limits,
+	// worker count, and the base engine Config every pass derives from.
+	PortfolioConfig = portfolio.Config
+	// PortfolioResult is a portfolio outcome: the best verified design
+	// plus baseline QoR and search statistics (passes, incumbent
+	// adoptions, bound aborts, splice improvements).
+	PortfolioResult = portfolio.Result
+)
+
+// SynthesizePortfolio runs the anytime, feedback-guided portfolio: K
+// perturbed greedy passes per round race the incumbent area bound in
+// parallel, then the incumbent's worst-mobility / highest-area subgraph
+// is re-synthesized exhaustively and spliced back. Every adopted design
+// passes the independent validator, and when the single greedy pass is
+// feasible the portfolio's total area is never worse than it. The result
+// is a pure function of (inputs, cfg) — byte-identical for every worker
+// count and across repeated runs with the same Seed.
+func SynthesizePortfolio(g *Graph, lib *Library, cons Constraints, cfg PortfolioConfig) (*PortfolioResult, error) {
+	return portfolio.Synthesize(g, lib, cons, cfg)
+}
+
+// SynthesizePortfolioContext is SynthesizePortfolio with cancellation:
+// ctx aborts the portfolio between synthesis runs.
+func SynthesizePortfolioContext(ctx context.Context, g *Graph, lib *Library, cons Constraints, cfg PortfolioConfig) (*PortfolioResult, error) {
+	return portfolio.SynthesizeContext(ctx, g, lib, cons, cfg)
+}
 
 // Scheduling building blocks.
 type (

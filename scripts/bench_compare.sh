@@ -21,8 +21,12 @@ go test -run '^$' -bench 'BenchmarkSynthesize$' -benchtime 20x -benchmem -count 
 echo "== BenchmarkServerSynthesize (-benchtime 50x -benchmem -count 2)"
 go test -run '^$' -bench 'BenchmarkServerSynthesize' -benchtime 50x -benchmem -count 2 ./internal/server | tee "$OUT/server.txt"
 
+echo "== BenchmarkAnytimePortfolio (-benchtime 10x -benchmem -count 2)"
+go test -run '^$' -bench 'BenchmarkAnytimePortfolio' -benchtime 10x -benchmem -count 2 . | tee "$OUT/portfolio.txt"
+
 echo "== compare vs results/BENCH_*.json (tolerance ${TOL})"
 go run ./scripts/benchcompare \
     -synth results/BENCH_synthesize.json -synthout "$OUT/synth.txt" \
     -server results/BENCH_server.json -serverout "$OUT/server.txt" \
+    -portfolio results/BENCH_portfolio.json -portfolioout "$OUT/portfolio.txt" \
     -tolerance "$TOL"

@@ -7,6 +7,14 @@
 // deterministic for this workload, ns/op is machine-dependent, so the
 // tolerance (default 0.20 = 20%) applies to both but is expected to matter
 // for ns/op only.
+//
+// The gate is paranoid about silent passes: a benchmark named in a
+// baseline but absent from the fresh output is a hard failure (a renamed
+// or deleted benchmark must be renamed in the baseline too, not quietly
+// skipped), a metric that was positive in the baseline but zero in the
+// fresh run is a hard failure (it means -benchmem was dropped or the
+// bench crashed mid-suite), and a bench output file that parses to zero
+// benchmarks is a usage error (exit 2).
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,11 +31,16 @@ import (
 type metrics struct {
 	ns     float64
 	allocs float64
+	area   float64
 }
 
 type modeEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Area is a deterministic QoR pin (portfolio baselines only): when
+	// recorded, the fresh run's custom "area" metric must match exactly —
+	// the tolerance never applies to solution quality.
+	Area float64 `json:"area"`
 }
 
 type synthBaseline struct {
@@ -37,19 +51,18 @@ type serverBaseline struct {
 	Results map[string]modeEntry `json:"results"`
 }
 
-// parseBenchOutput extracts ns/op and allocs/op per benchmark name from
-// go-test bench output. The trailing -N GOMAXPROCS suffix is stripped.
-// When a benchmark appears more than once (-count > 1), the last
-// occurrence wins: the first pass doubles as warmup, which matters for
-// ns/op stability on shared runners.
-func parseBenchOutput(path string) (map[string]metrics, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+type portfolioBaseline struct {
+	Benchmarks map[string]modeEntry `json:"benchmarks"`
+}
+
+// parseBench extracts ns/op and allocs/op per benchmark name from go-test
+// bench output. The trailing -N GOMAXPROCS suffix is stripped. When a
+// benchmark appears more than once (-count > 1), the last occurrence
+// wins: the first pass doubles as warmup, which matters for ns/op
+// stability on shared runners.
+func parseBench(r io.Reader) (map[string]metrics, error) {
 	out := make(map[string]metrics)
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -70,6 +83,8 @@ func parseBenchOutput(path string) (map[string]metrics, error) {
 				m.ns = v
 			case "allocs/op":
 				m.allocs = v
+			case "area":
+				m.area = v
 			}
 		}
 		out[name] = m
@@ -77,82 +92,140 @@ func parseBenchOutput(path string) (map[string]metrics, error) {
 	return out, sc.Err()
 }
 
-// check compares one metric and returns a failure line, an info line, or
-// nothing (metric missing from baseline).
-func check(fails *int, name, metric string, cur, base, tol float64) {
+// parseBenchFile reads one go-bench output file and refuses an output
+// that contains no benchmark lines at all: tee-ing a build failure or an
+// empty -bench match into the gate must not pass vacuously.
+func parseBenchFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	got, err := parseBench(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(got) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found (did the bench run fail?)", path)
+	}
+	return got, nil
+}
+
+// check compares one metric and writes a FAIL or ok line, or nothing when
+// the baseline does not record the metric. A metric recorded as positive
+// in the baseline but zero (or negative) in the fresh run is a hard
+// failure, not a -100% improvement.
+func check(w io.Writer, fails *int, name, metric string, cur, base, tol float64) {
 	if base <= 0 {
+		return
+	}
+	if cur <= 0 {
+		*fails++
+		fmt.Fprintf(w, "FAIL %-55s %s missing from fresh run (baseline %12.0f)\n",
+			name, metric, base)
 		return
 	}
 	ratio := cur / base
 	switch {
 	case ratio > 1+tol:
 		*fails++
-		fmt.Printf("FAIL %-55s %s %12.0f vs baseline %12.0f (%+.1f%%, tolerance %.0f%%)\n",
+		fmt.Fprintf(w, "FAIL %-55s %s %12.0f vs baseline %12.0f (%+.1f%%, tolerance %.0f%%)\n",
 			name, metric, cur, base, (ratio-1)*100, tol*100)
 	default:
-		fmt.Printf("ok   %-55s %s %12.0f vs baseline %12.0f (%+.1f%%)\n",
+		fmt.Fprintf(w, "ok   %-55s %s %12.0f vs baseline %12.0f (%+.1f%%)\n",
 			name, metric, cur, base, (ratio-1)*100)
 	}
 }
 
-func compare(fails *int, got map[string]metrics, name string, base modeEntry, tol float64) {
+// compare gates one baseline entry: a benchmark present in the baseline
+// but absent from the fresh output is a hard failure.
+func compare(w io.Writer, fails *int, got map[string]metrics, name string, base modeEntry, tol float64) {
 	cur, ok := got[name]
 	if !ok {
 		*fails++
-		fmt.Printf("FAIL %-55s missing from benchmark output\n", name)
+		fmt.Fprintf(w, "FAIL %-55s missing from benchmark output\n", name)
 		return
 	}
-	check(fails, name, "ns/op    ", cur.ns, base.NsPerOp, tol)
-	check(fails, name, "allocs/op", cur.allocs, base.AllocsPerOp, tol)
+	check(w, fails, name, "ns/op    ", cur.ns, base.NsPerOp, tol)
+	check(w, fails, name, "allocs/op", cur.allocs, base.AllocsPerOp, tol)
+	checkExact(w, fails, name, "area     ", cur.area, base.Area)
+}
+
+// checkExact gates a deterministic QoR metric: any deviation from the
+// recorded baseline is a failure regardless of the tolerance, and a
+// vanished metric fails like in check.
+func checkExact(w io.Writer, fails *int, name, metric string, cur, base float64) {
+	if base <= 0 {
+		return
+	}
+	if cur != base {
+		*fails++
+		if cur <= 0 {
+			fmt.Fprintf(w, "FAIL %-55s %s missing from fresh run (baseline %12.1f)\n", name, metric, base)
+			return
+		}
+		fmt.Fprintf(w, "FAIL %-55s %s %12.1f vs pinned QoR %12.1f (deterministic metric, no tolerance)\n",
+			name, metric, cur, base)
+		return
+	}
+	fmt.Fprintf(w, "ok   %-55s %s %12.1f matches the pinned QoR exactly\n", name, metric, cur)
+}
+
+func loadBaseline(path string, v any) {
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		err = json.Unmarshal(raw, v)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+}
+
+func loadBenchOutput(path string) map[string]metrics {
+	got, err := parseBenchFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	return got
 }
 
 func main() {
 	synthJSON := flag.String("synth", "results/BENCH_synthesize.json", "synthesize baseline JSON")
 	serverJSON := flag.String("server", "results/BENCH_server.json", "server baseline JSON")
+	portfolioJSON := flag.String("portfolio", "results/BENCH_portfolio.json", "portfolio baseline JSON")
 	synthOut := flag.String("synthout", "", "go-bench output for BenchmarkSynthesize")
 	serverOut := flag.String("serverout", "", "go-bench output for BenchmarkServerSynthesize")
+	portfolioOut := flag.String("portfolioout", "", "go-bench output for BenchmarkAnytimePortfolio")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional regression for ns/op and allocs/op")
 	flag.Parse()
 
 	fails := 0
 	if *synthOut != "" {
 		var base synthBaseline
-		raw, err := os.ReadFile(*synthJSON)
-		if err == nil {
-			err = json.Unmarshal(raw, &base)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcompare:", err)
-			os.Exit(2)
-		}
-		got, err := parseBenchOutput(*synthOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcompare:", err)
-			os.Exit(2)
-		}
+		loadBaseline(*synthJSON, &base)
+		got := loadBenchOutput(*synthOut)
 		for _, name := range sortedKeys(base.Benchmarks) {
 			for _, mode := range sortedKeys(base.Benchmarks[name]) {
-				compare(&fails, got, "BenchmarkSynthesize/"+name+"/"+mode, base.Benchmarks[name][mode], *tol)
+				compare(os.Stdout, &fails, got, "BenchmarkSynthesize/"+name+"/"+mode, base.Benchmarks[name][mode], *tol)
 			}
 		}
 	}
 	if *serverOut != "" {
 		var base serverBaseline
-		raw, err := os.ReadFile(*serverJSON)
-		if err == nil {
-			err = json.Unmarshal(raw, &base)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcompare:", err)
-			os.Exit(2)
-		}
-		got, err := parseBenchOutput(*serverOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcompare:", err)
-			os.Exit(2)
-		}
+		loadBaseline(*serverJSON, &base)
+		got := loadBenchOutput(*serverOut)
 		for _, mode := range sortedKeys(base.Results) {
-			compare(&fails, got, "BenchmarkServerSynthesize/"+mode, base.Results[mode], *tol)
+			compare(os.Stdout, &fails, got, "BenchmarkServerSynthesize/"+mode, base.Results[mode], *tol)
+		}
+	}
+	if *portfolioOut != "" {
+		var base portfolioBaseline
+		loadBaseline(*portfolioJSON, &base)
+		got := loadBenchOutput(*portfolioOut)
+		for _, name := range sortedKeys(base.Benchmarks) {
+			compare(os.Stdout, &fails, got, "BenchmarkAnytimePortfolio/"+name, base.Benchmarks[name], *tol)
 		}
 	}
 	if fails > 0 {

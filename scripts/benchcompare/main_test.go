@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pchls
+BenchmarkSynthesize/hal/incremental-8         	      20	    250000 ns/op	     949 allocs/op
+BenchmarkSynthesize/hal/incremental-8         	      20	    240000 ns/op	     949 allocs/op
+BenchmarkAnytimePortfolio/hal-8               	      10	   5000000 ns/op	       842.0 area	   12345 allocs/op
+PASS
+ok  	pchls	1.234s
+`
+
+func parsed(t *testing.T) map[string]metrics {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBenchStripsSuffixAndKeepsLastCount(t *testing.T) {
+	got := parsed(t)
+	m, ok := got["BenchmarkSynthesize/hal/incremental"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped; parsed names: %v", keysOf(got))
+	}
+	// -count 2: the second (warmed-up) occurrence must win.
+	if m.ns != 240000 {
+		t.Fatalf("ns/op = %v, want the last occurrence 240000", m.ns)
+	}
+	if m.allocs != 949 {
+		t.Fatalf("allocs/op = %v, want 949", m.allocs)
+	}
+	if _, ok := got["BenchmarkAnytimePortfolio/hal"]; !ok {
+		t.Fatal("portfolio benchmark line not parsed")
+	}
+}
+
+// TestMissingBenchmarkIsHardFailure pins the satellite fix: a benchmark
+// present in the baseline JSON but absent from the fresh run must fail
+// the gate, never pass silently.
+func TestMissingBenchmarkIsHardFailure(t *testing.T) {
+	got := parsed(t)
+	var sb strings.Builder
+	fails := 0
+	compare(&sb, &fails, got, "BenchmarkSynthesize/hal/legacy", modeEntry{NsPerOp: 100, AllocsPerOp: 10}, 0.20)
+	if fails != 1 {
+		t.Fatalf("fails = %d, want 1; output:\n%s", fails, sb.String())
+	}
+	if !strings.Contains(sb.String(), "missing from benchmark output") {
+		t.Fatalf("failure line does not name the missing benchmark:\n%s", sb.String())
+	}
+}
+
+// TestVanishedMetricIsHardFailure: a metric recorded as positive in the
+// baseline but zero in the fresh run (e.g. -benchmem dropped from the
+// invocation) must fail, not report a -100% "improvement".
+func TestVanishedMetricIsHardFailure(t *testing.T) {
+	var sb strings.Builder
+	fails := 0
+	check(&sb, &fails, "BenchmarkSynthesize/hal/incremental", "allocs/op", 0, 949, 0.20)
+	if fails != 1 {
+		t.Fatalf("fails = %d, want 1; output:\n%s", fails, sb.String())
+	}
+	if !strings.Contains(sb.String(), "missing from fresh run") {
+		t.Fatalf("failure line does not flag the vanished metric:\n%s", sb.String())
+	}
+}
+
+// TestMetricAbsentFromBaselineIsSkipped: baselines that do not record a
+// metric (base <= 0) are deliberately not gated on it.
+func TestMetricAbsentFromBaselineIsSkipped(t *testing.T) {
+	var sb strings.Builder
+	fails := 0
+	check(&sb, &fails, "BenchmarkSynthesize/hal/incremental", "allocs/op", 949, 0, 0.20)
+	if fails != 0 || sb.Len() != 0 {
+		t.Fatalf("fails = %d, output %q; want a silent skip", fails, sb.String())
+	}
+}
+
+func TestToleranceGate(t *testing.T) {
+	cases := []struct {
+		name      string
+		cur, base float64
+		wantFails int
+	}{
+		{"within", 110, 100, 0},
+		{"at-boundary", 120, 100, 0},
+		{"beyond", 121, 100, 1},
+		{"improvement", 50, 100, 0},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		fails := 0
+		check(&sb, &fails, "B", "ns/op", c.cur, c.base, 0.20)
+		if fails != c.wantFails {
+			t.Errorf("%s: cur=%v base=%v: fails = %d, want %d\n%s",
+				c.name, c.cur, c.base, fails, c.wantFails, sb.String())
+		}
+	}
+}
+
+// TestExactQoRPin: the portfolio baselines record the deterministic
+// "area" metric; any deviation fails regardless of the tolerance.
+func TestExactQoRPin(t *testing.T) {
+	got := parsed(t)
+	m := got["BenchmarkAnytimePortfolio/hal"]
+	if m.area != 842 {
+		t.Fatalf("area metric parsed as %v, want 842", m.area)
+	}
+	var sb strings.Builder
+	fails := 0
+	compare(&sb, &fails, got, "BenchmarkAnytimePortfolio/hal",
+		modeEntry{NsPerOp: 5000000, AllocsPerOp: 12345, Area: 842}, 0.20)
+	if fails != 0 {
+		t.Fatalf("matching QoR pin failed:\n%s", sb.String())
+	}
+	sb.Reset()
+	// A one-unit QoR regression must fail even at an enormous tolerance.
+	compare(&sb, &fails, got, "BenchmarkAnytimePortfolio/hal",
+		modeEntry{NsPerOp: 5000000, AllocsPerOp: 12345, Area: 841}, 100)
+	if fails != 1 || !strings.Contains(sb.String(), "pinned QoR") {
+		t.Fatalf("QoR drift not caught (fails=%d):\n%s", fails, sb.String())
+	}
+}
+
+// TestEmptyBenchOutputRejected: an output file with no benchmark lines
+// (a tee'd build failure, a -bench regexp matching nothing) is an error,
+// not a vacuous pass.
+func TestEmptyBenchOutputRejected(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok  \tpchls\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchless output", len(got))
+	}
+	// parseBenchFile layers the emptiness check on top; exercise it via a
+	// real file in the repo-adjacent temp dir.
+	f := t.TempDir() + "/empty.txt"
+	if err := os.WriteFile(f, []byte("PASS\nok  \tpchls\t0.1s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseBenchFile(f); err == nil {
+		t.Fatal("parseBenchFile accepted an output with zero benchmarks")
+	}
+}
+
+func keysOf(m map[string]metrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

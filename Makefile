@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-compare test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke clean
+.PHONY: all build test test-race vet bench bench-compare bench-scaling test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke clean
 
 all: build vet test
 
@@ -32,10 +32,16 @@ bench:
 bench-compare:
 	./scripts/bench_compare.sh
 
+# Full scaling lane: every BenchmarkScaling tier including the two
+# ~20-minute legacy n=1000 passes, gated against results/BENCH_scaling.json budgets
+# and the legacy-over-scale speedup floors.
+bench-scaling:
+	PCHLS_SCALING_FULL=1 BENCH_LANES=scaling ./scripts/bench_compare.sh
+
 # Allocation-regression tests (hot-path AllocsPerRun budgets); these are
 # meaningless under -race, so they get their own race-free lane.
 test-alloc:
-	$(GO) test -run Allocs -v ./internal/sched ./internal/core
+	$(GO) test -run Allocs -v ./internal/sched ./internal/core ./internal/compat
 
 # Full experiment artifacts: Figure 2 CSVs + HTML, Figure 1 report,
 # time-power surface.

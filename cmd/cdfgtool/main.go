@@ -58,6 +58,8 @@ func main() {
 		powMin := fs.Float64("pmin", 0.5, "with -libout: min per-cycle module power")
 		powMax := fs.Float64("pmax", 8, "with -libout: max per-cycle module power")
 		legacy := fs.Bool("legacy", false, "use the pre-gen layered generator (bench.Random) for old seeds")
+		preset := fs.String("preset", "", "graph-shape preset: chain|wide|layered|mixed|blocks (explicit shape flags override the recipe)")
+		blocks := fs.Int("blocks", 0, "split the computations into this many disjoint blocks (<=1 = single block)")
 		fs.Parse(args)
 		if *legacy {
 			g := bench.Random(rand.New(rand.NewSource(*seed)), bench.RandomConfig{
@@ -66,10 +68,34 @@ func main() {
 			fmt.Print(g.Text())
 			return
 		}
-		g := gen.Graph(*seed, gen.GraphConfig{
+		cfg := gen.GraphConfig{
 			Nodes: *n, MaxWidth: *width, EdgeDensity: *edges,
-			MulFraction: *mul, CmpFraction: *cmp,
-		})
+			MulFraction: *mul, CmpFraction: *cmp, Blocks: *blocks,
+		}
+		if *preset != "" {
+			pc, err := gen.PresetConfig(gen.Preset(*preset), *n)
+			if err != nil {
+				fatal(err)
+			}
+			// Flags given explicitly on the command line override the
+			// preset's recipe knobs.
+			fs.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "width":
+					pc.MaxWidth = *width
+				case "edges":
+					pc.EdgeDensity = *edges
+				case "mul":
+					pc.MulFraction = *mul
+				case "cmp":
+					pc.CmpFraction = *cmp
+				case "blocks":
+					pc.Blocks = *blocks
+				}
+			})
+			cfg = pc
+		}
+		g := gen.Graph(*seed, cfg)
 		fmt.Print(g.Text())
 		if *libOut != "" {
 			lib := gen.Library(*seed, gen.LibraryConfig{
@@ -165,8 +191,9 @@ func usage() {
   dot   <g>        Graphviz DOT to stdout
   text  <g>        .cdfg text format to stdout
   sched <g> -T N   ASAP/ALAP mobility table under Table 1
-  gen -n N -seed S [-edges D] [-mul F] [-cmp F] [-libout F]
-                   seeded random DAG to stdout (optionally + random library)
+  gen -n N -seed S [-preset P] [-blocks B] [-edges D] [-mul F] [-cmp F] [-libout F]
+                   seeded random DAG to stdout (optionally + random library);
+                   presets: chain, wide, layered, mixed, blocks
   verify <g> [-T N] [-P W] [-trials K]  synthesize + check FSMD vs evaluation
   pipeline <g> [-maxii N] [-T N] [-P W] pipelined II/area/power trade-off
 <g> is a benchmark name (hal, cosine, elliptic, fir16, ar, diffeq2) or a .cdfg file.`)

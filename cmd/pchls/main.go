@@ -47,6 +47,8 @@ func main() {
 		tbOut    = flag.String("testbench", "", "with -simulate: write a self-checking Verilog testbench to this file")
 		workers  = flag.Int("j", 0, "concurrent synthesis runs in the portfolio (0 = GOMAXPROCS, 1 = serial); the design is identical for every setting")
 		verifyD  = flag.Bool("verify", false, "re-check the design with the independent constraint validator (precedence, T, P<, occupancy, binding, area)")
+		windows  = flag.String("windows", "auto", "candidate-window derivation: auto, exhaustive, or sdc (difference-constraint sweep for large graphs)")
+		partit   = flag.String("partition", "auto", "hierarchical decomposition of disconnected graphs: auto, off, or force")
 	)
 	flag.Parse()
 
@@ -76,13 +78,33 @@ func main() {
 		fatal(err)
 	}
 
+	ccfg := pchls.Config{Workers: *workers}
+	switch *windows {
+	case "auto":
+	case "exhaustive":
+		ccfg.Windows = pchls.WindowsExhaustive
+	case "sdc":
+		ccfg.Windows = pchls.WindowsSDC
+	default:
+		fatal(fmt.Errorf("-windows %q: want auto, exhaustive or sdc", *windows))
+	}
+	switch *partit {
+	case "auto":
+	case "off":
+		ccfg.Partition = pchls.PartitionOff
+	case "force":
+		ccfg.Partition = pchls.PartitionForce
+	default:
+		fatal(fmt.Errorf("-partition %q: want auto, off or force", *partit))
+	}
+
 	cons := pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}
 	var d *pchls.Design
 	if *portf > 0 {
 		var res *pchls.PortfolioResult
 		res, err = pchls.SynthesizePortfolio(g, lib, cons, pchls.PortfolioConfig{
 			K: *portf, Budget: *budget, Seed: *seed,
-			Workers: *workers, Core: pchls.Config{},
+			Workers: *workers, Core: ccfg,
 		})
 		if err == nil {
 			d = res.Design
@@ -102,7 +124,7 @@ func main() {
 		if *single {
 			synth = pchls.Synthesize
 		}
-		d, err = synth(g, lib, cons, pchls.Config{Workers: *workers})
+		d, err = synth(g, lib, cons, ccfg)
 	}
 	if err != nil {
 		if errors.Is(err, pchls.ErrInfeasible) {

@@ -1,0 +1,166 @@
+package compat
+
+import (
+	"fmt"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// Incremental maintains the time-extended compatibility graph V1 across
+// the synthesizer's commit/uncommit churn. Where Build reconstructs every
+// vertex and edge from scratch — O((n·m)²) pairwise checks — Incremental
+// keeps a dense candidate table and a bitset adjacency matrix alive and
+// patches only the edges incident to candidates whose windows actually
+// changed between iterations.
+//
+// Candidates are indexed densely as node*nm + module, so every (node,
+// module) slot exists; slots whose module cannot implement the node's
+// operation, or whose window is currently infeasible, are simply marked
+// not-ok and carry no edges. Because V1 edges only ever join candidates of
+// the same module on different nodes, one window change patches O(n) edge
+// bits — the column of that module — not O(n·m).
+//
+// The structure allocates only at construction; Set is allocation-free,
+// which `make test-alloc` pins.
+type Incremental struct {
+	g     *cdfg.Graph
+	lib   *library.Library
+	reach cdfg.Bitmat
+	n, nm int
+	words int // uint64 words per adjacency row
+
+	ok  []bool
+	win []sched.Window
+	adj []uint64
+}
+
+// NewIncremental builds the empty incremental graph for g over lib: all
+// candidates start infeasible and edge-less until Set installs windows.
+func NewIncremental(g *cdfg.Graph, lib *library.Library) (*Incremental, error) {
+	reach, err := g.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	n, nm := g.N(), lib.Len()
+	cands := n * nm
+	words := (cands + 63) / 64
+	return &Incremental{
+		g: g, lib: lib, reach: reach, n: n, nm: nm, words: words,
+		ok:  make([]bool, cands),
+		win: make([]sched.Window, cands),
+		adj: make([]uint64, cands*words),
+	}, nil
+}
+
+func (ic *Incremental) idx(v cdfg.NodeID, mi int) int { return int(v)*ic.nm + mi }
+
+// Set installs candidate (v, mi)'s current window (ok=false marks the
+// candidate infeasible, clearing its edges) and patches the edges incident
+// to it under the CanShare rule. It reports whether the candidate actually
+// changed; an unchanged candidate costs one comparison and touches no
+// edge bits, so re-syncing a mostly-stable window table is cheap.
+func (ic *Incremental) Set(v cdfg.NodeID, mi int, w sched.Window, ok bool) bool {
+	i := ic.idx(v, mi)
+	if ic.ok[i] == ok && (!ok || ic.win[i] == w) {
+		return false
+	}
+	ic.ok[i] = ok
+	ic.win[i] = w
+	d := ic.lib.Module(mi).Delay
+	row := ic.adj[i*ic.words : (i+1)*ic.words]
+	for u := 0; u < ic.n; u++ {
+		if u == int(v) {
+			continue
+		}
+		j := u*ic.nm + mi
+		share := ok && ic.ok[j] &&
+			CanShare(w, ic.win[j], d, ic.reach.Get(int(v), u), ic.reach.Get(u, int(v)))
+		setBit(row, j, share)
+		setBit(ic.adj[j*ic.words:(j+1)*ic.words], i, share)
+	}
+	return true
+}
+
+func setBit(row []uint64, j int, on bool) {
+	if on {
+		row[j/64] |= 1 << uint(j%64)
+	} else {
+		row[j/64] &^= 1 << uint(j%64)
+	}
+}
+
+// Candidate returns the stored window of (v, mi) and whether the
+// candidate is currently feasible.
+func (ic *Incremental) Candidate(v cdfg.NodeID, mi int) (sched.Window, bool) {
+	i := ic.idx(v, mi)
+	return ic.win[i], ic.ok[i]
+}
+
+// Compatible reports whether candidates (v, mi) and (u, mj) may share one
+// functional-unit instance under the currently installed windows.
+func (ic *Incremental) Compatible(v cdfg.NodeID, mi int, u cdfg.NodeID, mj int) bool {
+	j := ic.idx(u, mj)
+	return ic.adj[ic.idx(v, mi)*ic.words+j/64]&(1<<uint(j%64)) != 0
+}
+
+// ShareOK reports whether candidate (v, mi) is compatible with every
+// operation in ops when all of them run on one instance of module mi.
+// This is the synthesizer's sharing prefilter: a false answer proves no
+// in-window start of v can coexist with the committed executions on that
+// instance, so the slot search can be skipped without changing its
+// outcome.
+func (ic *Incremental) ShareOK(v cdfg.NodeID, mi int, ops []cdfg.NodeID) bool {
+	row := ic.adj[ic.idx(v, mi)*ic.words : (ic.idx(v, mi)+1)*ic.words]
+	for _, u := range ops {
+		j := int(u)*ic.nm + mi
+		if row[j/64]&(1<<uint(j%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Audit recomputes every edge from the stored windows with the same
+// pairwise rule Build uses — a from-scratch rebuild, sharing no state with
+// the patching fast path — and returns an error on the first adjacency bit
+// that disagrees in either direction. It is the differential oracle of
+// the randomized incremental-maintenance tests.
+func (ic *Incremental) Audit() error {
+	total := ic.n * ic.nm
+	for i := 0; i < total; i++ {
+		vi, mi := cdfg.NodeID(i/ic.nm), i%ic.nm
+		for j := i + 1; j < total; j++ {
+			vj, mj := cdfg.NodeID(j/ic.nm), j%ic.nm
+			want := false
+			if mi == mj && vi != vj && ic.ok[i] && ic.ok[j] {
+				want = CanShare(ic.win[i], ic.win[j], ic.lib.Module(mi).Delay,
+					ic.reach.Get(int(vi), int(vj)), ic.reach.Get(int(vj), int(vi)))
+			}
+			got := ic.adj[i*ic.words+j/64]&(1<<uint(j%64)) != 0
+			rev := ic.adj[j*ic.words+i/64]&(1<<uint(i%64)) != 0
+			if got != want || rev != want {
+				return fmt.Errorf("compat: incremental edge (%d:%s, %d:%s) = %v/%v, rebuild says %v",
+					vi, ic.lib.Module(mi).Name, vj, ic.lib.Module(mj).Name, got, rev, want)
+			}
+		}
+	}
+	return nil
+}
+
+// Edges counts the maintained compatibility edges (each unordered pair
+// once), for reports and tests.
+func (ic *Incremental) Edges() int {
+	total := ic.n * ic.nm
+	edges := 0
+	for i := 0; i < total; i++ {
+		row := ic.adj[i*ic.words : (i+1)*ic.words]
+		for j := i + 1; j < total; j++ {
+			if row[j/64]&(1<<uint(j%64)) != 0 {
+				edges++
+			}
+		}
+	}
+	return edges
+}

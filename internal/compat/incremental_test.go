@@ -1,0 +1,176 @@
+package compat
+
+import (
+	"math/rand"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/gen"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// churnTable is a mutable window table driving both the incremental
+// structure and the from-scratch Build during differential testing.
+type churnTable struct {
+	win []sched.Window
+	ok  []bool
+	nm  int
+}
+
+func newChurnTable(g *cdfg.Graph, lib *library.Library) *churnTable {
+	nm := lib.Len()
+	return &churnTable{
+		win: make([]sched.Window, g.N()*nm),
+		ok:  make([]bool, g.N()*nm),
+		nm:  nm,
+	}
+}
+
+func (ct *churnTable) set(v cdfg.NodeID, mi int, w sched.Window, ok bool) {
+	ct.win[int(v)*ct.nm+mi] = w
+	ct.ok[int(v)*ct.nm+mi] = ok
+}
+
+func (ct *churnTable) windowFunc() WindowFunc {
+	return func(v cdfg.NodeID, mi int) (sched.Window, bool) {
+		return ct.win[int(v)*ct.nm+mi], ct.ok[int(v)*ct.nm+mi]
+	}
+}
+
+// randomWindow draws a small plausible window.
+func randomWindow(rng *rand.Rand) sched.Window {
+	e := rng.Intn(12)
+	return sched.Window{Early: e, Late: e + rng.Intn(8)}
+}
+
+// TestIncrementalMatchesBuild churns random windows through an
+// Incremental and checks after every round that its edge set equals the
+// from-scratch Build of the same window table, bit for bit. This is the
+// differential that licenses patching edges instead of rebuilding: any
+// divergence between the dirty-set update rule and the pairwise
+// definition shows up as a mismatched pair here.
+func TestIncrementalMatchesBuild(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph: gen.GraphConfig{Nodes: 6 + int(seed%8)},
+		})
+		g, lib := inst.Graph, inst.Library
+		ic, err := NewIncremental(g, lib)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ct := newChurnTable(g, lib)
+		rng := rand.New(rand.NewSource(seed * 7919))
+
+		for round := 0; round < 6; round++ {
+			// Mutate a random subset of candidates; round 0 initializes
+			// everything. The first candidate of every node stays
+			// feasible so Build never fails its coverage check.
+			for _, n := range g.Nodes() {
+				for k, mi := range lib.Candidates(n.Op) {
+					if round > 0 && rng.Intn(3) != 0 {
+						continue
+					}
+					ok := k == 0 || rng.Intn(5) != 0
+					w := sched.Window{}
+					if ok {
+						w = randomWindow(rng)
+					}
+					ct.set(n.ID, mi, w, ok)
+					ic.Set(n.ID, mi, w, ok)
+				}
+			}
+
+			ref, err := Build(g, lib, ct.windowFunc())
+			if err != nil {
+				t.Fatalf("seed %d round %d: build: %v", seed, round, err)
+			}
+			for i := 0; i < ref.N(); i++ {
+				for j := 0; j < ref.N(); j++ {
+					a, b := ref.Cands[i], ref.Cands[j]
+					want := ref.Compatible(i, j)
+					got := ic.Compatible(a.Node, a.Module, b.Node, b.Module)
+					if got != want {
+						t.Fatalf("seed %d round %d: (%d,%d)x(%d,%d): incremental %v, build %v",
+							seed, round, a.Node, a.Module, b.Node, b.Module, got, want)
+					}
+				}
+			}
+			// Infeasible candidates must carry no edges at all.
+			for _, n := range g.Nodes() {
+				for _, mi := range lib.Candidates(n.Op) {
+					if _, ok := ic.Candidate(n.ID, mi); ok {
+						continue
+					}
+					for _, u := range g.Nodes() {
+						for _, mj := range lib.Candidates(u.Op) {
+							if ic.Compatible(n.ID, mi, u.ID, mj) {
+								t.Fatalf("seed %d round %d: infeasible candidate (%d,%d) has an edge", seed, round, n.ID, mi)
+							}
+						}
+					}
+				}
+			}
+			if err := ic.Audit(); err != nil {
+				t.Fatalf("seed %d round %d: audit: %v", seed, round, err)
+			}
+		}
+	}
+}
+
+// TestIncrementalSetReportsChange pins the dirty-set contract: an
+// unchanged Set returns false and is free, a changed one returns true.
+func TestIncrementalSetReportsChange(t *testing.T) {
+	inst := gen.NewInstance(3, gen.InstanceConfig{Graph: gen.GraphConfig{Nodes: 8}})
+	ic, err := NewIncremental(inst.Graph, inst.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.Graph.Node(0)
+	mi := inst.Library.Candidates(n.Op)[0]
+	w := sched.Window{Early: 1, Late: 4}
+	if !ic.Set(n.ID, mi, w, true) {
+		t.Fatal("first Set of a fresh candidate reported no change")
+	}
+	if ic.Set(n.ID, mi, w, true) {
+		t.Fatal("identical Set reported a change")
+	}
+	if !ic.Set(n.ID, mi, sched.Window{Early: 1, Late: 5}, true) {
+		t.Fatal("window change not reported")
+	}
+	if !ic.Set(n.ID, mi, sched.Window{}, false) {
+		t.Fatal("feasibility change not reported")
+	}
+	if ic.Set(n.ID, mi, sched.Window{Early: 9, Late: 9}, false) {
+		t.Fatal("infeasible-to-infeasible window change reported (windows of infeasible candidates are not observable)")
+	}
+}
+
+// TestIncrementalSetAllocs pins Set to zero allocations: the structure
+// allocates only at construction, so the per-iteration compat sync of the
+// synthesizer never touches the heap no matter how many edges it patches.
+func TestIncrementalSetAllocs(t *testing.T) {
+	inst := gen.NewInstance(11, gen.InstanceConfig{Graph: gen.GraphConfig{Nodes: 40}})
+	g, lib := inst.Graph, inst.Library
+	ic, err := NewIncremental(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range g.Nodes() {
+		for _, mi := range lib.Candidates(n.Op) {
+			ic.Set(n.ID, mi, randomWindow(rng), true)
+		}
+	}
+	n := g.Node(cdfg.NodeID(g.N() / 2))
+	mi := lib.Candidates(n.Op)[0]
+	flip := 0
+	got := testing.AllocsPerRun(100, func() {
+		flip++
+		ic.Set(n.ID, mi, sched.Window{Early: flip % 7, Late: flip%7 + 3}, true)
+	})
+	if got != 0 {
+		t.Fatalf("Incremental.Set allocates %.1f allocs/op, want 0", got)
+	}
+}

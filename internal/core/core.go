@@ -25,6 +25,7 @@ import (
 
 	"pchls/internal/bind"
 	"pchls/internal/cdfg"
+	"pchls/internal/compat"
 	"pchls/internal/library"
 	"pchls/internal/runner"
 	"pchls/internal/sched"
@@ -62,6 +63,41 @@ type Perturb struct {
 
 // enabled reports whether any perturbation is active.
 func (p Perturb) enabled() bool { return p.Jitter > 0 || p.ShuffleTies }
+
+// WindowPolicy selects how the per-candidate mobility windows are derived
+// (Config.Windows).
+type WindowPolicy int
+
+// The window-derivation policies.
+const (
+	// WindowsAuto (the zero value) derives windows exhaustively for small
+	// graphs and switches to the SDC difference-constraint bounds at
+	// sdcGraphNodes, the same way smallGraphNodes gates the incremental
+	// engine.
+	WindowsAuto WindowPolicy = iota
+	// WindowsExhaustive forces the per-candidate pasap/palap pairs
+	// regardless of size — the pre-refactor path, kept as the oracle.
+	WindowsExhaustive
+	// WindowsSDC forces the O(V+E) difference-constraint derivation
+	// regardless of size.
+	WindowsSDC
+)
+
+// PartitionPolicy selects hierarchical decomposition (Config.Partition).
+type PartitionPolicy int
+
+// The decomposition policies.
+const (
+	// PartitionAuto (the zero value) decomposes graphs of at least
+	// partitionGraphNodes nodes that have two or more weakly-connected
+	// components; everything else synthesizes monolithically.
+	PartitionAuto PartitionPolicy = iota
+	// PartitionOff forces monolithic synthesis.
+	PartitionOff
+	// PartitionForce decomposes whenever the graph has two or more
+	// weakly-connected components, regardless of size.
+	PartitionForce
+)
 
 // Config tunes the synthesizer beyond the constraints.
 type Config struct {
@@ -105,6 +141,32 @@ type Config struct {
 	// an aborted pass produces no design, and the portfolio only ever adopts
 	// verified improvements over an incumbent it already holds.
 	AreaBound float64
+	// Windows selects the candidate-window derivation: exhaustive
+	// pasap/palap pairs (small graphs, the paper's formulation) or the SDC
+	// difference-constraint bounds (large graphs, O(V+E) per iteration).
+	// The zero value auto-selects by node count.
+	Windows WindowPolicy
+	// Partition selects hierarchical decomposition: large multi-component
+	// graphs are split into weakly-connected regions, synthesized
+	// independently on the worker pool and stitched back. The zero value
+	// auto-selects by node count.
+	Partition PartitionPolicy
+	// BaseProfile, when non-nil, is an ambient per-cycle power draw added
+	// to the committed profile before every P< check (scheduler stretches,
+	// slot probes). The sequential region-repair path of the decomposed
+	// synthesis threads the power already committed by earlier regions
+	// through it, so the stitched union respects the cap by construction.
+	// Cycles beyond len(BaseProfile) draw zero ambient power.
+	BaseProfile []float64
+
+	// noCompat disables the incremental-compatibility sharing prefilter on
+	// the SDC path. Test-only (in-package): proves the prefilter is
+	// output-neutral.
+	noCompat bool
+	// auditCompat cross-checks the incrementally patched compatibility
+	// edge set against a from-scratch rebuild after every sync. Test-only
+	// (in-package): the randomized differential suite sets it.
+	auditCompat bool
 }
 
 func (c Config) cost() bind.CostModel {
@@ -182,6 +244,16 @@ type state struct {
 	// selects the legacy recompute-everything path.
 	eng   *engine
 	stats Stats
+
+	// sdc selects the SDC window derivation (useSDC); topo and sdcB are
+	// its cached topological order and recycled bounds buffers.
+	sdc  bool
+	topo []cdfg.NodeID
+	sdcB sched.SDCBounds
+	// v1 is the incrementally maintained compatibility graph, alive across
+	// commits on the SDC path; nil otherwise (the exhaustive path's windows
+	// already encode power, so the prefilter would be redundant work there).
+	v1 *compat.Incremental
 
 	// Hot-path lookup tables and scratch, built once by initTables. The
 	// synthesize loop runs the schedulers hundreds of times per design;
@@ -319,6 +391,20 @@ func newState(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config)
 		}
 		st.eng = eng
 	}
+	if st.sdc = useSDC(g, cfg); st.sdc {
+		topo, err := g.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		st.topo = topo
+		if !cfg.noCompat {
+			v1, err := compat.NewIncremental(g, lib)
+			if err != nil {
+				return nil, err
+			}
+			st.v1 = v1
+		}
+	}
 	return st, nil
 }
 
@@ -337,9 +423,62 @@ func useEngine(g *cdfg.Graph, cfg Config) bool {
 	return !cfg.DisableIncremental && g.N() >= smallGraphNodes
 }
 
+// sdcGraphNodes gates the SDC window derivation by graph size, the way
+// smallGraphNodes gates the engine: below this many nodes the exhaustive
+// pasap/palap windows are exact and cheap, and their extra tightness
+// (they encode the power cap; the SDC bounds do not) is worth keeping.
+// Above it the per-candidate scheduler pairs are the dominant cost and the
+// relaxed windows win. All seven classic benchmarks are far below the
+// threshold, so the paper-faithful path is untouched. See DESIGN.md §13.
+const sdcGraphNodes = 160
+
+// useSDC reports whether synthesis of g should derive candidate windows
+// from the SDC difference-constraint bounds.
+func useSDC(g *cdfg.Graph, cfg Config) bool {
+	switch cfg.Windows {
+	case WindowsExhaustive:
+		return false
+	case WindowsSDC:
+		return true
+	}
+	return g.N() >= sdcGraphNodes
+}
+
+// partitionGraphNodes gates hierarchical decomposition by graph size:
+// below it even a multi-component graph synthesizes monolithically (the
+// classic path; byte-identical results matter more than the split's
+// savings at these sizes). Decomposition additionally requires two or
+// more weakly-connected components — it never cuts data dependencies.
+const partitionGraphNodes = 128
+
+// usePartition reports whether synthesis of g should try hierarchical
+// decomposition.
+func usePartition(g *cdfg.Graph, cfg Config) bool {
+	switch cfg.Partition {
+	case PartitionOff:
+		return false
+	case PartitionForce:
+		return true
+	}
+	return g.N() >= partitionGraphNodes
+}
+
 // Synthesize runs the combined scheduling/allocation/binding algorithm.
+// Large graphs that split into several weakly-connected components are
+// decomposed: the regions synthesize independently on the worker pool and
+// the results are stitched back together (see synthesizePartitioned);
+// everything else runs the monolithic greedy loop.
 func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
 	cfg.DisableIncremental = !useEngine(g, cfg)
+	if usePartition(g, cfg) {
+		return synthesizePartitioned(g, lib, cons, cfg)
+	}
+	return synthesizeMono(g, lib, cons, cfg)
+}
+
+// synthesizeMono is the monolithic synthesis loop — the paper's algorithm
+// over one graph, with no decomposition.
+func synthesizeMono(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
 	st, err := newState(g, lib, cons, cfg)
 	if err != nil {
 		return nil, err
@@ -538,6 +677,21 @@ func (st *state) fastestFeasible(op cdfg.Op) (int, error) {
 // shared state scratch: their contents are stable within one synthesis
 // iteration, which is as long as any scheduler run reads them.
 func (st *state) schedOpts() sched.Options {
+	st.fillFixedStarts()
+	return sched.Options{
+		PowerMax:    st.cons.PowerMax,
+		Select:      st.cfg.Select,
+		Base:        st.cfg.BaseProfile,
+		FixedStarts: st.fixedStarts,
+		Delays:      st.delays,
+		Powers:      st.powers,
+		Arena:       st.arena,
+	}
+}
+
+// fillFixedStarts refreshes the committed-starts buffer schedOpts and the
+// SDC derivation share.
+func (st *state) fillFixedStarts() {
 	for i, c := range st.committed {
 		if c || st.locked {
 			st.fixedStarts[i] = st.start[i]
@@ -545,14 +699,15 @@ func (st *state) schedOpts() sched.Options {
 			st.fixedStarts[i] = -1
 		}
 	}
-	return sched.Options{
-		PowerMax:    st.cons.PowerMax,
-		Select:      st.cfg.Select,
-		FixedStarts: st.fixedStarts,
-		Delays:      st.delays,
-		Powers:      st.powers,
-		Arena:       st.arena,
+}
+
+// baseAt returns the ambient power Config.BaseProfile contributes at
+// cycle c (zero beyond its length, zero when unset).
+func (st *state) baseAt(c int) float64 {
+	if b := st.cfg.BaseProfile; c < len(b) {
+		return b[c]
 	}
+	return 0
 }
 
 // currentPASAP computes the pasap schedule of the whole graph under the

@@ -42,6 +42,10 @@ func (st *state) candidateWindows() {
 		}
 		return
 	}
+	if st.sdc {
+		st.sdcWindows()
+		return
+	}
 	if st.eng != nil {
 		if st.eng.warm {
 			if st.reusedWindows() {
@@ -89,6 +93,45 @@ func (st *state) scratchWindows() {
 				continue
 			}
 			if w, ok := st.windowFor(v, mi); ok {
+				st.setWin(v, mi, w)
+			}
+		}
+	}
+}
+
+// sdcWindows derives every candidate window from the SDC
+// difference-constraint bounds: one O(V+E) longest-path pass per
+// iteration, then an O(1) lookup per (node, module) candidate — Early[v]
+// never depends on v's own delay and LateEnd[v] doesn't either while v is
+// uncommitted, so a module override is just a different subtraction. This
+// replaces the O(n·m) override pasap/palap pairs of the exhaustive path,
+// which is what makes thousand-node synthesis tractable.
+//
+// The bounds ignore the power cap, so these windows are supersets of the
+// power-feasible exhaustive ones. Soundness is unaffected: every placement
+// is still checked against the committed power profile (freeSlot), every
+// commit is re-probed by the full power-aware pasap, repair handles
+// stranded operations, and the final schedule passes Validate — the
+// relaxation only widens which decisions get considered. Modules whose
+// own power exceeds the cap are rejected here exactly as windowSchedsFor
+// rejects them.
+func (st *state) sdcWindows() {
+	st.stats.SDCDerivations++
+	st.fillFixedStarts()
+	sched.DeriveSDCBounds(st.g, st.topo, st.cons.Deadline, st.delays, st.fixedStarts, &st.sdcB)
+	for i, c := range st.committed {
+		if c {
+			continue
+		}
+		v := cdfg.NodeID(i)
+		early := st.sdcB.Early[v]
+		for _, mi := range st.cand[v] {
+			m := st.lib.Module(mi)
+			if st.cons.PowerMax > 0 && m.Power > st.cons.PowerMax+1e-9 {
+				continue
+			}
+			w := sched.Window{Early: early, Late: st.sdcB.LateEnd[v] - m.Delay}
+			if w.Width() >= 1 {
 				st.setWin(v, mi, w)
 			}
 		}
@@ -355,7 +398,7 @@ func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64)
 		}
 		if ok && prof != nil {
 			for c := t; c < t+d; c++ {
-				if prof[c]+power > st.cons.PowerMax+1e-9 {
+				if prof[c]+st.baseAt(c)+power > st.cons.PowerMax+1e-9 {
 					ok = false
 					break
 				}
@@ -375,6 +418,9 @@ func (st *state) freeSlot(busy []interval, w sched.Window, d int, power float64)
 // smallest node ID, then the smallest module area — all deterministic.
 func (st *state) bestDecision() (Decision, bool) {
 	st.candidateWindows()
+	if st.v1 != nil {
+		st.syncCompat()
+	}
 	best := Decision{FU: -1}
 	bestWidth, bestWeight := 0, 0.0
 	found := false
@@ -469,6 +515,15 @@ func (st *state) bestDecision() (Decision, bool) {
 			// Share an existing instance of the same module.
 			for f := range st.fus {
 				if st.fus[f].module != mi {
+					continue
+				}
+				// V1 prefilter: an edge missing between (v, mi) and any
+				// operation on f proves no in-window start can coexist with
+				// f's reservations (CanShare false implies freeSlot false —
+				// the windows already encode precedence against committed
+				// starts), so the slot walk is skipped without changing the
+				// decision set.
+				if st.v1 != nil && !st.v1.ShareOK(v, mi, st.fus[f].ops) {
 					continue
 				}
 				if t, ok := st.freeSlot(st.reservationsInto(f, &st.busyA), w, m.Delay, m.Power); ok {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+	"pchls/internal/runner"
+	"pchls/internal/verify"
+)
+
+// synthesizePartitioned is the hierarchical-decomposition entry point for
+// graphs that usePartition selected. The weakly-connected components of g
+// synthesize as independent sub-problems on the worker pool (regions share
+// no data dependency, so each region's schedule is valid in isolation),
+// and stitchRegions merges the results back over the parent graph — the
+// shared-instance reconciliation pass then merges functional units across
+// region boundaries wherever that shrinks the exact area.
+//
+// Regions synthesized in parallel each respect the power cap alone but
+// may exceed it jointly; the stitch validation catches that, and the
+// sequential repair re-synthesizes the regions in order, threading the
+// power profile committed so far through Config.BaseProfile so the union
+// respects P< by construction. If that also fails, the graph synthesizes
+// monolithically (counted in Stats.PartitionFallbacks).
+//
+// Every stitched result is re-checked by the engine-independent
+// verify.Check before being returned. The function is deterministic for
+// every worker count: runner.Map preserves region order, and stitching
+// walks regions in that order.
+func synthesizePartitioned(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	comps := g.Components()
+	if len(comps) < 2 {
+		return synthesizeMono(g, lib, cons, cfg)
+	}
+	subs := make([]*cdfg.Graph, len(comps))
+	for i, ids := range comps {
+		sub, err := g.Subgraph(fmt.Sprintf("%s#%d", g.Name, i), ids)
+		if err != nil {
+			return nil, fmt.Errorf("core: internal error extracting region %d: %w", i, err)
+		}
+		subs[i] = sub
+	}
+	// Region runs are leaves: no nested decomposition, no nested worker
+	// fan-out, no incumbent cut (the bound is about whole designs), no
+	// inherited ambient profile.
+	rcfg := cfg
+	rcfg.Partition = PartitionOff
+	rcfg.Workers = 1
+	rcfg.AreaBound = 0
+	rcfg.BaseProfile = nil
+
+	regions, err := runner.Map(context.Background(), len(subs), runner.Config{Workers: cfg.Workers},
+		func(_ context.Context, i int) (synthResult, error) {
+			d, err := Synthesize(subs[i], lib, cons, rcfg)
+			return synthResult{d, err}, nil
+		})
+	if err == nil {
+		ds := make([]*Design, len(regions))
+		ok := true
+		for i, r := range regions {
+			if r.err != nil {
+				ok = false
+				break
+			}
+			ds[i] = r.d
+		}
+		if ok {
+			if d, err := stitchRegions(g, lib, cons, cfg, comps, ds); err == nil {
+				return d, nil
+			}
+		}
+	}
+	if cons.PowerMax > 0 {
+		if d, err := stitchSequential(g, lib, cons, cfg, comps, subs, rcfg); err == nil {
+			return d, nil
+		}
+	}
+	d, err := synthesizeMono(g, lib, cons, cfg)
+	if d != nil {
+		d.Stats.PartitionFallbacks++
+	}
+	return d, err
+}
+
+// stitchRegions merges per-component designs into one design over the
+// parent graph: committed starts, modules and binding carry over (module
+// indices agree — every region shares the parent library), functional
+// units concatenate with re-based indices, and the commit logs append in
+// region order. The merge pass then reconciles shared instances across
+// region boundaries, finish re-validates the joint schedule (this is
+// where a joint power-cap violation of independently synthesized regions
+// surfaces as an error), and verify.Check independently re-derives every
+// constraint on the stitched result.
+func stitchRegions(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config, comps [][]cdfg.NodeID, regions []*Design) (*Design, error) {
+	cfg.Partition = PartitionOff
+	cfg.BaseProfile = nil
+	st, err := newState(g, lib, cons, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for ri, d := range regions {
+		ids := comps[ri]
+		fuBase := len(st.fus)
+		for fi := range d.FUs {
+			mi, ok := st.nameToMi[d.FUs[fi].Module.Name]
+			if !ok {
+				return nil, fmt.Errorf("core: stitch: region %d references unknown module %q", ri, d.FUs[fi].Module.Name)
+			}
+			ops := make([]cdfg.NodeID, len(d.FUs[fi].Ops))
+			for k, lv := range d.FUs[fi].Ops {
+				ops[k] = ids[lv]
+			}
+			st.fus = append(st.fus, instance{module: mi, ops: ops})
+			st.fuAreaCommitted += lib.Module(mi).Area
+		}
+		for li, old := range ids {
+			mi, ok := st.nameToMi[d.Schedule.Module[li]]
+			if !ok {
+				return nil, fmt.Errorf("core: stitch: region %d references unknown module %q", ri, d.Schedule.Module[li])
+			}
+			st.committed[old] = true
+			st.start[old] = d.Schedule.Start[li]
+			st.setModule(old, mi)
+			st.fuOf[old] = fuBase + d.FUOf[li]
+		}
+		for _, dec := range d.Decisions {
+			st.decisions = append(st.decisions, Decision{
+				Node: ids[dec.Node], Module: dec.Module, FU: fuBase + dec.FU,
+				NewFU: dec.NewFU, Start: dec.Start, Cost: dec.Cost,
+			})
+		}
+		st.locked = st.locked || d.Locked
+		st.stats = st.stats.Add(d.Stats)
+		st.stats.Regions++
+	}
+	if st.eng != nil {
+		st.eng.rebuild(st)
+	}
+	st.mergePass()
+	d, err := st.finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Check(VerifyInput(d)); err != nil {
+		return nil, fmt.Errorf("core: stitched design rejected by the verifier: %w", err)
+	}
+	return d, nil
+}
+
+// stitchSequential is the power-coupled repair of the decomposed path:
+// regions synthesize one after another, each seeing the per-cycle power
+// the previous regions committed as an ambient BaseProfile, so every
+// placement (scheduler stretches and slot probes alike) already accounts
+// for the neighbors and the stitched union respects the cap by
+// construction.
+func stitchSequential(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config, comps [][]cdfg.NodeID, subs []*cdfg.Graph, rcfg Config) (*Design, error) {
+	base := make([]float64, cons.Deadline)
+	ds := make([]*Design, len(subs))
+	for i, sub := range subs {
+		rc := rcfg
+		rc.BaseProfile = append([]float64(nil), base...)
+		d, err := Synthesize(sub, lib, cons, rc)
+		if err != nil {
+			return nil, err
+		}
+		ds[i] = d
+		for li := range d.Schedule.Start {
+			s, dl, p := d.Schedule.Start[li], d.Schedule.Delay[li], d.Schedule.Power[li]
+			for c := s; c < s+dl && c < len(base); c++ {
+				base[c] += p
+			}
+		}
+	}
+	d, err := stitchRegions(g, lib, cons, cfg, comps, ds)
+	if err != nil {
+		return nil, err
+	}
+	d.Stats.RegionRepairs++
+	return d, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+// Tests for the thousand-node scaling path: SDC window derivation, the
+// incremental compatibility prefilter, and hierarchical decomposition.
+// The common theme is equivalence — the fast paths must either match the
+// exhaustive paths byte for byte (where the theory says they coincide)
+// or produce independently verified designs (where they legitimately
+// diverge).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"pchls/internal/gen"
+	"pchls/internal/verify"
+)
+
+// scaleInstances yields moderate random instances for the equivalence
+// sweeps; sizes straddle the engine's smallGraphNodes threshold so both
+// the warm-cache engine and the plain path see SDC windows.
+func scaleInstance(seed int64) gen.Instance {
+	return gen.NewInstance(seed, gen.InstanceConfig{
+		Graph: gen.GraphConfig{Nodes: 8 + int(seed%28)},
+	})
+}
+
+// TestSDCMatchesExhaustiveUnconstrained pins the regime where the SDC
+// windows are provably exact: with PowerMax <= 0 the pasap/palap pair
+// degenerates to precedence ASAP/ALAP, which is the very system of
+// difference constraints the SDC sweep solves, so forcing either window
+// policy must give byte-identical designs.
+func TestSDCMatchesExhaustiveUnconstrained(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		inst := scaleInstance(seed)
+		cons := Constraints{Deadline: inst.Deadline, PowerMax: 0}
+		label := fmt.Sprintf("seed %d n=%d T=%d", seed, inst.Graph.N(), cons.Deadline)
+		sdc, sdcErr := Synthesize(inst.Graph, inst.Library, cons, Config{Windows: WindowsSDC, Partition: PartitionOff})
+		ex, exErr := Synthesize(inst.Graph, inst.Library, cons, Config{Windows: WindowsExhaustive, Partition: PartitionOff})
+		requireSameDesign(t, label, sdc, ex, sdcErr, exErr)
+		if sdcErr == nil && sdc.Stats.SDCDerivations == 0 {
+			t.Fatalf("%s: SDC policy ran without any SDC derivation", label)
+		}
+	}
+}
+
+// TestSDCPrefilterOutputNeutral checks the compatibility prefilter
+// theorem on power-constrained instances: CanShare-false implies
+// freeSlot-false, so running the SDC path with the prefilter disabled
+// must not change a single byte of the result.
+func TestSDCPrefilterOutputNeutral(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		inst := scaleInstance(seed)
+		cons := Constraints{Deadline: inst.Deadline, PowerMax: inst.PowerMax}
+		label := fmt.Sprintf("seed %d n=%d T=%d P<=%g", seed, inst.Graph.N(), cons.Deadline, cons.PowerMax)
+		with, withErr := Synthesize(inst.Graph, inst.Library, cons, Config{Windows: WindowsSDC, Partition: PartitionOff})
+		without, withoutErr := Synthesize(inst.Graph, inst.Library, cons, Config{Windows: WindowsSDC, Partition: PartitionOff, noCompat: true})
+		requireSameDesign(t, label, with, without, withErr, withoutErr)
+	}
+}
+
+// TestSDCSynthesisVerifies pushes power-constrained instances through
+// the forced-SDC path and re-checks every produced design with the
+// engine-independent verifier: the SDC windows are supersets of the
+// power-feasible ones, so this is the test that the downstream probes
+// (freeSlot, the post-commit pasap probe, final validation) really do
+// re-impose the power cap.
+func TestSDCSynthesisVerifies(t *testing.T) {
+	produced := 0
+	for seed := int64(0); seed < 200; seed++ {
+		inst := scaleInstance(seed)
+		if inst.PowerMax <= 0 {
+			continue
+		}
+		cons := Constraints{Deadline: inst.Deadline, PowerMax: inst.PowerMax}
+		d, err := Synthesize(inst.Graph, inst.Library, cons, Config{Windows: WindowsSDC, Partition: PartitionOff})
+		if err != nil {
+			continue
+		}
+		produced++
+		if err := verify.Check(VerifyInput(d)); err != nil {
+			t.Fatalf("seed %d: SDC design fails verification: %v", seed, err)
+		}
+	}
+	if produced < 50 {
+		t.Fatalf("only %d/200 instances produced designs; sweep too weak to mean anything", produced)
+	}
+}
+
+// compatDifferentialDesigns sizes the randomized incremental-V1
+// differential: 1000 designs by default (the acceptance floor),
+// overridable through PCHLS_COMPAT_DESIGNS for soak runs.
+func compatDifferentialDesigns(t *testing.T) int {
+	if s := os.Getenv("PCHLS_COMPAT_DESIGNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("PCHLS_COMPAT_DESIGNS=%q: want a positive integer", s)
+		}
+		return n
+	}
+	return 1000
+}
+
+// TestCompatIncrementalDifferential synthesizes >= 1k seeded random
+// designs with the audit hook enabled: after every per-iteration compat
+// sync, the incrementally patched edge set is compared bit for bit
+// against a from-scratch recomputation, and any mismatch panics inside
+// the engine. Passing means the dirty-set maintenance rule is exact
+// across every commit/uncommit/repair pattern the sweep produced.
+func TestCompatIncrementalDifferential(t *testing.T) {
+	n := compatDifferentialDesigns(t)
+	for seed := int64(0); seed < int64(n); seed++ {
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph: gen.GraphConfig{Nodes: 6 + int(seed%10)},
+		})
+		cons := Constraints{Deadline: inst.Deadline, PowerMax: inst.PowerMax}
+		cfg := Config{Windows: WindowsSDC, Partition: PartitionOff, auditCompat: true}
+		if _, err := Synthesize(inst.Graph, inst.Library, cons, cfg); err != nil {
+			continue // infeasible instances still audited every iteration they ran
+		}
+	}
+}
+
+// TestPartitionStitchMatchesForced checks the decomposition path at the
+// core level: a multi-block graph synthesized with PartitionForce must
+// produce the same bytes for every worker count (region order is fixed
+// by the component order, not by scheduling), must verify independently,
+// and must report the regions in its stats.
+func TestPartitionStitchMatchesForced(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph: gen.GraphConfig{Nodes: 60, Blocks: 4},
+		})
+		cons := Constraints{Deadline: inst.Deadline, PowerMax: inst.PowerMax}
+		var ref *Design
+		var refErr error
+		for _, workers := range []int{1, 2, 8} {
+			cfg := Config{Partition: PartitionForce, Workers: workers}
+			d, err := Synthesize(inst.Graph, inst.Library, cons, cfg)
+			label := fmt.Sprintf("seed %d workers=%d", seed, workers)
+			if workers == 1 {
+				ref, refErr = d, err
+				if err == nil {
+					if verr := verify.Check(VerifyInput(d)); verr != nil {
+						t.Fatalf("%s: stitched design fails verification: %v", label, verr)
+					}
+					if d.Stats.Regions == 0 && d.Stats.PartitionFallbacks == 0 {
+						t.Fatalf("%s: forced partition reports neither regions nor a fallback:\n%v", label, d.Stats)
+					}
+				}
+				continue
+			}
+			requireSameDesign(t, label, d, ref, err, refErr)
+		}
+	}
+}
+
+// TestPartitionMatchesMonolithicUnconstrained: with no power cap, regions
+// do not interact at all (no shared profile), so decomposed synthesis of
+// a disjoint union must succeed exactly when monolithic synthesis does,
+// and must verify independently. Area may be worse than monolithic: the
+// stitch's shared-instance reconciliation only merges instances whose
+// committed executions already avoid each other, so cross-region sharing
+// the monolithic greedy would have serialized through windows can be out
+// of reach — that is the documented area cost of the decomposition
+// speedup. The test bounds the gap grossly (2x) and logs it.
+func TestPartitionMatchesMonolithicUnconstrained(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph: gen.GraphConfig{Nodes: 48, Blocks: 3},
+		})
+		cons := Constraints{Deadline: inst.Deadline, PowerMax: 0}
+		label := fmt.Sprintf("seed %d", seed)
+		part, partErr := Synthesize(inst.Graph, inst.Library, cons, Config{Partition: PartitionForce})
+		mono, monoErr := Synthesize(inst.Graph, inst.Library, cons, Config{Partition: PartitionOff})
+		if (partErr != nil) != (monoErr != nil) {
+			t.Fatalf("%s: error disposition diverges: partitioned %v, monolithic %v", label, partErr, monoErr)
+		}
+		if partErr != nil {
+			continue
+		}
+		if verr := verify.Check(VerifyInput(part)); verr != nil {
+			t.Fatalf("%s: partitioned design fails verification: %v", label, verr)
+		}
+		t.Logf("%s: area partitioned %.2f vs monolithic %.2f", label, part.Area(), mono.Area())
+		if part.Area() > mono.Area()*2+1e-9 {
+			t.Fatalf("%s: partitioned area %.2f more than twice monolithic %.2f", label, part.Area(), mono.Area())
+		}
+	}
+}

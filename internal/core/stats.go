@@ -39,6 +39,24 @@ type Stats struct {
 	// incremental engine maintains the profile in O(delay) per commit and
 	// never rebuilds it on the hot path.
 	ProfileRebuilds int64
+	// SDCDerivations counts iterations whose candidate windows came from
+	// the SDC difference-constraint bounds (one O(V+E) pass) instead of
+	// per-candidate scheduler pairs.
+	SDCDerivations int64
+	// CompatPatches counts incremental compatibility-graph candidate
+	// patches (edges re-derived because a window changed); CompatRebuilds
+	// counts from-scratch rebuilds (only the differential audit performs
+	// them — the hot path never does).
+	CompatPatches  int64
+	CompatRebuilds int64
+	// Regions counts independently synthesized weakly-connected regions
+	// stitched into the design (zero for monolithic synthesis);
+	// RegionRepairs counts decompositions that needed the sequential
+	// power-coupled re-synthesis; PartitionFallbacks counts decompositions
+	// abandoned for the monolithic path.
+	Regions            int64
+	RegionRepairs      int64
+	PartitionFallbacks int64
 }
 
 // Add returns the field-wise sum of s and o, for aggregating the stats of
@@ -54,6 +72,12 @@ func (s Stats) Add(o Stats) Stats {
 		Fallbacks:           s.Fallbacks + o.Fallbacks,
 		ProfileProbes:       s.ProfileProbes + o.ProfileProbes,
 		ProfileRebuilds:     s.ProfileRebuilds + o.ProfileRebuilds,
+		SDCDerivations:      s.SDCDerivations + o.SDCDerivations,
+		CompatPatches:       s.CompatPatches + o.CompatPatches,
+		CompatRebuilds:      s.CompatRebuilds + o.CompatRebuilds,
+		Regions:             s.Regions + o.Regions,
+		RegionRepairs:       s.RegionRepairs + o.RegionRepairs,
+		PartitionFallbacks:  s.PartitionFallbacks + o.PartitionFallbacks,
 	}
 }
 
@@ -68,9 +92,17 @@ func (s Stats) String() string {
 			"  full cache invalidations     %8d\n"+
 			"  incremental fallbacks        %8d\n"+
 			"  profile probes               %8d\n"+
-			"  profile rebuilds             %8d\n",
+			"  profile rebuilds             %8d\n"+
+			"  sdc window derivations       %8d\n"+
+			"  compat edge patches          %8d\n"+
+			"  compat full rebuilds         %8d\n"+
+			"  regions stitched             %8d\n"+
+			"  region repairs               %8d\n"+
+			"  partition fallbacks          %8d\n",
 		s.SchedulerRuns, s.IncrementalRuns,
 		s.WindowCacheHits, s.WindowCacheMisses,
 		s.WindowInvalidations, s.FullInvalidations, s.Fallbacks,
-		s.ProfileProbes, s.ProfileRebuilds)
+		s.ProfileProbes, s.ProfileRebuilds,
+		s.SDCDerivations, s.CompatPatches, s.CompatRebuilds,
+		s.Regions, s.RegionRepairs, s.PartitionFallbacks)
 }

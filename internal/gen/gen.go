@@ -33,6 +33,20 @@ type GraphConfig struct {
 	// 0.3; CmpFraction < 0 defaults to 0.1.
 	MulFraction float64
 	CmpFraction float64
+	// Blocks splits the computation nodes into this many mutually
+	// disconnected groups with no edges between them — the shape the
+	// hierarchical decomposition path of the synthesizer consumes. A
+	// group can itself fall apart into a few weakly-connected components
+	// (a layer-0 node no later node picked stays a stray), so the graph
+	// has at least Blocks components, not exactly. <= 1 keeps the single
+	// group of the historical layout (byte-identical graphs for existing
+	// seeds).
+	Blocks int
+	// LayerLocal draws predecessors from the immediately preceding layer
+	// instead of from all earlier layers, producing depth proportional to
+	// the node count (with MaxWidth 1 this is a pure chain). The default
+	// false keeps the historical any-earlier-layer rule.
+	LayerLocal bool
 }
 
 func (c GraphConfig) withDefaults() GraphConfig {
@@ -58,7 +72,9 @@ func (c GraphConfig) withDefaults() GraphConfig {
 // computation nodes are grouped into layers of at most MaxWidth, each
 // non-source computation draws one mandatory predecessor from an earlier
 // layer plus a second with probability EdgeDensity, every source is fed
-// by an Input transfer and every sink drives an Output transfer. The
+// by an Input transfer and every sink drives an Output transfer. With
+// Blocks > 1 the computations split into that many disjoint
+// weakly-connected blocks, each grown by the same layering rule. The
 // result always passes cdfg.Validate.
 func Graph(seed int64, cfg GraphConfig) *cdfg.Graph {
 	cfg = cfg.withDefaults()
@@ -68,35 +84,28 @@ func Graph(seed int64, cfg GraphConfig) *cdfg.Graph {
 	rng := rand.New(rand.NewSource(seed))
 	g := cdfg.New(fmt.Sprintf("gen-%d", seed))
 
-	var earlier []cdfg.NodeID
-	made, layer := 0, 0
-	for made < cfg.Nodes {
-		width := rng.Intn(cfg.MaxWidth) + 1
-		if width > cfg.Nodes-made {
-			width = cfg.Nodes - made
+	blocks := cfg.Blocks
+	if blocks < 1 {
+		blocks = 1
+	}
+	if blocks > cfg.Nodes {
+		blocks = cfg.Nodes
+	}
+	var all []cdfg.NodeID
+	for b := 0; b < blocks; b++ {
+		quota := cfg.Nodes / blocks
+		if b < cfg.Nodes%blocks {
+			quota++
 		}
-		var thisLayer []cdfg.NodeID
-		for k := 0; k < width; k++ {
-			id := g.MustAddNode(fmt.Sprintf("n%d_%d", layer, k), pickOp(rng, cfg))
-			if len(earlier) > 0 {
-				first := earlier[rng.Intn(len(earlier))]
-				g.MustAddEdge(first, id)
-				if rng.Float64() < cfg.EdgeDensity {
-					second := earlier[rng.Intn(len(earlier))]
-					if second != first {
-						g.MustAddEdge(second, id)
-					}
-				}
-			}
-			thisLayer = append(thisLayer, id)
-			made++
+		prefix := ""
+		if blocks > 1 {
+			prefix = fmt.Sprintf("b%d_", b)
 		}
-		earlier = append(earlier, thisLayer...)
-		layer++
+		all = append(all, growBlock(rng, g, cfg, prefix, quota)...)
 	}
 	// Attach transfers so the graph is arity-valid: computations need at
 	// least one predecessor, outputs exactly one, inputs none.
-	for _, id := range append([]cdfg.NodeID(nil), earlier...) {
+	for _, id := range all {
 		n := g.Node(id)
 		if len(g.Preds(id)) == 0 {
 			in := g.MustAddNode("in_"+n.Name, cdfg.Input)
@@ -111,6 +120,45 @@ func Graph(seed int64, cfg GraphConfig) *cdfg.Graph {
 		panic(fmt.Sprintf("gen: generated invalid graph (seed %d): %v", seed, err))
 	}
 	return g
+}
+
+// growBlock appends one weakly-connected layered block of computation
+// nodes to g and returns their IDs. It consumes rng exactly as the
+// single-block layout always did, so Blocks <= 1 graphs are byte-identical
+// across versions.
+func growBlock(rng *rand.Rand, g *cdfg.Graph, cfg GraphConfig, prefix string, nodes int) []cdfg.NodeID {
+	var earlier, prev []cdfg.NodeID
+	made, layer := 0, 0
+	for made < nodes {
+		width := rng.Intn(cfg.MaxWidth) + 1
+		if width > nodes-made {
+			width = nodes - made
+		}
+		var thisLayer []cdfg.NodeID
+		for k := 0; k < width; k++ {
+			id := g.MustAddNode(fmt.Sprintf("%sn%d_%d", prefix, layer, k), pickOp(rng, cfg))
+			pool := earlier
+			if cfg.LayerLocal {
+				pool = prev
+			}
+			if len(pool) > 0 {
+				first := pool[rng.Intn(len(pool))]
+				g.MustAddEdge(first, id)
+				if rng.Float64() < cfg.EdgeDensity {
+					second := pool[rng.Intn(len(pool))]
+					if second != first {
+						g.MustAddEdge(second, id)
+					}
+				}
+			}
+			thisLayer = append(thisLayer, id)
+			made++
+		}
+		earlier = append(earlier, thisLayer...)
+		prev = thisLayer
+		layer++
+	}
+	return earlier
 }
 
 func pickOp(rng *rand.Rand, cfg GraphConfig) cdfg.Op {

@@ -1,0 +1,64 @@
+package gen
+
+import "fmt"
+
+// Preset names a ready-made DAG shape for the scaling benchmark lane, the
+// property sweeps and `cdfgtool gen -preset`. Each preset is just a
+// GraphConfig recipe sized to a node count; individual knobs can still be
+// overridden after PresetConfig returns.
+type Preset string
+
+// The known graph-shape presets.
+const (
+	// PresetChain is deep and narrow: one node per layer, sparse second
+	// edges — the worst case for mobility (long critical path, tiny
+	// windows).
+	PresetChain Preset = "chain"
+	// PresetWide is shallow and parallel: layers of up to nodes/8
+	// operations, the best case for sharing pressure and the power cap.
+	PresetWide Preset = "wide"
+	// PresetLayered is the historical default mix (layers of up to 4,
+	// one-in-two second edges).
+	PresetLayered Preset = "layered"
+	// PresetMixed is denser and busier: wider layers, 70% second-edge
+	// probability, more multiplies and compares.
+	PresetMixed Preset = "mixed"
+	// PresetBlocks splits the nodes into disjoint weakly-connected
+	// subgraphs (~125 nodes each, 2..16 blocks) — the shape the
+	// hierarchical decomposition path synthesizes region by region.
+	PresetBlocks Preset = "blocks"
+)
+
+// Presets lists every known preset in a fixed order.
+func Presets() []Preset {
+	return []Preset{PresetChain, PresetWide, PresetLayered, PresetMixed, PresetBlocks}
+}
+
+// PresetConfig returns the GraphConfig of the named preset sized to the
+// given computation-node count.
+func PresetConfig(p Preset, nodes int) (GraphConfig, error) {
+	switch p {
+	case PresetChain:
+		return GraphConfig{Nodes: nodes, MaxWidth: 1, EdgeDensity: 0.15, LayerLocal: true}, nil
+	case PresetWide:
+		w := nodes / 8
+		if w < 8 {
+			w = 8
+		}
+		return GraphConfig{Nodes: nodes, MaxWidth: w, EdgeDensity: 0.3}, nil
+	case PresetLayered:
+		return GraphConfig{Nodes: nodes}, nil
+	case PresetMixed:
+		return GraphConfig{Nodes: nodes, MaxWidth: 6, EdgeDensity: 0.7, MulFraction: 0.35, CmpFraction: 0.15}, nil
+	case PresetBlocks:
+		b := nodes / 125
+		if b < 2 {
+			b = 2
+		}
+		if b > 16 {
+			b = 16
+		}
+		return GraphConfig{Nodes: nodes, Blocks: b}, nil
+	}
+	return GraphConfig{}, fmt.Errorf("gen: unknown preset %q (known: %v)", p, Presets())
+}

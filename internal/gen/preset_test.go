@@ -1,0 +1,109 @@
+package gen_test
+
+import (
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/gen"
+)
+
+// TestBlocksDisjoint checks that Blocks produces at least that many
+// weakly-connected components (a group can shed stray roots on top), and
+// that no block name ever crosses component boundaries — the contract the
+// decomposition path and the blocks preset rely on.
+func TestBlocksDisjoint(t *testing.T) {
+	for _, blocks := range []int{2, 3, 8} {
+		for seed := int64(1); seed <= 10; seed++ {
+			g := gen.Graph(seed, gen.GraphConfig{Nodes: 64, Blocks: blocks})
+			if err := g.Validate(); err != nil {
+				t.Fatalf("seed %d blocks %d: invalid graph: %v", seed, blocks, err)
+			}
+			comps := g.Components()
+			if len(comps) < blocks {
+				t.Fatalf("seed %d blocks %d: only %d weakly-connected components", seed, blocks, len(comps))
+			}
+			// Every component must stay inside one block prefix.
+			for _, ids := range comps {
+				prefix := blockPrefix(g.Node(ids[0]).Name)
+				for _, id := range ids[1:] {
+					if got := blockPrefix(g.Node(id).Name); got != prefix {
+						t.Fatalf("seed %d blocks %d: component mixes blocks %q and %q", seed, blocks, prefix, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// blockPrefix extracts the "bN_" block tag from a generated node name
+// (transfer names wrap the computation name, so the tag is inside).
+func blockPrefix(name string) string {
+	name = strings.TrimPrefix(name, "in_")
+	name = strings.TrimPrefix(name, "out_")
+	j := strings.Index(name, "_")
+	if j < 0 || name[0] != 'b' {
+		return ""
+	}
+	return name[:j+1]
+}
+
+// TestBlocksOneIsHistoricalLayout pins backward compatibility: Blocks
+// values <= 1 (including the zero value every existing caller passes)
+// must generate byte-identical graphs to each other for the same seed —
+// the refactor that introduced Blocks must not have moved a single rng
+// draw on the legacy path.
+func TestBlocksOneIsHistoricalLayout(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		zero := gen.Graph(seed, gen.GraphConfig{Nodes: 30}).Text()
+		one := gen.Graph(seed, gen.GraphConfig{Nodes: 30, Blocks: 1}).Text()
+		if zero != one {
+			t.Fatalf("seed %d: Blocks=0 and Blocks=1 diverge", seed)
+		}
+	}
+}
+
+// TestPresetConfigs checks every preset generates valid graphs of the
+// requested size and that the blocks preset actually decomposes.
+func TestPresetConfigs(t *testing.T) {
+	for _, p := range gen.Presets() {
+		cfg, err := gen.PresetConfig(p, 300)
+		if err != nil {
+			t.Fatalf("preset %s: %v", p, err)
+		}
+		if cfg.Nodes != 300 {
+			t.Fatalf("preset %s: nodes = %d, want 300", p, cfg.Nodes)
+		}
+		g := gen.Graph(7, cfg)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("preset %s: invalid graph: %v", p, err)
+		}
+		comps := len(g.Components())
+		if p == gen.PresetBlocks && comps < 2 {
+			t.Fatalf("preset blocks: only %d component(s)", comps)
+		}
+		if p == gen.PresetChain && comps != 1 {
+			t.Fatalf("preset chain: %d components, want a single chain", comps)
+		}
+	}
+	if _, err := gen.PresetConfig("no-such-preset", 100); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestPresetShapes spot-checks the distinguishing shape property of the
+// chain and wide presets via the critical path: a chain of n nodes is
+// much deeper than a wide layout of the same n.
+func TestPresetShapes(t *testing.T) {
+	depth := func(p gen.Preset) int {
+		cfg, err := gen.PresetConfig(p, 60)
+		if err != nil {
+			t.Fatalf("preset %s: %v", p, err)
+		}
+		cp, _ := gen.Graph(5, cfg).CriticalPath(func(cdfg.Node) int { return 1 })
+		return cp
+	}
+	if c, w := depth(gen.PresetChain), depth(gen.PresetWide); c <= 2*w {
+		t.Fatalf("chain depth %d not much deeper than wide depth %d", c, w)
+	}
+}

@@ -1,0 +1,90 @@
+package sched
+
+import "pchls/internal/cdfg"
+
+// SDCBounds are per-node start/completion bounds derived from the
+// difference constraints of precedence and deadline alone (the SDC — system
+// of difference constraints — formulation of scheduling): every edge u -> v
+// contributes s_v - s_u >= d_u, the deadline contributes s_v <= T - d_v,
+// and a committed node contributes s_v = t_v. The tightest bounds under
+// such a system are single longest-path sweeps, so deriving every node's
+// bound costs O(V+E) — against O(V+E) per node per module for the
+// exhaustive pasap/palap mobility pairs.
+//
+// The two arrays are shaped so a per-(node, module) candidate window is an
+// O(1) lookup: Early[v] depends only on v's predecessors (never on v's own
+// delay) and LateEnd[v] is v's latest completion cycle (again independent
+// of v's own delay for an uncommitted v), so binding v to a module with
+// delay d yields the window {Early[v], LateEnd[v] - d} with no
+// recomputation.
+//
+// The bounds ignore the power cap, so they are supersets of the
+// power-feasible pasap/palap windows (stretching for power only moves
+// Early later and Late earlier). With PowerMax <= 0 they are exactly the
+// pasap/palap windows. Callers that place operations by these relaxed
+// windows must re-check power feasibility themselves (the synthesizer's
+// committed-profile probes, post-commit pasap probe and final validation
+// do exactly that).
+type SDCBounds struct {
+	// Early[v] is the earliest precedence-feasible start of v. A committed
+	// node reports its pinned start.
+	Early []int
+	// LateEnd[v] is the latest cycle (exclusive) by which v must complete
+	// for every transitive successor to still meet the deadline. A
+	// committed node reports its pinned completion.
+	LateEnd []int
+}
+
+// DeriveSDCBounds fills out with the bounds of every node of g under the
+// given per-node delays, deadline, and pinned starts (fixedStarts[v] >= 0
+// pins node v; negative entries are free). topo must be a topological
+// order of g. The out buffers are recycled across calls; the function
+// never allocates once they have grown to g.N().
+//
+// Infeasibility (a pinned or over-constrained node whose earliest start
+// exceeds its latest) is not an error here: the affected node simply gets
+// an empty window (Early > LateEnd - delay), which the caller observes per
+// candidate.
+func DeriveSDCBounds(g *cdfg.Graph, topo []cdfg.NodeID, deadline int, delays, fixedStarts []int, out *SDCBounds) {
+	n := g.N()
+	if cap(out.Early) < n {
+		out.Early = make([]int, n)
+		out.LateEnd = make([]int, n)
+	}
+	out.Early = out.Early[:n]
+	out.LateEnd = out.LateEnd[:n]
+
+	for _, v := range topo {
+		e := 0
+		for _, p := range g.Preds(v) {
+			if end := out.Early[p] + delays[p]; end > e {
+				e = end
+			}
+		}
+		if fixedStarts[v] >= 0 {
+			// The pinned start is authoritative for v itself; a predecessor
+			// that cannot finish in time shows up as that predecessor's own
+			// empty window, not here.
+			e = fixedStarts[v]
+		}
+		out.Early[v] = e
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		if fixedStarts[v] >= 0 {
+			out.LateEnd[v] = fixedStarts[v] + delays[v]
+			continue
+		}
+		le := deadline
+		for _, s := range g.Succs(v) {
+			start := out.LateEnd[s] - delays[s]
+			if fixedStarts[s] >= 0 {
+				start = fixedStarts[s]
+			}
+			if start < le {
+				le = start
+			}
+		}
+		out.LateEnd[v] = le
+	}
+}

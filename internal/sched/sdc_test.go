@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/gen"
+)
+
+// TestSDCBoundsMatchUnconstrainedPASAP pins the defining property of the
+// SDC bounds: with no power cap, Early[v] is exactly the PASAP start and
+// LateEnd[v]-delay[v] exactly the PALAP start, for random graphs and
+// random pinned subsets. PASAP/PALAP with PowerMax <= 0 degenerate to
+// classical ASAP/ALAP under the same fixed starts, which is the same
+// difference-constraint system the SDC sweep solves.
+func TestSDCBoundsMatchUnconstrainedPASAP(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		inst := gen.NewInstance(seed, gen.InstanceConfig{
+			Graph: gen.GraphConfig{Nodes: 10 + int(seed%25)},
+		})
+		g, lib := inst.Graph, inst.Library
+		n := g.N()
+		topo, err := g.TopoOrder()
+		if err != nil {
+			t.Fatalf("seed %d: topo: %v", seed, err)
+		}
+		bind := UniformFastest(lib)
+		delays := make([]int, n)
+		powers := make([]float64, n)
+		for i := 0; i < n; i++ {
+			m := bind(g.Node(cdfg.NodeID(i)))
+			delays[i] = m.Delay
+			powers[i] = m.Power
+		}
+		// Deadline with generous slack so pinning a prefix at its ASAP
+		// start stays feasible.
+		deadline := inst.Deadline * 2
+
+		fixed := make([]int, n)
+		for i := range fixed {
+			fixed[i] = -1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		opts := Options{Delays: delays, Powers: powers, FixedStarts: fixed}
+
+		// Three rounds: no pins, then two rounds pinning a random set of
+		// nodes at their current PASAP starts (mirroring how synthesis
+		// pins committed operations).
+		for round := 0; round < 3; round++ {
+			asap, err := PASAP(g, nil, opts)
+			if err != nil {
+				t.Fatalf("seed %d round %d: pasap: %v", seed, round, err)
+			}
+			alap, err := PALAP(g, nil, deadline, opts)
+			if err != nil {
+				t.Fatalf("seed %d round %d: palap: %v", seed, round, err)
+			}
+			var b SDCBounds
+			DeriveSDCBounds(g, topo, deadline, delays, fixed, &b)
+			for i := 0; i < n; i++ {
+				if b.Early[i] != asap.Start[i] {
+					t.Fatalf("seed %d round %d node %d: Early = %d, pasap start = %d",
+						seed, round, i, b.Early[i], asap.Start[i])
+				}
+				if got, want := b.LateEnd[i]-delays[i], alap.Start[i]; got != want {
+					t.Fatalf("seed %d round %d node %d: LateEnd-delay = %d, palap start = %d",
+						seed, round, i, got, want)
+				}
+			}
+			// Pin a fresh random subset at ASAP starts for the next round.
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					fixed[i] = asap.Start[i]
+				}
+			}
+		}
+	}
+}
+
+// TestSDCBoundsEmptyWindowOnInfeasible checks that an over-constrained
+// system yields an empty window rather than an error: a node pinned past
+// the point where its successors can meet the deadline gets
+// LateEnd - delay < Early somewhere downstream.
+func TestSDCBoundsEmptyWindowOnInfeasible(t *testing.T) {
+	g := cdfg.New("tight")
+	a := g.MustAddNode("a", cdfg.Mul)
+	b := g.MustAddNode("b", cdfg.Mul)
+	g.MustAddEdge(a, b)
+	topo, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := []int{3, 3}
+	// Deadline 5 cannot fit two chained 3-cycle ops.
+	var bounds SDCBounds
+	DeriveSDCBounds(g, topo, 5, delays, []int{-1, -1}, &bounds)
+	if bounds.Early[1]+delays[1] <= bounds.LateEnd[1] && bounds.Early[0]+delays[0] <= bounds.LateEnd[0] {
+		t.Fatalf("expected an empty window: bounds %+v", bounds)
+	}
+
+	// Pinning a at 4 makes b's window empty even with a loose deadline.
+	DeriveSDCBounds(g, topo, 9, delays, []int{4, -1}, &bounds)
+	if bounds.Early[0] != 4 || bounds.LateEnd[0] != 7 {
+		t.Fatalf("pinned node bounds = %+v, want start 4 end 7", bounds)
+	}
+	if bounds.Early[1]+delays[1] <= bounds.LateEnd[1] {
+		t.Fatalf("successor of late pin should have an empty window: %+v", bounds)
+	}
+}

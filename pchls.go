@@ -148,6 +148,30 @@ type (
 	Stats = core.Stats
 	// CostModel holds register/multiplexer area coefficients.
 	CostModel = bind.CostModel
+	// WindowPolicy selects how candidate mobility windows are derived
+	// (Config.Windows): exhaustive per-candidate scheduler pairs, the
+	// O(V+E) SDC difference-constraint sweep, or automatic by graph size.
+	WindowPolicy = core.WindowPolicy
+	// PartitionPolicy selects hierarchical decomposition into
+	// weakly-connected regions (Config.Partition).
+	PartitionPolicy = core.PartitionPolicy
+)
+
+// Window and partition policies for Config.Windows / Config.Partition.
+const (
+	// WindowsAuto picks exhaustive windows for small graphs and the SDC
+	// sweep above the size threshold (the default).
+	WindowsAuto = core.WindowsAuto
+	// WindowsExhaustive forces the per-candidate scheduler pairs.
+	WindowsExhaustive = core.WindowsExhaustive
+	// WindowsSDC forces the difference-constraint window derivation.
+	WindowsSDC = core.WindowsSDC
+	// PartitionAuto decomposes large multi-component graphs (the default).
+	PartitionAuto = core.PartitionAuto
+	// PartitionOff always synthesizes monolithically.
+	PartitionOff = core.PartitionOff
+	// PartitionForce decomposes whenever the graph has >= 2 components.
+	PartitionForce = core.PartitionForce
 )
 
 // Synthesis errors (match with errors.Is).
@@ -469,7 +493,19 @@ type (
 	GenGraphConfig = gen.GraphConfig
 	// GenLibraryConfig parameterizes RandomLibrary.
 	GenLibraryConfig = gen.LibraryConfig
+	// GenPreset names a ready-made DAG-shape recipe for RandomGraph
+	// (chain, wide, layered, mixed, blocks).
+	GenPreset = gen.Preset
 )
+
+// GenPresets lists the known graph-shape presets in a fixed order.
+func GenPresets() []GenPreset { return gen.Presets() }
+
+// GenPresetConfig returns the GenGraphConfig of the named preset sized
+// to the given computation-node count.
+func GenPresetConfig(p GenPreset, nodes int) (GenGraphConfig, error) {
+	return gen.PresetConfig(p, nodes)
+}
 
 // RandomGraph generates a random layered CDFG fully determined by
 // (seed, cfg); the result always passes validation.

@@ -1,0 +1,117 @@
+package pchls
+
+// Scaling benchmark lane: synthesis wall-time on seeded random graphs of
+// 100, 300 and 1000 computation nodes, comparing the scaling engine
+// (auto-selected SDC windows, incremental compatibility maintenance,
+// hierarchical decomposition — the default Config) against the
+// pre-refactor path (exhaustive per-candidate windows, no decomposition).
+// scripts/benchcompare gates the scale-mode budgets and the
+// legacy-over-scale speedup ratios against results/BENCH_scaling.json.
+//
+//	go test -bench Scaling -benchtime 1x .
+
+import (
+	"context"
+	"os"
+	"runtime/pprof"
+	"testing"
+
+	"pchls/internal/gen"
+)
+
+// scalingTier is one (shape, size) point of the lane.
+type scalingTier struct {
+	name   string
+	preset gen.Preset
+	nodes  int
+}
+
+// scalingTiers is the published tier set; benchcompare's min_speedup map
+// keys match the tier names here.
+var scalingTiers = []scalingTier{
+	{"layered-n100", gen.PresetLayered, 100},
+	{"layered-n300", gen.PresetLayered, 300},
+	{"blocks-n300", gen.PresetBlocks, 300},
+	{"layered-n1000", gen.PresetLayered, 1000},
+	{"blocks-n1000", gen.PresetBlocks, 1000},
+}
+
+// scalingInstance derives the tier's seeded instance and a binding but
+// feasible constraint point: 50% deadline slack over the fastest-module
+// ASAP length, power capped at 70% of the unconstrained ASAP peak. The
+// point is deterministic in the tier (fixed seed) and verified feasible
+// outside any timer, loosening the cap in 20% steps only as a safety
+// valve (the published tiers all accept the first point).
+func scalingInstance(b *testing.B, tier scalingTier) (*Graph, *Library, Constraints) {
+	b.Helper()
+	cfg, err := gen.PresetConfig(tier.preset, tier.nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := gen.NewInstance(int64(1000+tier.nodes), gen.InstanceConfig{Graph: cfg})
+	asap, err := ASAP(inst.Graph, UniformFastest(inst.Library))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := Constraints{
+		Deadline: asap.Length() + asap.Length()/2,
+		PowerMax: asap.PeakPower() * 0.7,
+	}
+	for tries := 0; ; tries++ {
+		if _, err := Synthesize(inst.Graph, inst.Library, cons, Config{}); err == nil {
+			break
+		}
+		switch {
+		case cons.PowerMax <= 0:
+			b.Fatalf("%s: unconstrained point infeasible: deadline too tight", tier.name)
+		case tries >= 3:
+			cons.PowerMax = 0 // latency-only fallback
+		default:
+			cons.PowerMax *= 1.2
+		}
+	}
+	return inst.Graph, inst.Library, cons
+}
+
+// BenchmarkScaling runs every tier in both engine modes. The legacy mode
+// of the n=100 tier doubles as the control: below the auto thresholds
+// both modes take the identical code path, so their times must agree.
+func BenchmarkScaling(b *testing.B) {
+	modes := []struct {
+		tag string
+		cfg Config
+	}{
+		{"scale", Config{}},
+		{"legacy", Config{Windows: WindowsExhaustive, Partition: PartitionOff}},
+	}
+	for _, tier := range scalingTiers {
+		g, lib, cons := scalingInstance(b, tier)
+		for _, mode := range modes {
+			b.Run(tier.name+"/"+mode.tag, func(b *testing.B) {
+				// One legacy pass over an n=1000 graph takes ~20 minutes
+				// (it is the O(n^3) path this lane exists to retire), so
+				// the full-ratio run is opt-in: `make bench-scaling` sets
+				// the variable; plain `-bench .` smokes stay fast.
+				if mode.tag == "legacy" && tier.nodes >= 1000 && os.Getenv("PCHLS_SCALING_FULL") == "" {
+					b.Skip("legacy n>=1000 tier skipped; set PCHLS_SCALING_FULL=1 (make bench-scaling)")
+				}
+				b.ReportAllocs()
+				var st Stats
+				pprof.Do(context.Background(),
+					pprof.Labels("graph", tier.name, "mode", mode.tag, "lane", "scaling"),
+					func(context.Context) {
+						for i := 0; i < b.N; i++ {
+							d, err := Synthesize(g, lib, cons, mode.cfg)
+							if err != nil {
+								b.Fatal(err)
+							}
+							st = d.Stats
+						}
+					})
+				b.ReportMetric(float64(st.SDCDerivations), "sdc-derivations")
+				b.ReportMetric(float64(st.CompatPatches), "compat-patches")
+				b.ReportMetric(float64(st.Regions), "regions")
+			})
+		}
+	}
+}

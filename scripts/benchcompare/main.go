@@ -55,6 +55,15 @@ type portfolioBaseline struct {
 	Benchmarks map[string]modeEntry `json:"benchmarks"`
 }
 
+// scalingBaseline gates the thousand-node scaling lane
+// (BenchmarkScaling): per tier (e.g. "layered-n1000") and mode ("scale" /
+// "legacy") budgets, plus a floor on the legacy-over-scale wall-time
+// ratio — the refactor's speedup claim, re-verified on every full run.
+type scalingBaseline struct {
+	Benchmarks map[string]map[string]modeEntry `json:"benchmarks"`
+	MinSpeedup map[string]float64              `json:"min_speedup"`
+}
+
 // parseBench extracts ns/op and allocs/op per benchmark name from go-test
 // bench output. The trailing -N GOMAXPROCS suffix is stripped. When a
 // benchmark appears more than once (-count > 1), the last occurrence
@@ -69,7 +78,10 @@ func parseBench(r io.Reader) (map[string]metrics, error) {
 			continue
 		}
 		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix (absent when GOMAXPROCS=1), but
+		// only when the tail is all digits — benchmark names themselves
+		// may contain hyphens (the scaling tiers: "layered-n100").
+		if i := strings.LastIndex(name, "-"); i > 0 && isDigits(name[i+1:]) {
 			name = name[:i]
 		}
 		m := out[name]
@@ -90,6 +102,19 @@ func parseBench(r io.Reader) (map[string]metrics, error) {
 		out[name] = m
 	}
 	return out, sc.Err()
+}
+
+// isDigits reports whether s is nonempty and all ASCII digits.
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // parseBenchFile reads one go-bench output file and refuses an output
@@ -198,6 +223,9 @@ func main() {
 	synthOut := flag.String("synthout", "", "go-bench output for BenchmarkSynthesize")
 	serverOut := flag.String("serverout", "", "go-bench output for BenchmarkServerSynthesize")
 	portfolioOut := flag.String("portfolioout", "", "go-bench output for BenchmarkAnytimePortfolio")
+	scalingJSON := flag.String("scaling", "results/BENCH_scaling.json", "scaling baseline JSON")
+	scalingOut := flag.String("scalingout", "", "go-bench output for BenchmarkScaling")
+	scalingTiers := flag.String("scalingtiers", "", "comma-separated subset of scaling tiers to gate (default: every tier in the baseline)")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional regression for ns/op and allocs/op")
 	flag.Parse()
 
@@ -226,6 +254,47 @@ func main() {
 		got := loadBenchOutput(*portfolioOut)
 		for _, name := range sortedKeys(base.Benchmarks) {
 			compare(os.Stdout, &fails, got, "BenchmarkAnytimePortfolio/"+name, base.Benchmarks[name], *tol)
+		}
+	}
+	if *scalingOut != "" {
+		var base scalingBaseline
+		loadBaseline(*scalingJSON, &base)
+		got := loadBenchOutput(*scalingOut)
+		subset := map[string]bool{}
+		for _, t := range strings.Split(*scalingTiers, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				subset[t] = true
+			}
+		}
+		for _, tier := range sortedKeys(base.Benchmarks) {
+			if len(subset) > 0 && !subset[tier] {
+				continue
+			}
+			// Wall-time and allocation budgets gate the scaling engine
+			// only; the legacy mode exists to be measured against, and its
+			// absolute time is pinned by the speedup floor below instead.
+			if scale, ok := base.Benchmarks[tier]["scale"]; ok {
+				compare(os.Stdout, &fails, got, "BenchmarkScaling/"+tier+"/scale", scale, *tol)
+			}
+			min := base.MinSpeedup[tier]
+			if min <= 0 {
+				continue
+			}
+			scaleCur, okS := got["BenchmarkScaling/"+tier+"/scale"]
+			legacyCur, okL := got["BenchmarkScaling/"+tier+"/legacy"]
+			name := "BenchmarkScaling/" + tier + " speedup"
+			switch {
+			case !okS || !okL || scaleCur.ns <= 0 || legacyCur.ns <= 0:
+				fails++
+				fmt.Fprintf(os.Stdout, "FAIL %-55s legacy/scale pair missing from fresh run (floor %.1fx)\n", name, min)
+			case legacyCur.ns/scaleCur.ns < min:
+				fails++
+				fmt.Fprintf(os.Stdout, "FAIL %-55s %9.1fx below the %.1fx floor (legacy %12.0f ns, scale %12.0f ns)\n",
+					name, legacyCur.ns/scaleCur.ns, min, legacyCur.ns, scaleCur.ns)
+			default:
+				fmt.Fprintf(os.Stdout, "ok   %-55s %9.1fx (floor %.1fx; legacy %12.0f ns, scale %12.0f ns)\n",
+					name, legacyCur.ns/scaleCur.ns, min, legacyCur.ns, scaleCur.ns)
+			}
 		}
 	}
 	if fails > 0 {

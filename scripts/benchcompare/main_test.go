@@ -160,3 +160,22 @@ func keysOf(m map[string]metrics) []string {
 	}
 	return out
 }
+
+// TestParseBenchKeepsHyphenatedNames pins the scaling-tier fix: only an
+// all-digit tail after the last hyphen is a GOMAXPROCS suffix. Tier names
+// like "layered-n100" keep their hyphen, with or without a suffix.
+func TestParseBenchKeepsHyphenatedNames(t *testing.T) {
+	out := `BenchmarkScaling/layered-n100/scale-8 	 1	 200000 ns/op	 100 allocs/op
+BenchmarkScaling/blocks-n1000/legacy 	 1	 900000 ns/op	 200 allocs/op
+`
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkScaling/layered-n100/scale"]; !ok {
+		t.Fatalf("suffixed tier name mangled; parsed names: %v", keysOf(got))
+	}
+	if _, ok := got["BenchmarkScaling/blocks-n1000/legacy"]; !ok {
+		t.Fatalf("unsuffixed tier name mangled; parsed names: %v", keysOf(got))
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-compare bench-scaling test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke clean
+.PHONY: all build test test-race vet bench bench-compare bench-scaling test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke cluster-smoke loadtest clean
 
 all: build vet test
 
@@ -69,6 +69,17 @@ serve:
 # check /metrics reports the cache hit.
 smoke:
 	./scripts/smoke.sh
+
+# Cluster smoke: boot a coordinator plus two workers, run a sharded
+# sweep and surface, and require byte-identity against the pchls CLI.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# Load test: warm an in-process daemon, then drive 1000-concurrent
+# traffic at it and report latency quantiles from the obs histogram
+# (LOADTEST_ARGS overrides, e.g. LOADTEST_ARGS='-addr http://host:8080').
+loadtest:
+	$(GO) run ./scripts/loadtest $(LOADTEST_ARGS)
 
 cover:
 	$(GO) test ./... -cover

@@ -19,24 +19,57 @@
 //	GET  /healthz
 //	GET  /metrics
 //
+// With -worker the daemon also serves the cluster-internal endpoints
+// (POST /cluster/point, GET /cluster/cache) so a pchls-coordinator can
+// shard grids onto it. -self names this worker's externally reachable
+// base URL; -peers (static member list) or -join (register with a
+// coordinator and adopt its member list) configure the cache-peer ring
+// for miss-time peer fill.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests complete (up to -drain), then the process exits.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pchls/internal/cluster"
 	"pchls/internal/server"
 )
+
+// register announces self to a coordinator and returns the member list.
+func register(join, self string) ([]string, error) {
+	body, err := json.Marshal(cluster.RegisterRequest{Addr: self})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(strings.TrimRight(join, "/")+"/cluster/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("coordinator returned %d", resp.StatusCode)
+	}
+	var reg cluster.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return nil, err
+	}
+	return reg.Members, nil
+}
 
 func main() {
 	var (
@@ -50,8 +83,22 @@ func main() {
 		maxBody  = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		xworkers = flag.Int("explore-workers", 0, "per-request worker count for sweep/surface grids (0 = GOMAXPROCS)")
 		validate = flag.Bool("validate", false, "re-check every synthesized design with the independent constraint validator before serving it")
+		worker   = flag.Bool("worker", false, "serve the cluster-internal endpoints (/cluster/point, /cluster/cache)")
+		self     = flag.String("self", "", "this worker's externally reachable base URL, e.g. http://127.0.0.1:8081 (required with -peers or -join)")
+		peerList = flag.String("peers", "", "comma-separated worker base URLs forming the cache-peer ring (implies -worker)")
+		join     = flag.String("join", "", "coordinator base URL to register with; the response's member list seeds the peer ring (implies -worker)")
 	)
 	flag.Parse()
+
+	isWorker := *worker || *peerList != "" || *join != ""
+	if (*peerList != "" || *join != "") && *self == "" {
+		log.Fatalf("pchls-server: -peers/-join require -self")
+	}
+
+	var peers *cluster.Peers
+	if *peerList != "" || *join != "" {
+		peers = cluster.NewPeers()
+	}
 
 	s := server.New(server.Config{
 		Workers:        *workers,
@@ -62,14 +109,34 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		ExploreWorkers: *xworkers,
 		Validate:       *validate,
+		Worker:         isWorker,
+		Peers:          peers,
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("pchls-server: %v", err)
 	}
-	log.Printf("pchls-server: listening on %s (workers=%d cache=%d ttl=%s timeout=%s)",
-		l.Addr(), *workers, *entries, *ttl, *timeout)
+	// The peer ring is configured (and the coordinator joined) only once
+	// the listener exists, so nobody is told about a dead port.
+	if peers != nil {
+		members := []string{}
+		for _, m := range strings.Split(*peerList, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if *join != "" {
+			got, err := register(*join, *self)
+			if err != nil {
+				log.Fatalf("pchls-server: register with %s: %v", *join, err)
+			}
+			members = append(members, got...)
+		}
+		peers.Configure(*self, members)
+	}
+	log.Printf("pchls-server: listening on %s (workers=%d cache=%d ttl=%s timeout=%s worker=%t)",
+		l.Addr(), *workers, *entries, *ttl, *timeout, isWorker)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -29,9 +29,12 @@ const (
 	// Coalesced means the call joined an in-flight identical compute and
 	// shared its result (singleflight deduplication).
 	Coalesced
+	// PeerHit means the value was fetched from a cluster peer's cache
+	// instead of computing, and now fills the local cache too.
+	PeerHit
 )
 
-// String returns "hit", "miss" or "coalesced".
+// String returns "hit", "miss", "coalesced" or "peer".
 func (o Outcome) String() string {
 	switch o {
 	case Hit:
@@ -40,6 +43,8 @@ func (o Outcome) String() string {
 		return "miss"
 	case Coalesced:
 		return "coalesced"
+	case PeerHit:
+		return "peer"
 	}
 	return "unknown"
 }
@@ -49,6 +54,8 @@ type Stats struct {
 	Hits        int64 // Do/Get calls served from the cache
 	Misses      int64 // Do calls that ran the compute function
 	Coalesced   int64 // Do calls that joined an in-flight compute
+	PeerHits    int64 // Do calls served by a cluster peer's cache
+	PeerMisses  int64 // peer probes that yielded nothing (fell through to compute)
 	Evictions   int64 // entries dropped by the LRU bound
 	Expirations int64 // entries dropped because their TTL lapsed
 	Entries     int64 // current number of live entries
@@ -60,6 +67,7 @@ type Cache[V any] struct {
 	maxEntries int
 	ttl        time.Duration
 	now        func() time.Time
+	peer       PeerFunc[V]
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // key -> *entry element
@@ -67,6 +75,7 @@ type Cache[V any] struct {
 	flights map[string]*flight[V]
 
 	hits, misses, coalesced, evictions, expirations atomic.Int64
+	peerHits, peerMisses                            atomic.Int64
 }
 
 type entry[V any] struct {
@@ -87,6 +96,21 @@ type Option[V any] func(*Cache[V])
 // WithClock replaces the time source (tests).
 func WithClock[V any](now func() time.Time) Option[V] {
 	return func(c *Cache[V]) { c.now = now }
+}
+
+// PeerFunc asks another node's cache for key, returning its value and
+// whether it had one. It must only read remote state — never trigger a
+// remote computation — so that two nodes can never recurse into each
+// other. It should return false quickly for keys this node owns itself.
+type PeerFunc[V any] func(ctx context.Context, key string) (V, bool)
+
+// WithPeer installs a peer-fill hook: on a local miss, the flight leader
+// consults the peer before running the compute function, and a peer hit
+// fills the local cache exactly as a computed value would (the Do
+// outcome is PeerHit). Coalesced followers share peer-filled flights the
+// same way they share computed ones.
+func WithPeer[V any](peer PeerFunc[V]) Option[V] {
+	return func(c *Cache[V]) { c.peer = peer }
 }
 
 // New returns a cache bounded to maxEntries live entries (<= 0 means 1)
@@ -200,8 +224,19 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(ctx context.
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	c.misses.Add(1)
-	f.val, f.err = compute(ctx)
+	outcome := Miss
+	if c.peer != nil {
+		if v, ok := c.peer(ctx, key); ok {
+			c.peerHits.Add(1)
+			f.val, outcome = v, PeerHit
+		} else {
+			c.peerMisses.Add(1)
+		}
+	}
+	if outcome == Miss {
+		c.misses.Add(1)
+		f.val, f.err = compute(ctx)
+	}
 
 	c.mu.Lock()
 	delete(c.flights, key)
@@ -210,7 +245,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(ctx context.
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.val, Miss, f.err
+	return f.val, outcome, f.err
 }
 
 // Len returns the current number of live entries (expired entries linger
@@ -227,6 +262,8 @@ func (c *Cache[V]) Stats() Stats {
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		Coalesced:   c.coalesced.Load(),
+		PeerHits:    c.peerHits.Load(),
+		PeerMisses:  c.peerMisses.Load(),
 		Evictions:   c.evictions.Load(),
 		Expirations: c.expirations.Load(),
 		Entries:     int64(c.Len()),

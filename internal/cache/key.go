@@ -1,4 +1,4 @@
-package server
+package cache
 
 import (
 	"crypto/sha256"
@@ -19,6 +19,14 @@ import (
 // Inputs that provably cannot change the result — worker counts, the
 // incremental-engine toggle (byte-identical by the PR 2 equivalence
 // gate) — are deliberately excluded so they share cache entries.
+//
+// The same addresses shard work across a cluster (internal/cluster):
+// consistent hashing on the content address routes identical points to
+// the same worker, so each worker's LRU stays hot for its shard, and
+// cache peers use the address to ask "does the owner already have this?"
+// before computing. Both uses need every process to derive bit-identical
+// keys, which is why the derivation lives here rather than in each
+// binary.
 //
 // The keyVersion prefix invalidates the whole address space whenever the
 // canonical rendering or the response schema changes.
@@ -48,8 +56,9 @@ func finishKey(sb *strings.Builder) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// synthesizeKey derives the content address of one /v1/synthesize result.
-func synthesizeKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, singlePass bool) string {
+// SynthesizeKey derives the content address of one /v1/synthesize result
+// — also the per-point sharding key for cluster grids.
+func SynthesizeKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, singlePass bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s synthesize single=%t deadline=%d power=%s\n",
 		keyVersion, singlePass, cons.Deadline, canonFloat(cons.PowerMax))
@@ -57,10 +66,10 @@ func synthesizeKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, s
 	return finishKey(&sb)
 }
 
-// portfolioKey derives the content address of one /v1/portfolio result.
+// PortfolioKey derives the content address of one /v1/portfolio result.
 // The effort knobs (k, budget) and the seed are part of the address: the
 // portfolio's output is a pure function of them.
-func portfolioKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, k, budget int, seed int64) string {
+func PortfolioKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, k, budget int, seed int64) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s portfolio k=%d budget=%d seed=%d deadline=%d power=%s\n",
 		keyVersion, k, budget, seed, cons.Deadline, canonFloat(cons.PowerMax))
@@ -68,8 +77,8 @@ func portfolioKey(g *cdfg.Graph, lib *library.Library, cons core.Constraints, k,
 	return finishKey(&sb)
 }
 
-// sweepKey derives the content address of one /v1/sweep result.
-func sweepKey(g *cdfg.Graph, lib *library.Library, deadline int, pmin, pmax, step float64, singlePass bool) string {
+// SweepKey derives the content address of one /v1/sweep result.
+func SweepKey(g *cdfg.Graph, lib *library.Library, deadline int, pmin, pmax, step float64, singlePass bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s sweep single=%t deadline=%d grid=%s:%s:%s\n",
 		keyVersion, singlePass, deadline, canonFloat(pmin), canonFloat(pmax), canonFloat(step))
@@ -77,8 +86,8 @@ func sweepKey(g *cdfg.Graph, lib *library.Library, deadline int, pmin, pmax, ste
 	return finishKey(&sb)
 }
 
-// surfaceKey derives the content address of one /v1/surface result.
-func surfaceKey(g *cdfg.Graph, lib *library.Library, deadlines []int, powers []float64, singlePass bool) string {
+// SurfaceKey derives the content address of one /v1/surface result.
+func SurfaceKey(g *cdfg.Graph, lib *library.Library, deadlines []int, powers []float64, singlePass bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s surface single=%t deadlines=", keyVersion, singlePass)
 	for i, d := range deadlines {

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPeerFillOutcomes pins the peer-fill state machine: a peer hit
+// fills the local cache (PeerHit once, Hit afterwards), a peer miss
+// falls through to compute exactly once.
+func TestPeerFillOutcomes(t *testing.T) {
+	var probes atomic.Int64
+	peer := func(_ context.Context, key string) (string, bool) {
+		probes.Add(1)
+		if strings.HasPrefix(key, "peer:") {
+			return "from-" + key, true
+		}
+		return "", false
+	}
+	c := New[string](64, 0, WithPeer(peer))
+
+	var computes atomic.Int64
+	compute := func(context.Context) (string, error) {
+		computes.Add(1)
+		return "computed", nil
+	}
+
+	v, outcome, err := c.Do(context.Background(), "peer:a", compute)
+	if err != nil || v != "from-peer:a" || outcome != PeerHit {
+		t.Fatalf("peer-owned key = (%q, %v, %v), want (from-peer:a, PeerHit, nil)", v, outcome, err)
+	}
+	if computes.Load() != 0 {
+		t.Fatalf("peer hit ran the compute function")
+	}
+	// The peer fill populated the local cache: no second probe.
+	v, outcome, err = c.Do(context.Background(), "peer:a", compute)
+	if err != nil || v != "from-peer:a" || outcome != Hit {
+		t.Fatalf("second Do = (%q, %v, %v), want a local hit", v, outcome, err)
+	}
+	if probes.Load() != 1 {
+		t.Fatalf("peer probed %d times, want 1", probes.Load())
+	}
+
+	v, outcome, err = c.Do(context.Background(), "local:b", compute)
+	if err != nil || v != "computed" || outcome != Miss {
+		t.Fatalf("peer miss = (%q, %v, %v), want (computed, Miss, nil)", v, outcome, err)
+	}
+	st := c.Stats()
+	if st.PeerHits != 1 || st.PeerMisses != 1 {
+		t.Fatalf("Stats = %+v, want PeerHits 1 and PeerMisses 1", st)
+	}
+}
+
+// TestPeerFillConcurrent hammers a peer-filled cache from 32 goroutines
+// mixing Do, Get and Put under the race detector. The invariant: the
+// compute function runs at most once per locally-computed key no matter
+// the interleaving (singleflight), and never for a peer-owned key.
+func TestPeerFillConcurrent(t *testing.T) {
+	const (
+		goroutines = 32
+		iterations = 200
+		keySpace   = 16 // half owned by the peer, half computed locally
+	)
+	peer := func(_ context.Context, key string) (string, bool) {
+		if strings.HasPrefix(key, "peer:") {
+			return "peer-value:" + key, true
+		}
+		return "", false
+	}
+	c := New[string](1024, 0, WithPeer[string](peer))
+
+	var computes [keySpace]atomic.Int64
+	keys := make([]string, keySpace)
+	for i := range keys {
+		if i%2 == 0 {
+			keys[i] = fmt.Sprintf("peer:%d", i)
+		} else {
+			keys[i] = fmt.Sprintf("local:%d", i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				i := (g*iterations + it*7) % keySpace
+				key := keys[i]
+				switch it % 3 {
+				case 0:
+					v, _, err := c.Do(context.Background(), key, func(context.Context) (string, error) {
+						computes[i].Add(1)
+						return "computed:" + key, nil
+					})
+					if err != nil {
+						t.Errorf("Do(%s): %v", key, err)
+						return
+					}
+					want := "computed:" + key
+					if strings.HasPrefix(key, "peer:") {
+						want = "peer-value:" + key
+					}
+					if v != want {
+						t.Errorf("Do(%s) = %q, want %q", key, v, want)
+						return
+					}
+				case 1:
+					if v, ok := c.Get(key); ok && v == "" {
+						t.Errorf("Get(%s) returned an empty cached value", key)
+						return
+					}
+				case 2:
+					// Re-putting the canonical value must never confuse an
+					// in-flight compute or change what Do returns.
+					if strings.HasPrefix(key, "peer:") {
+						c.Put(key, "peer-value:"+key)
+					} else {
+						c.Put(key, "computed:"+key)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i, key := range keys {
+		n := computes[i].Load()
+		switch {
+		case strings.HasPrefix(key, "peer:") && n != 0:
+			t.Errorf("peer-owned key %s ran the compute function %d times", key, n)
+		case strings.HasPrefix(key, "local:") && n > 1:
+			t.Errorf("local key %s computed %d times; singleflight allows at most 1", key, n)
+		}
+	}
+	if st := c.Stats(); st.PeerHits == 0 {
+		t.Errorf("Stats = %+v, want at least one peer hit", st)
+	}
+}

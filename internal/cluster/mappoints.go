@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// pointTask is one grid cell moving through the scheduler.
+type pointTask struct {
+	idx      int    // position in the caller's grid; results are placed by index
+	key      string // content address, for deterministic requeue ordering
+	attempts int
+	tried    map[string]bool // workers whose failure removed them from this task
+}
+
+// MapPoints evaluates a grid of points across the worker fleet and
+// returns results in input order. Each point is queued on the worker
+// owning its content address so that worker's result cache stays hot;
+// idle workers steal from the tail of the longest remaining queue, so a
+// straggling or dead shard cannot hold the grid hostage. A failed
+// attempt is retried on another live worker; the grid fails only when a
+// point has exhausted the fleet or the context is cancelled.
+//
+// Results are placed by input index, so the assembled grid is identical
+// no matter which worker evaluated which cell.
+func (p *Pool) MapPoints(ctx context.Context, keys []string, reqs []PointRequest) ([]PointResponse, error) {
+	if len(keys) != len(reqs) {
+		panic("cluster: MapPoints keys/reqs length mismatch")
+	}
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	ring, alive := p.live()
+	if len(alive) == 0 {
+		return nil, ErrNoWorkers
+	}
+
+	s := &mapState{
+		pool:      p,
+		ctx:       ctx,
+		ring:      ring,
+		reqs:      reqs,
+		results:   make([]PointResponse, len(reqs)),
+		queues:    make(map[string][]*pointTask, len(alive)),
+		order:     alive,
+		aliveRun:  make(map[string]bool, len(alive)),
+		remaining: len(reqs),
+		// Enough attempts to visit every worker plus absorb transient
+		// overload; beyond this the grid fails rather than spins.
+		maxAttempts: 3*len(alive) + 5,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, m := range alive {
+		s.aliveRun[m] = true
+		s.queues[m] = nil
+	}
+	// Shard by ownership: first live member in the key's failover
+	// sequence. Deterministic given the same membership and health.
+	for i, k := range keys {
+		for _, m := range ring.Owners(k, ring.Len()) {
+			if s.aliveRun[m] {
+				s.queues[m] = append(s.queues[m], &pointTask{idx: i, key: k, tried: map[string]bool{}})
+				break
+			}
+		}
+	}
+
+	// Cancellation watcher: a blocked cond.Wait cannot observe ctx, so
+	// translate Done into the scheduler's error + broadcast.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+		case <-done:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, m := range alive {
+		for w := 0; w < p.cfg.PerWorker; w++ {
+			wg.Add(1)
+			go func(member string) {
+				defer wg.Done()
+				s.dispatch(member)
+			}(m)
+		}
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	err, unfinished := s.err, s.remaining
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if unfinished > 0 {
+		// Every dispatcher exited with points still queued — the fleet
+		// died mid-grid. Never return a partially-filled grid as success.
+		return nil, ErrNoWorkers
+	}
+	return s.results, nil
+}
+
+// mapState is the shared scheduler state for one MapPoints call.
+type mapState struct {
+	pool *Pool
+	ctx  context.Context
+	ring *Ring
+	reqs []PointRequest
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	results   []PointResponse
+	queues    map[string][]*pointTask
+	order     []string        // queue scan order (sorted), for deterministic stealing
+	aliveRun  map[string]bool // members still usable within this call
+	remaining int
+	err       error
+
+	maxAttempts int
+}
+
+// dispatch is one worker slot's loop: take a task (own queue first,
+// steal otherwise), evaluate it, handle the outcome. Returns when the
+// grid is complete, the call has failed, or this member is dead.
+func (s *mapState) dispatch(member string) {
+	for {
+		t, ok := s.next(member)
+		if !ok {
+			return
+		}
+		resp, err := s.pool.pointOnce(s.ctx, member, s.reqs[t.idx])
+		if err == nil {
+			s.pool.points.Add(1)
+			s.mu.Lock()
+			s.results[t.idx] = resp
+			s.remaining--
+			if s.remaining == 0 {
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.pool.failures.Add(1)
+		if s.ctx.Err() != nil {
+			s.fail(s.ctx.Err())
+			return
+		}
+		if !retryable(err) {
+			// A protocol-level fault would fail identically on every
+			// worker; surface it instead of burning the fleet.
+			s.fail(err)
+			return
+		}
+		t.attempts++
+		if t.attempts >= s.maxAttempts {
+			s.fail(err)
+			return
+		}
+		s.pool.retries.Add(1)
+		if fatalToWorker(err) {
+			// Leave the run before requeueing: requeue's fallback must
+			// never hand the task back to the member that just failed it,
+			// or the last death strands the queue with no dispatchers.
+			s.pool.markDead(member)
+			t.tried[member] = true
+			s.memberDied(member)
+			if !s.requeue(t) {
+				s.fail(ErrNoWorkers)
+			}
+			return
+		}
+		// Momentary overload (429): back off and let any worker retry.
+		time.Sleep(time.Duration(t.attempts) * 10 * time.Millisecond)
+		if !s.requeue(t) {
+			s.fail(ErrNoWorkers)
+			return
+		}
+	}
+}
+
+// next blocks until a task is available for member, the grid finishes,
+// the call fails, or the member dies.
+func (s *mapState) next(member string) (*pointTask, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || s.remaining == 0 || !s.aliveRun[member] {
+			return nil, false
+		}
+		if q := s.queues[member]; len(q) > 0 {
+			s.queues[member] = q[1:]
+			return q[0], true
+		}
+		// Steal from the tail of the longest queue (including a dead
+		// member's orphaned queue — that is how its shard gets drained).
+		best, bestLen := "", 0
+		for _, m := range s.order {
+			if l := len(s.queues[m]); l > bestLen {
+				best, bestLen = m, l
+			}
+		}
+		if bestLen > 0 {
+			q := s.queues[best]
+			s.queues[best] = q[:len(q)-1]
+			s.pool.steals.Add(1)
+			return q[len(q)-1], true
+		}
+		s.cond.Wait()
+	}
+}
+
+// requeue puts a failed task back on a live queue, preferring untried
+// members in the key's failover order. Returns false when no live
+// member remains in this call.
+func (s *mapState) requeue(t *pointTask) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := ""
+	for _, m := range s.ring.Owners(t.key, s.ring.Len()) {
+		if s.aliveRun[m] && !t.tried[m] {
+			target = m
+			break
+		}
+	}
+	if target == "" {
+		// Every live member already failed this task once; let any of
+		// them have another go before the attempts cap ends it.
+		for _, m := range s.order {
+			if s.aliveRun[m] {
+				target = m
+				break
+			}
+		}
+	}
+	if target == "" {
+		return false
+	}
+	s.queues[target] = append(s.queues[target], t)
+	s.cond.Broadcast()
+	return true
+}
+
+// memberDied removes a member from this call; its dispatchers exit and
+// its remaining queue is drained by stealing.
+func (s *mapState) memberDied(member string) {
+	s.mu.Lock()
+	delete(s.aliveRun, member)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fail records the first error and wakes every dispatcher.
+func (s *mapState) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

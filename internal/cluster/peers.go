@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// DefaultPeerTimeout bounds one cache probe to a peer. Peer fills must be
+// cheap relative to a synthesis run: a slow or dead peer degrades a cold
+// request by at most this much before the node computes locally.
+const DefaultPeerTimeout = 2 * time.Second
+
+// Peers is a worker's view of the cache-peer ring: the full worker member
+// list (including itself) plus its own address, so it can answer "who
+// owns this key, and is it me?". On a local cache miss for a key owned by
+// another worker, Fetch asks that owner before the engine runs — a warm
+// hit anywhere becomes a warm hit everywhere, at the cost of one bounded
+// HTTP round trip on the miss path.
+//
+// Membership is mutable (Configure) because a worker learns its final
+// address only after its listener binds; all methods are safe for
+// concurrent use.
+type Peers struct {
+	// Timeout bounds one probe (zero uses DefaultPeerTimeout).
+	Timeout time.Duration
+	// Client is the HTTP client for probes (nil uses a private default).
+	Client *http.Client
+
+	mu   sync.RWMutex
+	self string
+	ring *Ring
+}
+
+// NewPeers returns an empty peer set; Configure installs the membership.
+func NewPeers() *Peers { return &Peers{} }
+
+// Configure replaces the ring membership and this node's own address.
+// The same member list (byte-identical addresses) must be used by every
+// worker and by the coordinator, or shard affinity and peer ownership
+// disagree.
+func (p *Peers) Configure(self string, members []string) {
+	r := NewRing(members, 0)
+	p.mu.Lock()
+	p.self, p.ring = self, r
+	p.mu.Unlock()
+}
+
+// Owner returns the member owning key and whether that member is this
+// node itself (also true for an unconfigured or empty ring: with nobody
+// else to ask, the key is "ours").
+func (p *Peers) Owner(key string) (addr string, self bool) {
+	p.mu.RLock()
+	ring, me := p.ring, p.self
+	p.mu.RUnlock()
+	if ring == nil || ring.Len() == 0 {
+		return "", true
+	}
+	owner := ring.Owner(key)
+	return owner, owner == me
+}
+
+func (p *Peers) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return defaultClient
+}
+
+// defaultClient is shared across peer sets and pools; connection reuse
+// across probes is what keeps the peer-fill round trip cheap.
+var defaultClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}}
+
+// Fetch probes the owner of key for a cached result. ok is false when
+// this node owns the key itself, the owner has no entry, or the probe
+// fails or times out — all of which mean "compute locally". Fetch never
+// triggers computation on the peer: it only reads the peer's cache, so
+// two nodes can never recurse into each other.
+func (p *Peers) Fetch(ctx context.Context, key string) (CachedResult, bool) {
+	owner, self := p.Owner(key)
+	if self {
+		return CachedResult{}, false
+	}
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		owner+"/cluster/cache?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return CachedResult{}, false
+	}
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return CachedResult{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return CachedResult{}, false
+	}
+	var cr CachedResult
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return CachedResult{}, false
+	}
+	return cr, true
+}

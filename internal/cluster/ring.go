@@ -1,0 +1,118 @@
+// Package cluster is the distributed-synthesis fabric: a consistent-hash
+// ring over worker addresses, an HTTP client pool that shards grid points
+// across a worker fleet with affinity, work-stealing and failover, and a
+// peer-fill client that lets one worker's cache serve another's miss.
+//
+// Sharding keys are the content addresses already used by the result
+// cache (internal/cache): a point's key is the canonical SHA-256 of its
+// full semantic input, so identical points always hash to the same worker
+// and that worker's LRU stays hot across requests, coordinators and
+// direct client traffic alike.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual points each member contributes
+// to the ring. More replicas smooth the key distribution across members
+// at the cost of a larger (still tiny) sorted table.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over member addresses.
+// Construct with NewRing; the zero value owns nothing.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// hash64 maps a string to a uniform 64-bit value. SHA-256 keeps the
+// placement identical across processes and architectures — the property
+// that makes a coordinator's shard assignment agree with every worker's
+// peer ring.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given member addresses with replicas
+// virtual points each (<= 0 uses DefaultReplicas). Duplicate members are
+// collapsed; member order does not matter (the ring sorts internally), so
+// every process configured with the same member set builds the same ring.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	ms := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			ms = append(ms, m)
+		}
+	}
+	sort.Strings(ms)
+	r := &Ring{members: ms, points: make([]ringPoint, 0, len(ms)*replicas)}
+	buf := make([]byte, 0, 64)
+	for mi, m := range ms {
+		for rep := 0; rep < replicas; rep++ {
+			buf = append(buf[:0], m...)
+			buf = append(buf, '#')
+			buf = binary.BigEndian.AppendUint32(buf, uint32(rep))
+			r.points = append(r.points, ringPoint{hash: hash64(string(buf)), member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the distinct member addresses in sorted order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Len returns the number of distinct members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct members in ring order starting at key's
+// owner — the failover sequence for that key. Every process with the same
+// member set computes the same sequence.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	taken := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.member] {
+			taken[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pchls/internal/core"
+)
+
+// The cluster-internal wire schema. These types ride between coordinator
+// and workers (POST /cluster/point) and between cache peers
+// (GET /cluster/cache); they are not part of the public /v1 API.
+
+// PointRequest is one grid cell shipped to a worker: the same JSON schema
+// as POST /v1/synthesize, so the worker decodes it with the same
+// validating request parser. Graph and Library are pre-marshaled raw
+// JSON, letting a coordinator serialize them once per grid instead of
+// once per point.
+type PointRequest struct {
+	Benchmark  string          `json:"benchmark,omitempty"`
+	Graph      json.RawMessage `json:"graph,omitempty"`
+	Library    json.RawMessage `json:"library,omitempty"`
+	Deadline   int             `json:"deadline"`
+	PowerMax   float64         `json:"power_max,omitempty"`
+	SinglePass bool            `json:"single_pass,omitempty"`
+}
+
+// CachedResult is a serialized result-cache entry: the exact response
+// status and bytes of the producing /v1/synthesize run plus its full
+// engine work counters. It is what a peer returns on a cache probe and
+// the payload a worker's point evaluation wraps.
+type CachedResult struct {
+	// Status is the HTTP status of the cached response: 200 for a design,
+	// 422 for deterministic infeasibility.
+	Status int `json:"status"`
+	// Body is the exact response bytes (a design JSON document or an
+	// error JSON document).
+	Body []byte `json:"body"`
+	// Stats carries the producing run's engine counters; synthesis is
+	// deterministic, so replayed stats equal what a fresh run would count.
+	Stats core.Stats `json:"stats"`
+}
+
+// PointResponse is the worker's answer to POST /cluster/point: the cached
+// result plus the worker-side cache outcome ("hit", "miss", "coalesced",
+// "peer") for observability.
+type PointResponse struct {
+	CachedResult
+	Cache string `json:"cache"`
+}
+
+// PointResult is a decoded grid-cell outcome, carrying everything the
+// sweep/surface assembly passes need. The fields mirror what the local
+// engine records per cell, so a coordinator's assembled response is
+// byte-identical to single-process evaluation.
+type PointResult struct {
+	Feasible  bool
+	Area      float64
+	Peak      float64
+	FUs       int
+	Registers int
+	Locked    bool
+	Stats     core.Stats
+}
+
+// designMeta is the subset of the design JSON schema (internal/core) the
+// assembly passes need. encoding/json round-trips float64 exactly, so
+// Area and Peak decode to the identical bits the worker's engine
+// produced.
+type designMeta struct {
+	Area struct {
+		Total float64 `json:"total"`
+	} `json:"area"`
+	PeakPower float64           `json:"peak_power"`
+	Locked    bool              `json:"repair_locked"`
+	FUs       []json.RawMessage `json:"functional_units"`
+	Registers []json.RawMessage `json:"registers"`
+}
+
+// Result decodes the cached result into the per-cell fields the
+// exploration assembly needs. A 422 becomes an infeasible point with zero
+// stats, matching what the local engine records for infeasible cells; any
+// other non-200 status is an error (workers never cache those).
+func (c CachedResult) Result() (PointResult, error) {
+	switch c.Status {
+	case http.StatusUnprocessableEntity:
+		return PointResult{}, nil
+	case http.StatusOK:
+		var m designMeta
+		if err := json.Unmarshal(c.Body, &m); err != nil {
+			return PointResult{}, fmt.Errorf("cluster: bad design body from worker: %w", err)
+		}
+		return PointResult{
+			Feasible:  true,
+			Area:      m.Area.Total,
+			Peak:      m.PeakPower,
+			FUs:       len(m.FUs),
+			Registers: len(m.Registers),
+			Locked:    m.Locked,
+			Stats:     c.Stats,
+		}, nil
+	default:
+		return PointResult{}, fmt.Errorf("cluster: unexpected point status %d", c.Status)
+	}
+}
+
+// RegisterRequest is the body of POST /cluster/register: a worker
+// announcing itself to a coordinator.
+type RegisterRequest struct {
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse acknowledges a registration with the coordinator's
+// current member list.
+type RegisterResponse struct {
+	Members []string `json:"members"`
+}

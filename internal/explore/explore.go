@@ -86,6 +86,15 @@ type SweepConfig struct {
 	// occupancy (see runner.Config.InFlight); the synthesis service uses
 	// it to export a runner-occupancy gauge.
 	InFlight runner.Gauge
+	// Eval, when non-nil, replaces the in-process synthesis of grid
+	// cells: it receives the full constraint grid (one entry per sample,
+	// in grid order) and must return one Point per constraint, in order,
+	// with the Point's design fields and Stats filled (Power is
+	// overwritten from the grid). The cluster coordinator uses this to
+	// shard cells across a worker fleet; the subsumption assembly below
+	// runs on the returned points unchanged, so a remote evaluation is
+	// byte-identical to an in-process one.
+	Eval func(ctx context.Context, cons []core.Constraints) ([]Point, error)
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -122,23 +131,41 @@ func SweepContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, dead
 	for p := cfg.PowerMin; p <= cfg.PowerMax+1e-9; p += cfg.Step {
 		powers = append(powers, p)
 	}
-	raw, err := runner.Map(ctx, len(powers), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
-		func(ctx context.Context, i int) (Point, error) {
-			pt := Point{Power: powers[i]}
-			d, err := synth(ctx, g, lib, core.Constraints{Deadline: deadline, PowerMax: powers[i]}, cfg.Config)
-			if err == nil {
-				pt.Feasible = true
-				pt.Area = d.Area()
-				pt.Peak = d.Schedule.PeakPower()
-				pt.FUs = len(d.FUs)
-				pt.Registers = len(d.Datapath.Registers)
-				pt.Locked = d.Locked
-				pt.Stats = d.Stats
-			} else if ctxErr := ctx.Err(); ctxErr != nil {
-				return pt, ctxErr
+	var raw []Point
+	var err error
+	if cfg.Eval != nil {
+		cons := make([]core.Constraints, len(powers))
+		for i, p := range powers {
+			cons[i] = core.Constraints{Deadline: deadline, PowerMax: p}
+		}
+		raw, err = cfg.Eval(ctx, cons)
+		if err == nil && len(raw) != len(cons) {
+			err = fmt.Errorf("explore: Eval returned %d points for %d grid cells", len(raw), len(cons))
+		}
+		if err == nil {
+			for i := range raw {
+				raw[i].Power = powers[i]
 			}
-			return pt, nil
-		})
+		}
+	} else {
+		raw, err = runner.Map(ctx, len(powers), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
+			func(ctx context.Context, i int) (Point, error) {
+				pt := Point{Power: powers[i]}
+				d, err := synth(ctx, g, lib, core.Constraints{Deadline: deadline, PowerMax: powers[i]}, cfg.Config)
+				if err == nil {
+					pt.Feasible = true
+					pt.Area = d.Area()
+					pt.Peak = d.Schedule.PeakPower()
+					pt.FUs = len(d.FUs)
+					pt.Registers = len(d.Datapath.Registers)
+					pt.Locked = d.Locked
+					pt.Stats = d.Stats
+				} else if ctxErr := ctx.Err(); ctxErr != nil {
+					return pt, ctxErr
+				}
+				return pt, nil
+			})
+	}
 	if err != nil {
 		return Curve{}, err
 	}

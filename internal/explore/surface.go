@@ -55,6 +55,14 @@ type SurfaceConfig struct {
 	// InFlight, when non-nil, tracks the worker pool's instantaneous
 	// occupancy (see runner.Config.InFlight).
 	InFlight runner.Gauge
+	// Eval, when non-nil, replaces the in-process synthesis of grid
+	// cells: it receives the full constraint grid in row-major
+	// (deadline-major, sorted) order and must return one Point per cell,
+	// in order. See SweepConfig.Eval; only Feasible, Area and Stats are
+	// consumed here. The two-axis subsumption assembly below runs on the
+	// returned points unchanged, so a remote evaluation is byte-identical
+	// to an in-process one.
+	Eval func(ctx context.Context, cons []core.Constraints) ([]Point, error)
 	// Config is passed through to the synthesizer.
 	Config core.Config
 }
@@ -89,21 +97,49 @@ func ExploreSurfaceContext(ctx context.Context, g *cdfg.Graph, lib *library.Libr
 		}
 	}
 	// Cells in row-major (deadline-major) order, matching the serial walk.
-	raw, err := runner.Map(ctx, len(deadlines)*len(powers), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
-		func(ctx context.Context, i int) (SurfacePoint, error) {
-			T := deadlines[i/len(powers)]
-			P := powers[i%len(powers)]
-			pt := SurfacePoint{Deadline: T, Power: P}
-			d, err := synth(ctx, g, lib, core.Constraints{Deadline: T, PowerMax: P}, cfg.Config)
-			if err == nil {
-				pt.Feasible = true
-				pt.Area = d.Area()
-				pt.Stats = d.Stats
-			} else if ctxErr := ctx.Err(); ctxErr != nil {
-				return pt, ctxErr
+	var raw []SurfacePoint
+	var err error
+	if cfg.Eval != nil {
+		cons := make([]core.Constraints, 0, len(deadlines)*len(powers))
+		for _, T := range deadlines {
+			for _, P := range powers {
+				cons = append(cons, core.Constraints{Deadline: T, PowerMax: P})
 			}
-			return pt, nil
-		})
+		}
+		pts, evalErr := cfg.Eval(ctx, cons)
+		err = evalErr
+		if err == nil && len(pts) != len(cons) {
+			err = fmt.Errorf("explore: Eval returned %d points for %d grid cells", len(pts), len(cons))
+		}
+		if err == nil {
+			raw = make([]SurfacePoint, len(pts))
+			for i, pt := range pts {
+				raw[i] = SurfacePoint{
+					Deadline: cons[i].Deadline,
+					Power:    cons[i].PowerMax,
+					Feasible: pt.Feasible,
+					Area:     pt.Area,
+					Stats:    pt.Stats,
+				}
+			}
+		}
+	} else {
+		raw, err = runner.Map(ctx, len(deadlines)*len(powers), runner.Config{Workers: cfg.Workers, InFlight: cfg.InFlight},
+			func(ctx context.Context, i int) (SurfacePoint, error) {
+				T := deadlines[i/len(powers)]
+				P := powers[i%len(powers)]
+				pt := SurfacePoint{Deadline: T, Power: P}
+				d, err := synth(ctx, g, lib, core.Constraints{Deadline: T, PowerMax: P}, cfg.Config)
+				if err == nil {
+					pt.Feasible = true
+					pt.Area = d.Area()
+					pt.Stats = d.Stats
+				} else if ctxErr := ctx.Err(); ctxErr != nil {
+					return pt, ctxErr
+				}
+				return pt, nil
+			})
+	}
 	if err != nil {
 		return Surface{}, err
 	}

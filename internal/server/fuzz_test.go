@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"testing"
+
+	"pchls/internal/cache"
 )
 
 // FuzzDecodeRequest throws arbitrary bytes at the /v1/synthesize request
@@ -57,7 +59,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		if _, err := g.TopoOrder(); err != nil {
 			t.Fatalf("validated graph fails TopoOrder for %q: %v", data, err)
 		}
-		if key := synthesizeKey(g, lib, cons, req.SinglePass); len(key) != 64 {
+		if key := cache.SynthesizeKey(g, lib, cons, req.SinglePass); len(key) != 64 {
 			t.Fatalf("cache key %q is not a sha256 hex digest", key)
 		}
 	})

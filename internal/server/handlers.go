@@ -11,6 +11,7 @@ import (
 	"pchls/internal/bench"
 	"pchls/internal/cache"
 	"pchls/internal/cdfg"
+	"pchls/internal/cluster"
 	"pchls/internal/core"
 	"pchls/internal/explore"
 	"pchls/internal/portfolio"
@@ -21,7 +22,7 @@ import (
 // so warm responses stay byte-identical to the cold run that filled the
 // cache.
 const (
-	headerCache           = "X-Pchls-Cache"          // hit | miss | coalesced
+	headerCache           = "X-Pchls-Cache"          // hit | miss | coalesced | peer
 	headerSchedulerRuns   = "X-Pchls-Scheduler-Runs" // full scheduler runs this request performed
 	headerIncrementalRuns = "X-Pchls-Incremental-Runs"
 )
@@ -30,40 +31,82 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// errorBody renders the error document. Batch items and direct endpoint
+// responses share it, so an error is byte-identical either way.
+func errorBody(msg string) []byte {
+	b, err := json.Marshal(errorJSON{Error: msg})
+	if err != nil {
+		return []byte(`{"error":"internal error"}` + "\n")
+	}
+	return append(b, '\n')
+}
+
 func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorJSON{Error: msg})
+	_, _ = w.Write(errorBody(msg))
+}
+
+// requestErrorStatus maps a decode/validation failure to a status + message.
+func requestErrorStatus(err error) (int, string) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge, err.Error()
+	}
+	return http.StatusBadRequest, err.Error()
 }
 
 // writeRequestError maps a decode/validation failure to a client response.
 func writeRequestError(w http.ResponseWriter, err error) {
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
-		return
+	status, msg := requestErrorStatus(err)
+	writeError(w, status, msg)
+}
+
+// proxyError carries a worker's non-cacheable response verbatim through
+// the coordinator's proxy path (portfolio), preserving its status.
+type proxyError struct {
+	status int
+	body   []byte
+}
+
+func (e *proxyError) Error() string {
+	return fmt.Sprintf("worker returned %d", e.status)
+}
+
+// computeErrorStatus maps a non-cacheable computation failure to a
+// status + response body, shared by direct responses and batch items.
+func computeErrorStatus(err error) (status int, body []byte, retryAfter bool) {
+	var pe *proxyError
+	switch {
+	case errors.Is(err, overloadError{}):
+		return http.StatusTooManyRequests, errorBody(err.Error()), true
+	case errors.Is(err, cluster.ErrNoWorkers):
+		return http.StatusServiceUnavailable, errorBody(err.Error()), false
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, errorBody("request deadline exceeded before synthesis completed"), false
+	case errors.As(err, &pe):
+		return pe.status, pe.body, pe.status == http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError, errorBody(err.Error()), false
 	}
-	writeError(w, http.StatusBadRequest, err.Error())
 }
 
 // writeComputeError maps a non-cacheable computation failure.
 func writeComputeError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, overloadError{}):
+	status, body, retryAfter := computeErrorStatus(err)
+	if retryAfter {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded before synthesis completed")
-	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
-// writeResult replays a (possibly cached) result. Warm hits report zero
-// engine work: the whole point of the cache is that they performed none.
+// writeResult replays a (possibly cached) result. Warm hits — local or
+// peer-filled — report zero engine work: this request performed none.
 func writeResult(w http.ResponseWriter, res *result, outcome cache.Outcome) {
 	sched, incr := int64(0), int64(0)
-	if outcome != cache.Hit {
+	if outcome == cache.Miss || outcome == cache.Coalesced {
 		sched, incr = res.stats.SchedulerRuns, res.stats.IncrementalRuns
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -107,22 +150,31 @@ func (s *Server) compute(ctx context.Context, fn func(ctx context.Context) (*res
 	return res, nil
 }
 
-func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	var req synthesizeRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
-		writeRequestError(w, err)
-		return
-	}
+// execSynthesize is the synthesize endpoint's core, shared by the HTTP
+// handler, batch items and the worker point endpoint: derive the content
+// address, consult the cache (and, on a worker, the peer ring), and on a
+// cold miss either run the engine locally or — on a coordinator —
+// dispatch the point to the worker owning its key.
+func (s *Server) execSynthesize(ctx context.Context, req *synthesizeRequest) (*result, cache.Outcome, error) {
 	g, lib, cons, err := req.validate()
 	if err != nil {
-		writeRequestError(w, err)
-		return
+		return nil, 0, err
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	key := synthesizeKey(g, lib, cons, req.SinglePass)
-	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+	key := cache.SynthesizeKey(g, lib, cons, req.SinglePass)
+	return s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		if pool := s.cfg.Pool; pool != nil {
+			return s.compute(ctx, func(ctx context.Context) (*result, error) {
+				preq, err := req.pointRequest(cons)
+				if err != nil {
+					return nil, err
+				}
+				resp, err := pool.Point(ctx, key, preq)
+				if err != nil {
+					return nil, err
+				}
+				return &result{status: resp.Status, body: resp.Body, stats: resp.Stats}, nil
+			})
+		}
 		return s.compute(ctx, func(ctx context.Context) (*result, error) {
 			d, err := s.synth(ctx, g, lib, cons, core.Config{Workers: 1}, req.SinglePass)
 			if err != nil {
@@ -139,7 +191,22 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			return &result{status: http.StatusOK, body: body, stats: d.Stats}, nil
 		})
 	})
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req synthesizeRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, outcome, err := s.execSynthesize(ctx, &req)
 	if err != nil {
+		if isRequestError(err) {
+			writeRequestError(w, err)
+			return
+		}
 		writeComputeError(w, err)
 		return
 	}
@@ -169,22 +236,35 @@ type portfolioJSON struct {
 	Portfolio portfolioStatsJSON `json:"portfolio"`
 }
 
-func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
-	var req portfolioRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
-		writeRequestError(w, err)
-		return
-	}
+// execPortfolio is the portfolio endpoint's core. A coordinator cannot
+// decompose the portfolio search into grid points, so it proxies the
+// whole request to the worker owning the portfolio's content address —
+// the same worker every time, so repeats hit that worker's cache.
+func (s *Server) execPortfolio(ctx context.Context, req *portfolioRequest) (*result, cache.Outcome, error) {
 	g, lib, cons, err := req.validate()
 	if err != nil {
-		writeRequestError(w, err)
-		return
+		return nil, 0, err
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	key := portfolioKey(g, lib, cons, req.K, req.Budget, req.Seed)
-	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+	key := cache.PortfolioKey(g, lib, cons, req.K, req.Budget, req.Seed)
+	return s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		if pool := s.cfg.Pool; pool != nil {
+			return s.compute(ctx, func(ctx context.Context) (*result, error) {
+				body, err := json.Marshal(req)
+				if err != nil {
+					return nil, err
+				}
+				status, respBody, err := pool.Proxy(ctx, key, "/v1/portfolio", body)
+				if err != nil {
+					return nil, err
+				}
+				if status != http.StatusOK && status != http.StatusUnprocessableEntity {
+					// Transient worker-side failure (overload, drain):
+					// surface it verbatim, never cache it.
+					return nil, &proxyError{status: status, body: respBody}
+				}
+				return &result{status: status, body: respBody}, nil
+			})
+		}
 		return s.compute(ctx, func(ctx context.Context) (*result, error) {
 			pres, err := portfolio.SynthesizeContext(ctx, g, lib, cons, portfolio.Config{
 				K:        req.K,
@@ -231,7 +311,22 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 			return &result{status: http.StatusOK, body: body, stats: pres.Design.Stats}, nil
 		})
 	})
+}
+
+func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	var req portfolioRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, outcome, err := s.execPortfolio(ctx, &req)
 	if err != nil {
+		if isRequestError(err) {
+			writeRequestError(w, err)
+			return
+		}
 		writeComputeError(w, err)
 		return
 	}
@@ -273,24 +368,19 @@ type curveJSON struct {
 	TotalStats statsJSON        `json:"total_stats"`
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
-		writeRequestError(w, err)
-		return
-	}
+// execSweep is the sweep endpoint's core. On a coordinator the grid
+// cells are sharded across the worker fleet (explore's Eval hook); the
+// subsumption assembly and JSON rendering are the same code either way,
+// so the response bytes are identical.
+func (s *Server) execSweep(ctx context.Context, req *sweepRequest) (*result, cache.Outcome, error) {
 	g, lib, err := req.validate()
 	if err != nil {
-		writeRequestError(w, err)
-		return
+		return nil, 0, err
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	key := sweepKey(g, lib, req.Deadline, req.PowerMin, req.PowerMax, req.Step, req.SinglePass)
-	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+	key := cache.SweepKey(g, lib, req.Deadline, req.PowerMin, req.PowerMax, req.Step, req.SinglePass)
+	return s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
 		return s.compute(ctx, func(ctx context.Context) (*result, error) {
-			curve, err := explore.SweepContext(ctx, g, lib, req.Deadline, explore.SweepConfig{
+			cfg := explore.SweepConfig{
 				PowerMin:   req.PowerMin,
 				PowerMax:   req.PowerMax,
 				Step:       req.Step,
@@ -298,12 +388,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				Workers:    s.cfg.ExploreWorkers,
 				InFlight:   s.runnerInflight,
 				Config:     core.Config{Workers: 1},
-			})
+			}
+			if s.cfg.Pool != nil {
+				eval, err := s.clusterEval(req.Benchmark, req.Graph, req.Library, g, lib, req.SinglePass)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Eval = eval
+			}
+			curve, err := explore.SweepContext(ctx, g, lib, req.Deadline, cfg)
 			if err != nil {
 				return nil, err
 			}
 			total := curve.TotalStats()
-			s.noteStats(total)
+			if s.cfg.Pool == nil {
+				s.noteStats(total)
+			}
 			out := curveJSON{
 				Benchmark:  curve.Benchmark,
 				Deadline:   curve.Deadline,
@@ -323,7 +423,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return &result{status: http.StatusOK, body: body, stats: total}, nil
 		})
 	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, outcome, err := s.execSweep(ctx, &req)
 	if err != nil {
+		if isRequestError(err) {
+			writeRequestError(w, err)
+			return
+		}
 		writeComputeError(w, err)
 		return
 	}
@@ -343,36 +458,39 @@ type surfaceJSON struct {
 	TotalStats statsJSON          `json:"total_stats"`
 }
 
-func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
-	var req surfaceRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
-		writeRequestError(w, err)
-		return
-	}
+// execSurface is the surface endpoint's core; see execSweep for the
+// coordinator sharding path.
+func (s *Server) execSurface(ctx context.Context, req *surfaceRequest) (*result, cache.Outcome, error) {
 	g, lib, err := req.validate()
 	if err != nil {
-		writeRequestError(w, err)
-		return
+		return nil, 0, err
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	key := surfaceKey(g, lib, req.Deadlines, req.Powers, req.SinglePass)
-	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+	key := cache.SurfaceKey(g, lib, req.Deadlines, req.Powers, req.SinglePass)
+	return s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
 		return s.compute(ctx, func(ctx context.Context) (*result, error) {
-			surface, err := explore.ExploreSurfaceContext(ctx, g, lib, explore.SurfaceConfig{
+			cfg := explore.SurfaceConfig{
 				Deadlines:  req.Deadlines,
 				Powers:     req.Powers,
 				SinglePass: req.SinglePass,
 				Workers:    s.cfg.ExploreWorkers,
 				InFlight:   s.runnerInflight,
 				Config:     core.Config{Workers: 1},
-			})
+			}
+			if s.cfg.Pool != nil {
+				eval, err := s.clusterEval(req.Benchmark, req.Graph, req.Library, g, lib, req.SinglePass)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Eval = eval
+			}
+			surface, err := explore.ExploreSurfaceContext(ctx, g, lib, cfg)
 			if err != nil {
 				return nil, err
 			}
 			total := surface.TotalStats()
-			s.noteStats(total)
+			if s.cfg.Pool == nil {
+				s.noteStats(total)
+			}
 			out := surfaceJSON{
 				Benchmark:  surface.Benchmark,
 				Points:     make([]surfacePointJSON, 0, len(surface.Points)),
@@ -390,7 +508,22 @@ func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 			return &result{status: http.StatusOK, body: body, stats: total}, nil
 		})
 	})
+}
+
+func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
+	var req surfaceRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, outcome, err := s.execSurface(ctx, &req)
 	if err != nil {
+		if isRequestError(err) {
+			writeRequestError(w, err)
+			return
+		}
 		writeComputeError(w, err)
 		return
 	}

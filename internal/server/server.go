@@ -10,9 +10,23 @@
 //	POST /v1/portfolio    anytime portfolio synthesis (body: portfolioRequest)
 //	POST /v1/sweep        area-versus-power sweep at fixed T
 //	POST /v1/surface      (deadline x power) grid exploration
+//	POST /v1/batch        a list of the above, fanned out, index-ordered results
 //	GET  /v1/benchmarks   the built-in benchmark CDFGs
 //	GET  /healthz         liveness probe
 //	GET  /metrics         Prometheus text-format metrics
+//
+// The same daemon also runs in two cluster roles (internal/cluster). With
+// Config.Worker it additionally serves the cluster-internal endpoints —
+// POST /cluster/point (evaluate one grid cell through the result cache)
+// and GET /cluster/cache (read-only cache probe for peer fill) — and,
+// given Config.Peers, consults the cache peer owning a key before
+// computing a miss. With Config.Pool it becomes a coordinator: /v1 grids
+// are sharded across the registered workers by the content address of
+// each cell (consistent hashing keeps every worker's cache hot for its
+// shard), with work-stealing and retry-on-failure, and POST
+// /cluster/register accepts worker registrations. Either way the response
+// bytes are identical to a single-process run: grid cells route through
+// the same cache keys and the same assembly code.
 //
 // Three mechanisms make the daemon safe under heavy identical-query
 // traffic, the access pattern of exploration workloads:
@@ -43,6 +57,7 @@ import (
 
 	"pchls/internal/cache"
 	"pchls/internal/cdfg"
+	"pchls/internal/cluster"
 	"pchls/internal/core"
 	"pchls/internal/library"
 	"pchls/internal/obs"
@@ -77,6 +92,17 @@ type Config struct {
 	// validated cold run. Off by default; it costs O(T x n + n^2) per
 	// synthesis.
 	Validate bool
+	// Worker mounts the cluster-internal endpoints (POST /cluster/point,
+	// GET /cluster/cache) so this daemon can serve as a fleet worker.
+	Worker bool
+	// Peers, when non-nil, is this worker's cache-peer ring: on a local
+	// cache miss the flight leader asks the key's owning peer before
+	// computing (peer fill).
+	Peers *cluster.Peers
+	// Pool, when non-nil, turns the daemon into a coordinator: /v1 grid
+	// endpoints shard their cells across the pool's workers instead of
+	// computing locally, and POST /cluster/register is mounted.
+	Pool *cluster.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -158,10 +184,20 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		reg:   obs.NewRegistry(),
-		cache: cache.New[*result](cfg.CacheEntries, cfg.CacheTTL),
 		synth: defaultSynth,
 		sem:   make(chan struct{}, cfg.Workers),
 	}
+	var cacheOpts []cache.Option[*result]
+	if cfg.Peers != nil {
+		cacheOpts = append(cacheOpts, cache.WithPeer[*result](func(ctx context.Context, key string) (*result, bool) {
+			cr, ok := cfg.Peers.Fetch(ctx, key)
+			if !ok {
+				return nil, false
+			}
+			return &result{status: cr.Status, body: cr.Body, stats: cr.Stats}, true
+		}))
+	}
+	s.cache = cache.New[*result](cfg.CacheEntries, cfg.CacheTTL, cacheOpts...)
 
 	s.engineRuns = s.reg.Counter("pchls_engine_synth_total", "synthesis computations executed (cache misses that ran the engine)")
 	s.schedulerRuns = s.reg.Counter("pchls_engine_scheduler_runs_total", "full pasap/palap scheduler executions across all requests")
@@ -189,12 +225,36 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.cache.Stats().Evictions) })
 	s.reg.CounterFunc("pchls_cache_expirations_total", "result-cache TTL expirations",
 		func() float64 { return float64(s.cache.Stats().Expirations) })
+	s.reg.CounterFunc("pchls_cache_peer_hits_total", "result-cache misses served from a cluster peer's cache",
+		func() float64 { return float64(s.cache.Stats().PeerHits) })
+	s.reg.CounterFunc("pchls_cache_peer_misses_total", "peer probes that yielded nothing (computed locally)",
+		func() float64 { return float64(s.cache.Stats().PeerMisses) })
+	if pool := cfg.Pool; pool != nil {
+		s.reg.GaugeFunc("pchls_cluster_workers", "workers registered with this coordinator",
+			func() float64 { return float64(len(pool.Members())) })
+		s.reg.CounterFunc("pchls_cluster_points_total", "grid points dispatched to workers successfully",
+			func() float64 { return float64(pool.Stats().Points) })
+		s.reg.CounterFunc("pchls_cluster_steals_total", "grid points stolen from another worker's queue",
+			func() float64 { return float64(pool.Stats().Steals) })
+		s.reg.CounterFunc("pchls_cluster_retries_total", "grid points re-dispatched after a failed attempt",
+			func() float64 { return float64(pool.Stats().Retries) })
+		s.reg.CounterFunc("pchls_cluster_failures_total", "failed point dispatch attempts",
+			func() float64 { return float64(pool.Stats().Failures) })
+	}
 
 	s.mux.HandleFunc("POST /v1/synthesize", s.instrument("/v1/synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("POST /v1/portfolio", s.instrument("/v1/portfolio", s.handlePortfolio))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("POST /v1/surface", s.instrument("/v1/surface", s.handleSurface))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.handleBenchmarks))
+	if cfg.Worker {
+		s.mux.HandleFunc("POST /cluster/point", s.instrument("/cluster/point", s.handleClusterPoint))
+		s.mux.HandleFunc("GET /cluster/cache", s.instrument("/cluster/cache", s.handleClusterCache))
+	}
+	if cfg.Pool != nil {
+		s.mux.HandleFunc("POST /cluster/register", s.instrument("/cluster/register", s.handleClusterRegister))
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 
@@ -236,6 +296,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 // request count/latency metrics labeled by path and status code.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.reg.Histogram("pchls_http_request_seconds", "request latency", nil, obs.Label{Key: "path", Value: path})
+	endpointHist := s.reg.Histogram("pchls_request_seconds", "request latency by endpoint", nil, obs.Label{Key: "endpoint", Value: path})
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -247,7 +308,9 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		h(rec, r)
-		hist.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		hist.Observe(elapsed)
+		endpointHist.Observe(elapsed)
 		s.reg.Counter("pchls_http_requests_total", "requests served",
 			obs.Label{Key: "path", Value: path},
 			obs.Label{Key: "code", Value: strconv.Itoa(rec.status)}).Inc()

@@ -5,7 +5,7 @@
 # BENCH_TOLERANCE (fractional, default 0.20).
 #
 # Lanes (BENCH_LANES, space-separated, default all): synth server
-# portfolio scaling. The scaling lane gates the n=100/300 tiers of
+# portfolio scaling cluster. The scaling lane gates the n=100/300 tiers of
 # BenchmarkScaling by default; with PCHLS_SCALING_FULL=1 it also runs
 # the n=1000 tiers — including two ~20-minute legacy passes — and enforces
 # the legacy-over-scale speedup floors (make bench-scaling).
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOL="${BENCH_TOLERANCE:-0.20}"
-LANES="${BENCH_LANES:-synth server portfolio scaling}"
+LANES="${BENCH_LANES:-synth server portfolio scaling cluster}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
@@ -58,6 +58,14 @@ if has_lane scaling; then
         SCALING_TIERS="" # empty = gate every tier in the baseline
     fi
     ARGS+=(-scaling results/BENCH_scaling.json -scalingout "$OUT/scaling.txt" -scalingtiers "$SCALING_TIERS")
+fi
+
+if has_lane cluster; then
+    # Service time is simulated (fixed per-point sleeps), so this lane's
+    # ns/op is stable without -benchmem or a large -benchtime.
+    echo "== BenchmarkCluster (-benchtime 5x -count 2)"
+    go test -run '^$' -bench 'BenchmarkCluster$' -benchtime 5x -count 2 ./internal/server | tee "$OUT/cluster.txt"
+    ARGS+=(-cluster results/BENCH_cluster.json -clusterout "$OUT/cluster.txt")
 fi
 
 echo "== compare vs results/BENCH_*.json (tolerance ${TOL})"

@@ -55,6 +55,17 @@ type portfolioBaseline struct {
 	Benchmarks map[string]modeEntry `json:"benchmarks"`
 }
 
+// clusterBaseline gates the distributed-synthesis lane
+// (BenchmarkCluster): per-tier wall-time budgets ("workers1",
+// "workers3") plus a floor on the workers1-over-workers3 ratio — the
+// coordinator's scaling claim, re-verified on every run. The benchmark's
+// per-point service time is simulated (fixed sleeps), so its ns/op is
+// unusually stable across machines.
+type clusterBaseline struct {
+	Benchmarks map[string]modeEntry `json:"benchmarks"`
+	MinSpeedup float64              `json:"min_speedup"`
+}
+
 // scalingBaseline gates the thousand-node scaling lane
 // (BenchmarkScaling): per tier (e.g. "layered-n1000") and mode ("scale" /
 // "legacy") budgets, plus a floor on the legacy-over-scale wall-time
@@ -225,6 +236,8 @@ func main() {
 	portfolioOut := flag.String("portfolioout", "", "go-bench output for BenchmarkAnytimePortfolio")
 	scalingJSON := flag.String("scaling", "results/BENCH_scaling.json", "scaling baseline JSON")
 	scalingOut := flag.String("scalingout", "", "go-bench output for BenchmarkScaling")
+	clusterJSON := flag.String("cluster", "results/BENCH_cluster.json", "cluster baseline JSON")
+	clusterOut := flag.String("clusterout", "", "go-bench output for BenchmarkCluster")
 	scalingTiers := flag.String("scalingtiers", "", "comma-separated subset of scaling tiers to gate (default: every tier in the baseline)")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional regression for ns/op and allocs/op")
 	flag.Parse()
@@ -294,6 +307,31 @@ func main() {
 			default:
 				fmt.Fprintf(os.Stdout, "ok   %-55s %9.1fx (floor %.1fx; legacy %12.0f ns, scale %12.0f ns)\n",
 					name, legacyCur.ns/scaleCur.ns, min, legacyCur.ns, scaleCur.ns)
+			}
+		}
+	}
+	if *clusterOut != "" {
+		var base clusterBaseline
+		loadBaseline(*clusterJSON, &base)
+		got := loadBenchOutput(*clusterOut)
+		for _, tier := range sortedKeys(base.Benchmarks) {
+			compare(os.Stdout, &fails, got, "BenchmarkCluster/"+tier, base.Benchmarks[tier], *tol)
+		}
+		if base.MinSpeedup > 0 {
+			one, okOne := got["BenchmarkCluster/workers1"]
+			three, okThree := got["BenchmarkCluster/workers3"]
+			name := "BenchmarkCluster speedup"
+			switch {
+			case !okOne || !okThree || one.ns <= 0 || three.ns <= 0:
+				fails++
+				fmt.Fprintf(os.Stdout, "FAIL %-55s workers1/workers3 pair missing from fresh run (floor %.1fx)\n", name, base.MinSpeedup)
+			case one.ns/three.ns < base.MinSpeedup:
+				fails++
+				fmt.Fprintf(os.Stdout, "FAIL %-55s %9.1fx below the %.1fx floor (workers1 %12.0f ns, workers3 %12.0f ns)\n",
+					name, one.ns/three.ns, base.MinSpeedup, one.ns, three.ns)
+			default:
+				fmt.Fprintf(os.Stdout, "ok   %-55s %9.1fx (floor %.1fx; workers1 %12.0f ns, workers3 %12.0f ns)\n",
+					name, one.ns/three.ns, base.MinSpeedup, one.ns, three.ns)
 			}
 		}
 	}

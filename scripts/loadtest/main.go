@@ -1,0 +1,151 @@
+// Command loadtest hammers a pchls-server with thousands of concurrent
+// requests and reports the latency distribution from an obs histogram
+// (p50/p90/p99 via Quantile — the same estimator Prometheus uses). By
+// default it boots an in-process daemon so `make loadtest` is
+// self-contained; point -addr at a running server or coordinator to load
+// an external deployment instead.
+//
+// The request mix cycles through a handful of synthesize keys. The cache
+// is pre-warmed first (one sequential pass over the mix), so the
+// sustained phase measures the serving path — routing, cache, metrics,
+// admission — rather than engine throughput, which is what a
+// 1000-concurrent burst actually stresses in production.
+//
+// Exit status 1 when any request fails or returns a non-2xx status.
+//
+// Usage:
+//
+//	go run ./scripts/loadtest -c 1000 -n 20000
+//	go run ./scripts/loadtest -addr http://127.0.0.1:8080 -c 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pchls/internal/obs"
+	"pchls/internal/server"
+)
+
+// mix is the request set the load cycles through: a few distinct cache
+// keys so the test exercises cache lookup under contention, not just one
+// hot entry.
+var mix = []string{
+	`{"benchmark":"hal","deadline":17,"power_max":20}`,
+	`{"benchmark":"hal","deadline":10,"power_max":40}`,
+	`{"benchmark":"cosine","deadline":15,"power_max":30}`,
+	`{"benchmark":"diffeq2","deadline":30,"power_max":15}`,
+	`{"benchmark":"fir16","deadline":20,"power_max":25}`,
+	`{"benchmark":"ar","deadline":25,"power_max":30}`,
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "target base URL (empty: boot an in-process server)")
+		conc    = flag.Int("c", 1000, "concurrent clients")
+		total   = flag.Int("n", 20000, "total requests in the sustained phase")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	if *conc <= 0 || *total <= 0 {
+		log.Fatal("loadtest: -c and -n must be positive")
+	}
+
+	base := *addr
+	if base == "" {
+		s := server.New(server.Config{Workers: 8})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("loadtest: %v", err)
+		}
+		go func() { _ = s.Serve(l) }()
+		base = "http://" + l.Addr().String()
+		fmt.Printf("loadtest: booted in-process server at %s\n", base)
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc,
+			MaxIdleConnsPerHost: *conc,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	post := func(body string) (int, error) {
+		resp, err := client.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+
+	// Warm pass: every key in the mix computes once, sequentially, so the
+	// sustained phase measures serving throughput at full concurrency.
+	for _, body := range mix {
+		status, err := post(body)
+		if err != nil {
+			log.Fatalf("loadtest: warmup: %v", err)
+		}
+		if status/100 != 2 {
+			log.Fatalf("loadtest: warmup returned %d for %s", status, body)
+		}
+	}
+	fmt.Printf("loadtest: warmed %d keys, starting %d requests at concurrency %d\n", len(mix), *total, *conc)
+
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("loadtest_request_seconds", "client-observed request latency", nil)
+	var (
+		next     atomic.Int64
+		errs     atomic.Int64
+		badCodes atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*total) {
+					return
+				}
+				t0 := time.Now()
+				status, err := post(mix[i%int64(len(mix))])
+				hist.Observe(time.Since(t0).Seconds())
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if status/100 != 2 {
+					badCodes.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ms := func(q float64) float64 { return hist.Quantile(q) * 1000 }
+	fmt.Printf("loadtest: %d requests in %s (%.0f req/s), %d transport errors, %d non-2xx\n",
+		hist.Count(), elapsed.Round(time.Millisecond), float64(hist.Count())/elapsed.Seconds(),
+		errs.Load(), badCodes.Load())
+	fmt.Printf("loadtest: latency p50 %.2fms  p90 %.2fms  p99 %.2fms  mean %.2fms\n",
+		ms(0.50), ms(0.90), ms(0.99), hist.Sum()/float64(hist.Count())*1000)
+	if errs.Load() > 0 || badCodes.Load() > 0 {
+		os.Exit(1)
+	}
+}

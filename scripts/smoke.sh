@@ -57,9 +57,28 @@ echo "smoke: warm synthesize ok (byte-identical, zero scheduler runs)"
 curl -sf "$BASE/v1/benchmarks" >/dev/null
 echo "smoke: /v1/benchmarks ok"
 
+# Batch: two items through one request; -f fails the script on non-2xx.
+# The first item repeats the synthesize above, so its base64 body must
+# decode to exactly the standalone response bytes.
+BATCH='{"requests":[{"synthesize":{"benchmark":"hal","deadline":17,"power_max":20}},{"sweep":{"benchmark":"hal","deadline":17,"power_min":5,"power_max":20,"step":5,"single_pass":true}}]}'
+curl -sf -X POST -d "$BATCH" "$BASE/v1/batch" -o "$TMP/batch.json"
+grep -q '"status": 200' "$TMP/batch.json" || {
+    echo "smoke: batch items did not all succeed" >&2
+    cat "$TMP/batch.json" >&2
+    exit 1
+}
+grep -o '"body": "[^"]*"' "$TMP/batch.json" | head -1 | cut -d'"' -f4 \
+    | base64 -d >"$TMP/batch-item0.json"
+cmp -s "$TMP/batch-item0.json" "$TMP/cold.json" || {
+    echo "smoke: batch item body differs from the standalone response" >&2
+    exit 1
+}
+echo "smoke: /v1/batch ok (item body byte-identical to standalone)"
+
+# Two hits exactly: the warm synthesize plus batch item 0's repeat.
 curl -sf "$BASE/metrics" -o "$TMP/metrics"
-grep -q '^pchls_cache_hits_total 1$' "$TMP/metrics" || {
-    echo "smoke: /metrics does not report the cache hit" >&2
+grep -q '^pchls_cache_hits_total 2$' "$TMP/metrics" || {
+    echo "smoke: /metrics does not report the two cache hits" >&2
     grep '^pchls_cache' "$TMP/metrics" >&2 || true
     exit 1
 }

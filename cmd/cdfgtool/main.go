@@ -60,6 +60,7 @@ func main() {
 		legacy := fs.Bool("legacy", false, "use the pre-gen layered generator (bench.Random) for old seeds")
 		preset := fs.String("preset", "", "graph-shape preset: chain|wide|layered|mixed|blocks (explicit shape flags override the recipe)")
 		blocks := fs.Int("blocks", 0, "split the computations into this many disjoint blocks (<=1 = single block)")
+		connect := fs.Bool("connect", false, "bridge weakly-connected components with minimum extra edges: guarantees a single-component graph")
 		fs.Parse(args)
 		if *legacy {
 			g := bench.Random(rand.New(rand.NewSource(*seed)), bench.RandomConfig{
@@ -71,6 +72,7 @@ func main() {
 		cfg := gen.GraphConfig{
 			Nodes: *n, MaxWidth: *width, EdgeDensity: *edges,
 			MulFraction: *mul, CmpFraction: *cmp, Blocks: *blocks,
+			Connect: *connect,
 		}
 		if *preset != "" {
 			pc, err := gen.PresetConfig(gen.Preset(*preset), *n)
@@ -91,6 +93,8 @@ func main() {
 					pc.CmpFraction = *cmp
 				case "blocks":
 					pc.Blocks = *blocks
+				case "connect":
+					pc.Connect = *connect
 				}
 			})
 			cfg = pc
@@ -191,7 +195,7 @@ func usage() {
   dot   <g>        Graphviz DOT to stdout
   text  <g>        .cdfg text format to stdout
   sched <g> -T N   ASAP/ALAP mobility table under Table 1
-  gen -n N -seed S [-preset P] [-blocks B] [-edges D] [-mul F] [-cmp F] [-libout F]
+  gen -n N -seed S [-preset P] [-blocks B] [-connect] [-edges D] [-mul F] [-cmp F] [-libout F]
                    seeded random DAG to stdout (optionally + random library);
                    presets: chain, wide, layered, mixed, blocks
   verify <g> [-T N] [-P W] [-trials K]  synthesize + check FSMD vs evaluation

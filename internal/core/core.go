@@ -94,8 +94,9 @@ const (
 	PartitionAuto PartitionPolicy = iota
 	// PartitionOff forces monolithic synthesis.
 	PartitionOff
-	// PartitionForce decomposes whenever the graph has two or more
-	// weakly-connected components, regardless of size.
+	// PartitionForce decomposes regardless of size: along component
+	// boundaries when the graph has two or more weakly-connected
+	// components, along a balanced min edge cut when it is connected.
 	PartitionForce
 )
 
@@ -158,6 +159,18 @@ type Config struct {
 	// through it, so the stitched union respects the cap by construction.
 	// Cycles beyond len(BaseProfile) draw zero ambient power.
 	BaseProfile []float64
+	// Release, when non-nil, holds one entry per node: Release[i] > 0
+	// forbids node i from starting before that cycle (entries <= 0 are
+	// free). The min-cut partition path pins a part's boundary sinks to the
+	// committed finishes of upstream parts through it; every scheduler run
+	// (SDC sweeps, pasap/palap probes, repair locks) sees the same bound.
+	Release []int
+	// Due, when non-nil, holds one entry per node: Due[i] > 0 forbids node
+	// i from completing after that cycle (entries <= 0 unconstrained). The
+	// min-cut partition path bounds a part's boundary sources with the
+	// whole-graph SDC completion bounds so area descent inside one part
+	// cannot starve downstream parts of deadline slack.
+	Due []int
 
 	// noCompat disables the incremental-compatibility sharing prefilter on
 	// the SDC path. Test-only (in-package): proves the prefilter is
@@ -275,6 +288,14 @@ type state struct {
 	profScratch  []float64      // legacy committedProfile scratch
 	busyA, busyB []interval     // reservation-list scratch (legacy path)
 	cm           bind.CostModel
+
+	// Power-aware SDC tightening tables (partition paths only): per
+	// candidate module, the next/previous cycle where the ambient
+	// BaseProfile leaves no headroom for that module's power. BaseProfile
+	// is immutable for the life of a state, so the tables are built once,
+	// lazily, on first use (tightenWindow).
+	tightNext map[int][]int
+	tightPrev map[int][]int
 
 	// Perturbation tables (nil when Config.Perturb is zero): jitterW
 	// scales the per-node decision weight, tieRank replaces the node-ID
@@ -686,6 +707,8 @@ func (st *state) schedOpts() sched.Options {
 		Delays:      st.delays,
 		Powers:      st.powers,
 		Arena:       st.arena,
+		Release:     st.cfg.Release,
+		Due:         st.cfg.Due,
 	}
 }
 

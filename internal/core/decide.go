@@ -118,7 +118,16 @@ func (st *state) scratchWindows() {
 func (st *state) sdcWindows() {
 	st.stats.SDCDerivations++
 	st.fillFixedStarts()
-	sched.DeriveSDCBounds(st.g, st.topo, st.cons.Deadline, st.delays, st.fixedStarts, &st.sdcB)
+	sched.DeriveSDCBounds(st.g, st.topo, st.cons.Deadline, st.delays, st.fixedStarts,
+		st.cfg.Release, st.cfg.Due, &st.sdcB)
+	// Power-aware bound propagation: when an ambient BaseProfile carries the
+	// power already committed by other parts of a decomposed synthesis, any
+	// feasible start must leave headroom for the candidate's own draw across
+	// its whole execution — so window ends sitting under saturated ambient
+	// cycles can be pulled in before any placement probe runs. freeSlot
+	// re-checks every interior cycle, so this only removes starts that were
+	// doomed anyway (plus their cache/compat bookkeeping).
+	tighten := st.cons.PowerMax > 0 && len(st.cfg.BaseProfile) > 0
 	for i, c := range st.committed {
 		if c {
 			continue
@@ -131,11 +140,88 @@ func (st *state) sdcWindows() {
 				continue
 			}
 			w := sched.Window{Early: early, Late: st.sdcB.LateEnd[v] - m.Delay}
+			if tighten {
+				var changed bool
+				if w, changed = st.tightenWindow(mi, m.Delay, w); changed {
+					st.stats.BoundTightenings++
+				}
+			}
 			if w.Width() >= 1 {
 				st.setWin(v, mi, w)
 			}
 		}
 	}
+}
+
+// tightenWindow shrinks an SDC candidate window to the nearest start cycles
+// whose full execution interval fits under the ambient BaseProfile draw:
+// starts where base(c) + module power would break the cap for some covered
+// cycle c are skipped from both ends. Interior starts are left to freeSlot.
+// The per-module blocked-cycle tables are built lazily and reused for the
+// life of the state (BaseProfile never changes within one run).
+func (st *state) tightenWindow(mi, d int, w sched.Window) (sched.Window, bool) {
+	T := st.cons.Deadline
+	next, prev := st.tightNext[mi], st.tightPrev[mi]
+	if next == nil {
+		power := st.lib.Module(mi).Power
+		// next[c]: smallest cycle >= c with no headroom (T+1 when none);
+		// prev[c]: largest such cycle <= c (-1 when none).
+		next = make([]int, T+2)
+		prev = make([]int, T+1)
+		next[T+1] = T + 1
+		blocked := func(c int) bool {
+			return st.baseAt(c)+power > st.cons.PowerMax+1e-9
+		}
+		for c := T; c >= 0; c-- {
+			if blocked(c) {
+				next[c] = c
+			} else {
+				next[c] = next[c+1]
+			}
+		}
+		last := -1
+		for c := 0; c <= T; c++ {
+			if blocked(c) {
+				last = c
+			}
+			prev[c] = last
+		}
+		if st.tightNext == nil {
+			st.tightNext = make(map[int][]int)
+			st.tightPrev = make(map[int][]int)
+		}
+		st.tightNext[mi], st.tightPrev[mi] = next, prev
+	}
+	e, l := w.Early, w.Late
+	// Jump the early end past blocked runs: a start e is viable only when
+	// the first blocked cycle at or after it lies beyond e+d-1.
+	for e >= 0 && e <= l && e <= T {
+		b := next[e]
+		if b >= e+d {
+			break
+		}
+		e = b + 1
+	}
+	// Mirror for the late end: viable when the last blocked cycle at or
+	// before l+d-1 lies before l.
+	for l >= e && l >= 0 {
+		hi := l + d - 1
+		if hi > T {
+			hi = T
+		}
+		if hi < 0 {
+			break
+		}
+		b := prev[hi]
+		if b < l {
+			break
+		}
+		l = b - d
+	}
+	if e == w.Early && l == w.Late {
+		return w, false
+	}
+	return sched.Window{Early: e, Late: l}, true
 }
 
 // refreshedWindows is the engine's cold-path derivation: the same work as

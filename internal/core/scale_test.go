@@ -159,13 +159,14 @@ func TestPartitionStitchMatchesForced(t *testing.T) {
 // TestPartitionMatchesMonolithicUnconstrained: with no power cap, regions
 // do not interact at all (no shared profile), so decomposed synthesis of
 // a disjoint union must succeed exactly when monolithic synthesis does,
-// and must verify independently. Area may be worse than monolithic: the
-// stitch's shared-instance reconciliation only merges instances whose
-// committed executions already avoid each other, so cross-region sharing
-// the monolithic greedy would have serialized through windows can be out
-// of reach — that is the documented area cost of the decomposition
-// speedup. The test bounds the gap grossly (2x) and logs it.
+// and must verify independently. Area may be worse than monolithic —
+// that is the documented cost of the decomposition speedup — but the
+// stitch's sharing passes (plain merge, then shift/rebind/ripple
+// cross-region merges) must hold the aggregate gap to 15% over the
+// suite, and must actually fire somewhere in it.
 func TestPartitionMatchesMonolithicUnconstrained(t *testing.T) {
+	var partArea, monoArea float64
+	var shares int64
 	for seed := int64(0); seed < 10; seed++ {
 		inst := gen.NewInstance(seed, gen.InstanceConfig{
 			Graph: gen.GraphConfig{Nodes: 48, Blocks: 3},
@@ -183,9 +184,18 @@ func TestPartitionMatchesMonolithicUnconstrained(t *testing.T) {
 		if verr := verify.Check(VerifyInput(part)); verr != nil {
 			t.Fatalf("%s: partitioned design fails verification: %v", label, verr)
 		}
-		t.Logf("%s: area partitioned %.2f vs monolithic %.2f", label, part.Area(), mono.Area())
-		if part.Area() > mono.Area()*2+1e-9 {
-			t.Fatalf("%s: partitioned area %.2f more than twice monolithic %.2f", label, part.Area(), mono.Area())
-		}
+		t.Logf("%s: area partitioned %.2f vs monolithic %.2f (shares %d)", label, part.Area(), mono.Area(), part.Stats.SharedCrossRegion)
+		partArea += part.Area()
+		monoArea += mono.Area()
+		shares += part.Stats.SharedCrossRegion
+	}
+	if monoArea == 0 {
+		t.Fatal("no instance in the suite produced designs")
+	}
+	if gap := partArea / monoArea; gap > 1.15 {
+		t.Fatalf("aggregate partitioned area gap %.4f exceeds 1.15", gap)
+	}
+	if shares == 0 {
+		t.Fatal("cross-region sharing never fired across the suite")
 	}
 }

@@ -57,6 +57,21 @@ type Stats struct {
 	Regions            int64
 	RegionRepairs      int64
 	PartitionFallbacks int64
+	// CutEdges counts the edges severed by the min-cut partitioning of a
+	// connected graph (zero for component decomposition and monolithic
+	// runs); BoundaryTransfers counts committed-finish pins threaded across
+	// those edges into downstream parts (one per cut edge per partitioned
+	// attempt that reached the downstream part).
+	CutEdges          int64
+	BoundaryTransfers int64
+	// SharedCrossRegion counts functional-unit instances eliminated by the
+	// cross-region sharing pass of the stitch merge (operations re-timed
+	// within precedence slack onto an instance from another region).
+	SharedCrossRegion int64
+	// BoundTightenings counts SDC candidate windows shrunk by the
+	// power-aware bound propagation against the ambient BaseProfile power
+	// committed by already-synthesized parts.
+	BoundTightenings int64
 }
 
 // Add returns the field-wise sum of s and o, for aggregating the stats of
@@ -78,6 +93,10 @@ func (s Stats) Add(o Stats) Stats {
 		Regions:             s.Regions + o.Regions,
 		RegionRepairs:       s.RegionRepairs + o.RegionRepairs,
 		PartitionFallbacks:  s.PartitionFallbacks + o.PartitionFallbacks,
+		CutEdges:            s.CutEdges + o.CutEdges,
+		BoundaryTransfers:   s.BoundaryTransfers + o.BoundaryTransfers,
+		SharedCrossRegion:   s.SharedCrossRegion + o.SharedCrossRegion,
+		BoundTightenings:    s.BoundTightenings + o.BoundTightenings,
 	}
 }
 
@@ -98,11 +117,17 @@ func (s Stats) String() string {
 			"  compat full rebuilds         %8d\n"+
 			"  regions stitched             %8d\n"+
 			"  region repairs               %8d\n"+
-			"  partition fallbacks          %8d\n",
+			"  partition fallbacks          %8d\n"+
+			"  cut edges                    %8d\n"+
+			"  boundary transfers           %8d\n"+
+			"  cross-region shares          %8d\n"+
+			"  bound tightenings            %8d\n",
 		s.SchedulerRuns, s.IncrementalRuns,
 		s.WindowCacheHits, s.WindowCacheMisses,
 		s.WindowInvalidations, s.FullInvalidations, s.Fallbacks,
 		s.ProfileProbes, s.ProfileRebuilds,
 		s.SDCDerivations, s.CompatPatches, s.CompatRebuilds,
-		s.Regions, s.RegionRepairs, s.PartitionFallbacks)
+		s.Regions, s.RegionRepairs, s.PartitionFallbacks,
+		s.CutEdges, s.BoundaryTransfers, s.SharedCrossRegion,
+		s.BoundTightenings)
 }

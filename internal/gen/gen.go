@@ -47,6 +47,15 @@ type GraphConfig struct {
 	// the node count (with MaxWidth 1 this is a pure chain). The default
 	// false keeps the historical any-earlier-layer rule.
 	LayerLocal bool
+	// Connect bridges the weakly-connected components left after growth
+	// with one minimum edge each, guaranteeing a single-component graph —
+	// the shape the min-cut partition path consumes. Bridging is
+	// deterministic, consumes no randomness (Connect=false graphs stay
+	// byte-identical for existing seeds), and preserves the DAG: each
+	// bridge runs from the previous component's smallest node ID to the
+	// next component's smallest computation with spare fan-in, which is
+	// always a higher ID under the generator's lower-to-higher edge rule.
+	Connect bool
 }
 
 func (c GraphConfig) withDefaults() GraphConfig {
@@ -103,6 +112,9 @@ func Graph(seed int64, cfg GraphConfig) *cdfg.Graph {
 		}
 		all = append(all, growBlock(rng, g, cfg, prefix, quota)...)
 	}
+	if cfg.Connect {
+		connectComponents(g)
+	}
 	// Attach transfers so the graph is arity-valid: computations need at
 	// least one predecessor, outputs exactly one, inputs none.
 	for _, id := range all {
@@ -120,6 +132,29 @@ func Graph(seed int64, cfg GraphConfig) *cdfg.Graph {
 		panic(fmt.Sprintf("gen: generated invalid graph (seed %d): %v", seed, err))
 	}
 	return g
+}
+
+// connectComponents adds one bridging edge per component boundary so the
+// graph becomes weakly connected, before transfers are attached (a bridged
+// target then simply skips its input transfer). For each consecutive pair
+// of components (ordered by smallest member, as Components returns them),
+// the bridge runs from the smallest node of the earlier component to the
+// smallest node of the later one that still has spare fan-in — a source
+// always qualifies, so a target always exists. The source precedes the
+// target in ID order and the components share no path, so the graph stays
+// acyclic; no randomness is consumed.
+func connectComponents(g *cdfg.Graph) {
+	comps := g.Components()
+	for i := 1; i < len(comps); i++ {
+		u := comps[i-1][0]
+		for _, v := range comps[i] {
+			n := g.Node(v)
+			if len(g.Preds(v)) < n.Op.MaxFanIn() {
+				g.MustAddEdge(u, v)
+				break
+			}
+		}
+	}
 }
 
 // growBlock appends one weakly-connected layered block of computation

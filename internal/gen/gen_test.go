@@ -61,6 +61,65 @@ func TestGraphShape(t *testing.T) {
 	}
 }
 
+// TestGraphConnect checks the -connect option: bridging must yield exactly
+// one weakly-connected component on every shape (multi-block shapes are
+// the interesting case), stay a valid DAG, consume no generator state
+// (node set and op mix identical to the unbridged graph), and be
+// deterministic.
+func TestGraphConnect(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		cfg := gen.GraphConfig{
+			Nodes: 10 + int(seed%40), MaxWidth: 1 + int(seed%5),
+			Blocks: int(seed % 6),
+		}
+		plain := gen.Graph(seed, cfg)
+		cfg.Connect = true
+		g := gen.Graph(seed, cfg)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid connected graph: %v", seed, err)
+		}
+		if got := len(g.Components()); got != 1 {
+			t.Fatalf("seed %d: %d components with Connect, want 1", seed, got)
+		}
+		if _, err := g.TopoOrder(); err != nil {
+			t.Fatalf("seed %d: bridging broke the DAG: %v", seed, err)
+		}
+		if g.Text() != gen.Graph(seed, cfg).Text() {
+			t.Fatalf("seed %d: connected generation is not deterministic", seed)
+		}
+		// Bridging happens before transfer attachment and consumes no
+		// generator state: the computation nodes (the rng-driven part)
+		// must be identical to the unbridged graph's. Only input
+		// transfers may disappear — a bridged target's data now arrives
+		// from another block instead of from outside.
+		comps := func(g *cdfg.Graph) map[string]cdfg.Op {
+			m := make(map[string]cdfg.Op)
+			for _, n := range g.Nodes() {
+				if n.Op != cdfg.Input && n.Op != cdfg.Output {
+					m[n.Name] = n.Op
+				}
+			}
+			return m
+		}
+		want := comps(plain)
+		got := comps(g)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: Connect changed the computation count: %d vs %d", seed, len(got), len(want))
+		}
+		for name, op := range want {
+			if got[name] != op {
+				t.Fatalf("seed %d: Connect changed computation %q: %v vs %v", seed, got[name], op, name)
+			}
+		}
+		if g.N() > plain.N() {
+			t.Fatalf("seed %d: Connect added nodes: %d vs %d", seed, g.N(), plain.N())
+		}
+		if len(plain.Components()) == 1 && g.Text() != plain.Text() {
+			t.Fatalf("seed %d: already-connected graph changed under Connect", seed)
+		}
+	}
+}
+
 func TestLibraryDeterministicAndRoundTrips(t *testing.T) {
 	cfg := gen.LibraryConfig{ModulesPerOp: 3, DelayMax: 4, ALUChance: 0.5}
 	for seed := int64(1); seed <= 25; seed++ {

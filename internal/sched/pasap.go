@@ -64,6 +64,20 @@ type Options struct {
 	// means allocate per run. An arena bound to a different graph is
 	// ignored. Not safe for concurrent use.
 	Arena *Arena
+	// Release, when non-nil, holds one entry per node: Release[i] > 0
+	// forbids node i from starting before that cycle (entries <= 0 are
+	// free). The partitioned synthesizer uses releases to pin a part's
+	// boundary sinks to the committed finishes of upstream parts, so a cut
+	// edge u -> v behaves like an in-graph precedence edge even though u is
+	// not in the scheduled graph. Fixed nodes are exempt: their starts were
+	// produced under the same constraints.
+	Release []int
+	// Due, when non-nil, holds one entry per node: Due[i] > 0 forbids node
+	// i from completing after that cycle (entries <= 0 are unconstrained).
+	// The partitioned synthesizer uses dues on boundary sources so that
+	// slack-hungry refinement inside one part cannot push a cut edge's
+	// producer past what downstream parts need to meet the deadline.
+	Due []int
 }
 
 // baseAt returns the ambient power at cycle c.
@@ -97,6 +111,22 @@ func (o *Options) hasFixed() bool {
 		return false
 	}
 	return len(o.Fixed) > 0
+}
+
+// releaseAt returns node id's earliest allowed start (0 when free).
+func (o *Options) releaseAt(id cdfg.NodeID) int {
+	if o.Release != nil && o.Release[id] > 0 {
+		return o.Release[id]
+	}
+	return 0
+}
+
+// dueAt returns node id's latest allowed completion (0 when unconstrained).
+func (o *Options) dueAt(id cdfg.NodeID) int {
+	if o.Due != nil && o.Due[id] > 0 {
+		return o.Due[id]
+	}
+	return 0
 }
 
 // arenaFor returns the arena when it may serve graph g, else nil.
@@ -176,6 +206,17 @@ func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedul
 			}
 		} else {
 			for id, start := range opts.Fixed {
+				if end := start + s.Delay[id] + sumDelay*maxD; end > horizon {
+					horizon = end
+				}
+			}
+		}
+		// Released nodes may likewise be forced arbitrarily late.
+		if opts.Release != nil {
+			for id, start := range opts.Release {
+				if start <= 0 {
+					continue
+				}
 				if end := start + s.Delay[id] + sumDelay*maxD; end > horizon {
 					horizon = end
 				}
@@ -263,16 +304,23 @@ func pasapPinned(g *cdfg.Graph, bind Binding, opts Options, pin []int) (*Schedul
 			return nil, fmt.Errorf("sched: pasap: node %q draws %.3g per cycle, constraint %.3g: %w",
 				g.Node(id).Name, s.Power[id], opts.PowerMax, ErrPowerInfeasible)
 		}
-		// Earliest precedence-feasible start.
-		t := 0
+		// Earliest precedence-feasible start, no earlier than the node's
+		// release (a boundary-transfer pin from an upstream part).
+		t := opts.releaseAt(id)
 		for _, p := range g.Preds(id) {
 			if e := s.Start[p] + s.Delay[p]; e > t {
 				t = e
 			}
 		}
-		// Latest start admitted by fixed successors (they cannot move) and
+		// Latest start admitted by fixed successors (they cannot move), the
+		// node's due (a boundary-transfer bound from downstream parts), and
 		// the horizon.
 		latest := horizon - s.Delay[id]
+		if due := opts.dueAt(id); due > 0 {
+			if lim := due - s.Delay[id]; lim < latest {
+				latest = lim
+			}
+		}
 		for _, v := range g.Succs(id) {
 			if fs, isFixed := opts.fixedAt(v); isFixed {
 				if lim := fs - s.Delay[id]; lim < latest {
@@ -430,8 +478,35 @@ func palapPinned(g *cdfg.Graph, bind Binding, deadline int, opts Options, pin []
 		ropts.Base = rbase
 	}
 	delays := opts.Delays
-	if delays == nil && (opts.hasFixed() || pin != nil) {
+	if delays == nil && (opts.hasFixed() || pin != nil || opts.Release != nil || opts.Due != nil) {
 		delays = newSchedule(g, bind).Delay
+	}
+	// Release/due swap roles under time reversal: a forward release R
+	// (start >= R) becomes a reversed due deadline-R (reversed completion
+	// deadline-start <= deadline-R), and a forward due D (completion <= D)
+	// becomes a reversed release deadline-D.
+	if opts.Release != nil || opts.Due != nil {
+		n := g.N()
+		var rrel, rdue []int
+		for id := 0; id < n; id++ {
+			if due := opts.dueAt(cdfg.NodeID(id)); due > 0 && due < deadline {
+				if rrel == nil {
+					rrel = make([]int, n)
+				}
+				rrel[id] = deadline - due
+			}
+			if rel := opts.releaseAt(cdfg.NodeID(id)); rel > 0 {
+				if rel+delays[id] > deadline {
+					return nil, fmt.Errorf("sched: palap: node %q released at cycle %d cannot finish by the deadline %d: %w",
+						g.Node(cdfg.NodeID(id)).Name, rel, deadline, ErrDeadline)
+				}
+				if rdue == nil {
+					rdue = make([]int, n)
+				}
+				rdue[id] = deadline - rel
+			}
+		}
+		ropts.Release, ropts.Due = rrel, rdue
 	}
 	switch {
 	case opts.FixedStarts != nil:

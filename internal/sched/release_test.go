@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPASAPRelease pins a chain node's release and expects the node and its
+// successors to shift, while predecessors stay at their ASAP starts.
+func TestPASAPRelease(t *testing.T) {
+	g := chain(t) // i1 -> m1 -> a1 -> o1
+	rel := make([]int, g.N())
+	rel[2] = 7 // a1 may not start before cycle 7
+	s, err := PASAP(g, fastest(t), Options{Release: rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 0 || s.Start[1] != 1 {
+		t.Fatalf("predecessors moved: starts %v", s.Start)
+	}
+	if s.Start[2] != 7 {
+		t.Fatalf("released node starts at %d, want 7", s.Start[2])
+	}
+	if s.Start[3] != 7+s.Delay[2] {
+		t.Fatalf("successor starts at %d, want %d", s.Start[3], 7+s.Delay[2])
+	}
+	// Horizon auto-sizing must leave room for the released tail even when
+	// the release exceeds the serial bound of this tiny graph.
+	rel[2] = 500
+	if _, err := PASAP(g, fastest(t), Options{Release: rel}); err != nil {
+		t.Fatalf("late release should still schedule: %v", err)
+	}
+}
+
+// TestPASAPDue caps a producer's completion and expects an error when
+// precedence cannot meet it, and an unchanged schedule when it is slack.
+func TestPASAPDue(t *testing.T) {
+	g := chain(t)
+	base, err := ASAP(g, fastest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	due := make([]int, g.N())
+	due[2] = base.Start[2] + base.Delay[2] // exactly the ASAP finish: feasible
+	s, err := PASAP(g, fastest(t), Options{Due: due})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[2] != base.Start[2] {
+		t.Fatalf("slack due moved node: %d vs %d", s.Start[2], base.Start[2])
+	}
+	due[2] = base.Start[2] + base.Delay[2] - 1 // one cycle too tight
+	if _, err := PASAP(g, fastest(t), Options{Due: due}); !errors.Is(err, ErrHorizon) {
+		t.Fatalf("tight due should fail with ErrHorizon, got %v", err)
+	}
+}
+
+// TestPALAPReleaseDue checks the time-reversal conversion: a forward due
+// becomes a reversed release and vice versa, so PALAP must respect both in
+// the forward frame.
+func TestPALAPReleaseDue(t *testing.T) {
+	g := chain(t)
+	const deadline = 20
+	rel := make([]int, g.N())
+	due := make([]int, g.N())
+	rel[2] = 9  // a1 starts no earlier than 9
+	due[1] = 6  // m1 finishes by 6
+	due[2] = 12 // a1 finishes by 12 (so it cannot drift to the deadline)
+	s, err := PALAP(g, fastest(t), deadline, Options{Release: rel, Due: due})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := s.Start[1] + s.Delay[1]; end > 6 {
+		t.Fatalf("m1 finishes at %d, due 6", end)
+	}
+	if s.Start[2] < 9 {
+		t.Fatalf("a1 starts at %d, release 9", s.Start[2])
+	}
+	if end := s.Start[2] + s.Delay[2]; end > 12 {
+		t.Fatalf("a1 finishes at %d, due 12", end)
+	}
+	// ALAP semantics: a1 should sit at the latest start its due allows.
+	if s.Start[2] != 12-s.Delay[2] {
+		t.Fatalf("a1 starts at %d, want %d (latest under due)", s.Start[2], 12-s.Delay[2])
+	}
+	// A release that cannot finish by the deadline is ErrDeadline.
+	rel[2] = deadline
+	if _, err := PALAP(g, fastest(t), deadline, Options{Release: rel, Due: nil}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("impossible release should fail with ErrDeadline, got %v", err)
+	}
+}
+
+// TestWindowsReleaseDueConsistent derives windows under boundary pins and
+// checks Early respects releases and Late respects dues for every node.
+func TestWindowsReleaseDueConsistent(t *testing.T) {
+	g := wide(t, 4)
+	const deadline = 30
+	rel := make([]int, g.N())
+	due := make([]int, g.N())
+	rel[3] = 5
+	due[5] = 20
+	ws, err := Windows(g, fastest(t), deadline, Options{Release: rel, Due: due})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[3].Early < 5 {
+		t.Fatalf("Early[3] = %d, release 5", ws[3].Early)
+	}
+	for i, w := range ws {
+		if w.Width() < 1 {
+			t.Fatalf("node %d window %v infeasible", i, w)
+		}
+	}
+	b := fastest(t)
+	if end := ws[5].Late + b(g.Node(5)).Delay; end > 20 {
+		t.Fatalf("Late[5]+delay = %d exceeds due 20", end)
+	}
+}
+
+// TestDeriveSDCBoundsReleaseDue mirrors the scheduler semantics in the SDC
+// sweeps: releases seed Early and propagate forward, dues cap LateEnd and
+// propagate backward.
+func TestDeriveSDCBoundsReleaseDue(t *testing.T) {
+	g := chain(t)
+	topo, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := []int{1, 2, 1, 1}
+	free := []int{-1, -1, -1, -1}
+	rel := []int{0, 0, 7, 0}
+	due := []int{0, 0, 0, 9}
+	var b SDCBounds
+	DeriveSDCBounds(g, topo, 20, delays, free, rel, due, &b)
+	if b.Early[2] != 7 || b.Early[3] != 8 {
+		t.Fatalf("release did not propagate: Early = %v", b.Early)
+	}
+	if b.LateEnd[3] != 9 || b.LateEnd[2] != 8 {
+		t.Fatalf("due did not propagate: LateEnd = %v", b.LateEnd)
+	}
+	// Unconstrained entries must reproduce the plain bounds.
+	var plain SDCBounds
+	DeriveSDCBounds(g, topo, 20, delays, free, nil, nil, &plain)
+	zero := []int{0, 0, 0, 0}
+	var zeroed SDCBounds
+	DeriveSDCBounds(g, topo, 20, delays, free, zero, zero, &zeroed)
+	for i := range plain.Early {
+		if plain.Early[i] != zeroed.Early[i] || plain.LateEnd[i] != zeroed.LateEnd[i] {
+			t.Fatalf("zero release/due changed bounds at node %d", i)
+		}
+	}
+}

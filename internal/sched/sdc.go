@@ -41,11 +41,19 @@ type SDCBounds struct {
 // order of g. The out buffers are recycled across calls; the function
 // never allocates once they have grown to g.N().
 //
+// release and due, when non-nil, add per-node boundary-transfer constraints
+// in the same difference-constraint system: release[v] > 0 contributes
+// s_v >= release[v] (seeding the forward sweep) and due[v] > 0 contributes
+// s_v + d_v <= due[v] (capping the backward sweep). Entries <= 0 are
+// unconstrained. The partitioned synthesizer uses these to pin a part's
+// boundary nodes to the committed finishes of already-synthesized parts —
+// cut-edge precedence flows through the same sweeps as in-part precedence.
+//
 // Infeasibility (a pinned or over-constrained node whose earliest start
 // exceeds its latest) is not an error here: the affected node simply gets
 // an empty window (Early > LateEnd - delay), which the caller observes per
 // candidate.
-func DeriveSDCBounds(g *cdfg.Graph, topo []cdfg.NodeID, deadline int, delays, fixedStarts []int, out *SDCBounds) {
+func DeriveSDCBounds(g *cdfg.Graph, topo []cdfg.NodeID, deadline int, delays, fixedStarts, release, due []int, out *SDCBounds) {
 	n := g.N()
 	if cap(out.Early) < n {
 		out.Early = make([]int, n)
@@ -56,6 +64,9 @@ func DeriveSDCBounds(g *cdfg.Graph, topo []cdfg.NodeID, deadline int, delays, fi
 
 	for _, v := range topo {
 		e := 0
+		if release != nil && release[v] > 0 {
+			e = release[v]
+		}
 		for _, p := range g.Preds(v) {
 			if end := out.Early[p] + delays[p]; end > e {
 				e = end
@@ -76,6 +87,9 @@ func DeriveSDCBounds(g *cdfg.Graph, topo []cdfg.NodeID, deadline int, delays, fi
 			continue
 		}
 		le := deadline
+		if due != nil && due[v] > 0 && due[v] < le {
+			le = due[v]
+		}
 		for _, s := range g.Succs(v) {
 			start := out.LateEnd[s] - delays[s]
 			if fixedStarts[s] >= 0 {

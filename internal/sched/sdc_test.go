@@ -57,7 +57,7 @@ func TestSDCBoundsMatchUnconstrainedPASAP(t *testing.T) {
 				t.Fatalf("seed %d round %d: palap: %v", seed, round, err)
 			}
 			var b SDCBounds
-			DeriveSDCBounds(g, topo, deadline, delays, fixed, &b)
+			DeriveSDCBounds(g, topo, deadline, delays, fixed, nil, nil, &b)
 			for i := 0; i < n; i++ {
 				if b.Early[i] != asap.Start[i] {
 					t.Fatalf("seed %d round %d node %d: Early = %d, pasap start = %d",
@@ -94,13 +94,13 @@ func TestSDCBoundsEmptyWindowOnInfeasible(t *testing.T) {
 	delays := []int{3, 3}
 	// Deadline 5 cannot fit two chained 3-cycle ops.
 	var bounds SDCBounds
-	DeriveSDCBounds(g, topo, 5, delays, []int{-1, -1}, &bounds)
+	DeriveSDCBounds(g, topo, 5, delays, []int{-1, -1}, nil, nil, &bounds)
 	if bounds.Early[1]+delays[1] <= bounds.LateEnd[1] && bounds.Early[0]+delays[0] <= bounds.LateEnd[0] {
 		t.Fatalf("expected an empty window: bounds %+v", bounds)
 	}
 
 	// Pinning a at 4 makes b's window empty even with a loose deadline.
-	DeriveSDCBounds(g, topo, 9, delays, []int{4, -1}, &bounds)
+	DeriveSDCBounds(g, topo, 9, delays, []int{4, -1}, nil, nil, &bounds)
 	if bounds.Early[0] != 4 || bounds.LateEnd[0] != 7 {
 		t.Fatalf("pinned node bounds = %+v, want start 4 end 7", bounds)
 	}

@@ -166,11 +166,14 @@ const (
 	WindowsExhaustive = core.WindowsExhaustive
 	// WindowsSDC forces the difference-constraint window derivation.
 	WindowsSDC = core.WindowsSDC
-	// PartitionAuto decomposes large multi-component graphs (the default).
+	// PartitionAuto decomposes large graphs (the default): along component
+	// boundaries when disconnected, along a balanced min edge cut when
+	// connected.
 	PartitionAuto = core.PartitionAuto
 	// PartitionOff always synthesizes monolithically.
 	PartitionOff = core.PartitionOff
-	// PartitionForce decomposes whenever the graph has >= 2 components.
+	// PartitionForce decomposes regardless of size: by components when the
+	// graph is disconnected, by min cut when it is connected.
 	PartitionForce = core.PartitionForce
 )
 

@@ -47,12 +47,12 @@ if has_lane scaling; then
     # Go's -bench regex matches each /-element as an unanchored substring,
     # so the tier names must be ^...$-anchored ("layered-n100" would
     # otherwise also select layered-n1000).
-    echo "== BenchmarkScaling n100/n300 tiers (-benchtime 1x -benchmem -count 2)"
-    go test -run '^$' -bench 'BenchmarkScaling/^(layered-n100|layered-n300|blocks-n300)$' \
-        -benchtime 1x -benchmem -count 2 . | tee "$OUT/scaling.txt"
-    SCALING_TIERS="layered-n100,layered-n300,blocks-n300"
+    echo "== BenchmarkScaling n100/n300 + connected n1000 tiers (-benchtime 1x -benchmem -count 2)"
+    go test -run '^$' -bench 'BenchmarkScaling/^(layered-n100|layered-n300|blocks-n300|layered-n1000-connected|mixed-n1000-connected)$' \
+        -benchtime 1x -benchmem -count 2 -timeout 30m . | tee "$OUT/scaling.txt"
+    SCALING_TIERS="layered-n100,layered-n300,blocks-n300,layered-n1000-connected,mixed-n1000-connected"
     if [[ "${PCHLS_SCALING_FULL:-}" == "1" ]]; then
-        echo "== BenchmarkScaling n1000 tiers incl. legacy (-benchtime 1x; each legacy pass takes ~20 min)"
+        echo "== BenchmarkScaling n1000 tiers incl. exhaustive legacy (-benchtime 1x; each legacy pass takes ~20 min)"
         PCHLS_SCALING_FULL=1 go test -run '^$' -bench 'BenchmarkScaling/^(layered-n1000|blocks-n1000)$' \
             -benchtime 1x -benchmem -timeout 90m . | tee -a "$OUT/scaling.txt"
         SCALING_TIERS="" # empty = gate every tier in the baseline

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-compare bench-scaling test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke cluster-smoke loadtest clean
+.PHONY: all build test test-race vet bench bench-compare bench-pareto bench-scaling test-alloc figures fuzz cover cover-report sweep lint vulncheck serve smoke cluster-smoke loadtest clean
 
 all: build vet test
 
@@ -31,6 +31,12 @@ bench:
 # (override with BENCH_TOLERANCE=0.30 etc.).
 bench-compare:
 	./scripts/bench_compare.sh
+
+# Pareto lane only: multi-objective exploration wall time plus the
+# exactly-pinned front size and minimum front area QoR metrics
+# (results/BENCH_pareto.json).
+bench-pareto:
+	BENCH_LANES=pareto ./scripts/bench_compare.sh
 
 # Full scaling lane: every BenchmarkScaling tier including the two
 # ~20-minute legacy n=1000 passes, gated against results/BENCH_scaling.json budgets

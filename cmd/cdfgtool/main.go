@@ -57,6 +57,7 @@ func main() {
 		delayMax := fs.Int("delaymax", 3, "with -libout: max module delay in cycles")
 		powMin := fs.Float64("pmin", 0.5, "with -libout: min per-cycle module power")
 		powMax := fs.Float64("pmax", 8, "with -libout: max per-cycle module power")
+		levels := fs.Int("levels", 1, "with -libout: voltage operating points per computation module (<=1 = single-level)")
 		legacy := fs.Bool("legacy", false, "use the pre-gen layered generator (bench.Random) for old seeds")
 		preset := fs.String("preset", "", "graph-shape preset: chain|wide|layered|mixed|blocks (explicit shape flags override the recipe)")
 		blocks := fs.Int("blocks", 0, "split the computations into this many disjoint blocks (<=1 = single block)")
@@ -104,7 +105,7 @@ func main() {
 		if *libOut != "" {
 			lib := gen.Library(*seed, gen.LibraryConfig{
 				ModulesPerOp: *modsPerOp, DelayMax: *delayMax,
-				PowerMin: *powMin, PowerMax: *powMax,
+				PowerMin: *powMin, PowerMax: *powMax, Levels: *levels,
 			})
 			if *libOut == "-" {
 				fmt.Print(lib.Text())
@@ -195,9 +196,10 @@ func usage() {
   dot   <g>        Graphviz DOT to stdout
   text  <g>        .cdfg text format to stdout
   sched <g> -T N   ASAP/ALAP mobility table under Table 1
-  gen -n N -seed S [-preset P] [-blocks B] [-connect] [-edges D] [-mul F] [-cmp F] [-libout F]
-                   seeded random DAG to stdout (optionally + random library);
-                   presets: chain, wide, layered, mixed, blocks
+  gen -n N -seed S [-preset P] [-blocks B] [-connect] [-edges D] [-mul F] [-cmp F] [-libout F] [-levels K]
+                   seeded random DAG to stdout (optionally + random library,
+                   with K voltage levels per module); presets: chain, wide,
+                   layered, mixed, blocks
   verify <g> [-T N] [-P W] [-trials K]  synthesize + check FSMD vs evaluation
   pipeline <g> [-maxii N] [-T N] [-P W] pipelined II/area/power trade-off
 <g> is a benchmark name (hal, cosine, elliptic, fir16, ar, diffeq2) or a .cdfg file.`)

@@ -49,6 +49,11 @@ func main() {
 		verifyD  = flag.Bool("verify", false, "re-check the design with the independent constraint validator (precedence, T, P<, occupancy, binding, area)")
 		windows  = flag.String("windows", "auto", "candidate-window derivation: auto, exhaustive, or sdc (difference-constraint sweep for large graphs)")
 		partit   = flag.String("partition", "auto", "hierarchical decomposition of disconnected graphs: auto, off, or force")
+		pareto   = flag.Bool("pareto", false, "explore the constraint grid and print the non-dominated (area, latency, peak, lifetime) front instead of one design")
+		deads    = flag.String("deadlines", "", "with -pareto: comma-separated deadline grid (default: just -T)")
+		pows     = flag.String("powers", "", "with -pareto: comma-separated power-cap grid (default: just -P)")
+		batt     = flag.String("battery", "kibam", "with -pareto: battery model scoring the lifetime objective (kibam or peukert)")
+		csvOut   = flag.Bool("csv", false, "with -pareto: print the front as CSV instead of a table")
 	)
 	flag.Parse()
 
@@ -96,6 +101,42 @@ func main() {
 		ccfg.Partition = pchls.PartitionForce
 	default:
 		fatal(fmt.Errorf("-partition %q: want auto, off or force", *partit))
+	}
+
+	if *pareto {
+		deadlines := []int{*deadline}
+		if *deads != "" {
+			deadlines, err = parseIntList(*deads)
+			if err != nil {
+				fatal(fmt.Errorf("-deadlines: %w", err))
+			}
+		}
+		powers := []float64{*powerMax}
+		if *pows != "" {
+			powers, err = parseFloatList(*pows)
+			if err != nil {
+				fatal(fmt.Errorf("-powers: %w", err))
+			}
+		}
+		battery, err := pchls.DefaultBattery(g, lib, *batt)
+		if err != nil {
+			fatal(err)
+		}
+		front, err := pchls.SynthesizePareto(g, lib, pchls.ParetoConfig{
+			Deadlines: deadlines, Powers: powers, Battery: battery,
+			SinglePass: *single, Workers: *workers, Config: ccfg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *csvOut {
+			fmt.Print(front.CSV())
+		} else {
+			fmt.Printf("%s: %d non-dominated design(s) from %d grid cell(s) (%d feasible), battery %s\n\n",
+				front.Benchmark, len(front.Points), front.Evaluated, front.Feasible, *batt)
+			fmt.Print(front.Table())
+		}
+		return
 	}
 
 	cons := pchls.Constraints{Deadline: *deadline, PowerMax: *powerMax}
@@ -231,6 +272,32 @@ func main() {
 }
 
 // parseInputs parses "name=value,name=value" assignments.
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloatList parses a comma-separated list of floats.
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func parseInputs(s string) (map[string]int64, error) {
 	out := make(map[string]int64)
 	for _, pair := range strings.Split(s, ",") {

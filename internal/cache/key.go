@@ -48,6 +48,12 @@ func writeGraphLib(sb *strings.Builder, g *cdfg.Graph, lib *library.Library) {
 		}
 		fmt.Fprintf(sb, "module %s %s %s %d %s\n",
 			m.Name, strings.Join(ops, ","), canonFloat(m.Area), m.Delay, canonFloat(m.Power))
+		// Voltage operating points are part of the module's identity: two
+		// libraries differing only in levels produce different designs.
+		for _, lv := range m.Levels {
+			fmt.Fprintf(sb, "level %s %s %d %s\n",
+				m.Name, canonFloat(lv.Voltage), lv.Delay, canonFloat(lv.Power))
+		}
 	}
 }
 
@@ -82,6 +88,32 @@ func SweepKey(g *cdfg.Graph, lib *library.Library, deadline int, pmin, pmax, ste
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s sweep single=%t deadline=%d grid=%s:%s:%s\n",
 		keyVersion, singlePass, deadline, canonFloat(pmin), canonFloat(pmax), canonFloat(step))
+	writeGraphLib(&sb, g, lib)
+	return finishKey(&sb)
+}
+
+// ParetoKey derives the content address of one /v1/pareto result. The
+// battery parameters are part of the address: the lifetime objective —
+// and with it the front membership — is a function of the model, its
+// capacity and the simulation bound.
+func ParetoKey(g *cdfg.Graph, lib *library.Library, deadlines []int, powers []float64, batteryModel string, capacity float64, maxPeriods int, singlePass bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s pareto single=%t battery=%s capacity=%s periods=%d deadlines=",
+		keyVersion, singlePass, batteryModel, canonFloat(capacity), maxPeriods)
+	for i, d := range deadlines {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(d))
+	}
+	sb.WriteString(" powers=")
+	for i, p := range powers {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(canonFloat(p))
+	}
+	sb.WriteByte('\n')
 	writeGraphLib(&sb, g, lib)
 	return finishKey(&sb)
 }

@@ -24,6 +24,10 @@ import (
 // windows after every decision": it is faster but fails or produces worse
 // area near tight constraints, where the incremental algorithm adapts.
 func SynthesizeCliquePartition(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	lib, err := expandLevels(lib)
+	if err != nil {
+		return nil, err
+	}
 	// Reuse the module-assumption machinery of the incremental algorithm.
 	cfg.DisableIncremental = !useEngine(g, cfg)
 	st, err := newState(g, lib, cons, cfg)

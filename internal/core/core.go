@@ -484,12 +484,33 @@ func usePartition(g *cdfg.Graph, cfg Config) bool {
 	return g.N() >= partitionGraphNodes
 }
 
+// expandLevels lowers a multi-level library into its single-level
+// expansion before synthesis (library.Expand): each voltage operating
+// point becomes an ordinary module candidate, so the decision loop picks
+// an operating point exactly the way it picks a module, and the flat
+// (node x nm) scratch tables gain the level dimension through nm itself.
+// Single-level libraries pass through untouched (pointer-identical), so
+// every pre-voltage input keeps byte-identical designs.
+func expandLevels(lib *library.Library) (*library.Library, error) {
+	elib, err := lib.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return elib, nil
+}
+
 // Synthesize runs the combined scheduling/allocation/binding algorithm.
+// Multi-level libraries are first lowered into their single-level
+// expansion (one module per voltage operating point; see expandLevels).
 // Large graphs that split into several weakly-connected components are
 // decomposed: the regions synthesize independently on the worker pool and
 // the results are stitched back together (see synthesizePartitioned);
 // everything else runs the monolithic greedy loop.
 func Synthesize(g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	lib, err := expandLevels(lib)
+	if err != nil {
+		return nil, err
+	}
 	cfg.DisableIncremental = !useEngine(g, cfg)
 	if usePartition(g, cfg) {
 		return synthesizePartitioned(g, lib, cons, cfg)
@@ -590,6 +611,12 @@ type synthResult struct {
 // are discarded. Cancellation is checked between synthesis runs: a cancelled
 // ctx returns its error promptly without starting new runs.
 func SynthesizeBestContext(ctx context.Context, g *cdfg.Graph, lib *library.Library, cons Constraints, cfg Config) (*Design, error) {
+	// Expand voltage levels once up front; the per-cap Synthesize calls
+	// below then see a single-level library and pass it through untouched.
+	lib, err := expandLevels(lib)
+	if err != nil {
+		return nil, err
+	}
 	altCfg := cfg
 	altCfg.SkipAreaDescent = !cfg.SkipAreaDescent
 	configs := [2]Config{cfg, altCfg}

@@ -1,0 +1,67 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"pchls/internal/bench"
+	"pchls/internal/core"
+	"pchls/internal/library"
+	"pchls/internal/sched"
+)
+
+// BenchmarkPareto measures the four-objective Pareto exploration on the
+// three benchmark grids the surface lane also uses, at 1 and 4 workers.
+// Besides ns/op it reports two deterministic QoR metrics the regression
+// gate pins exactly: the front size ("points") and the minimum
+// functional-unit area on the front ("area") — a change to cell walking,
+// battery simulation or the domination filter shows up here before it
+// shows up in a served response.
+func BenchmarkPareto(b *testing.B) {
+	lib := library.Table1()
+	for _, name := range []string{"hal", "elliptic", "fft8"} {
+		g, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asap, err := sched.ASAP(g, sched.UniformFastest(lib))
+		if err != nil {
+			b.Fatal(err)
+		}
+		floor, err := lib.MinPowerFloor(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		battery, err := DefaultBattery(g, lib, "kibam")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp := asap.Length()
+		cfg := ParetoConfig{
+			Deadlines:  []int{cp, cp + 2, cp + 4, cp + 6},
+			Powers:     []float64{floor * 1.5, floor * 2, floor * 3, 0},
+			Battery:    battery,
+			MaxPeriods: 1 << 16,
+			SinglePass: true,
+			Config:     core.Config{Workers: 1},
+		}
+		for _, workers := range []int{1, 4} {
+			cfg := cfg
+			cfg.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				var front ParetoFront
+				for i := 0; i < b.N; i++ {
+					front, err = ExplorePareto(g, lib, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if len(front.Points) == 0 {
+					b.Fatal("empty front")
+				}
+				b.ReportMetric(float64(len(front.Points)), "points")
+				b.ReportMetric(front.Points[0].Area, "area")
+			})
+		}
+	}
+}

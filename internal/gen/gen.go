@@ -230,7 +230,20 @@ type LibraryConfig struct {
 	// ALUChance in [0, 1] is the probability of adding one multi-function
 	// ALU module implementing +, - and > (default 0 = never).
 	ALUChance float64
+	// Levels is the number of voltage operating points per computation
+	// module, drawn down the ladder 5, 3.3, 2.4, 1.8, 1.2 V: level 0 is
+	// the nominal point with the module's drawn delay and power, and each
+	// lower voltage stretches the delay (with a small random wobble) and
+	// scales the power by (V/V0)^2. Capped at the ladder length.
+	// <= 1 keeps single-level modules and consumes no extra randomness,
+	// so existing seeds stay byte-identical. Transfers and the ALU never
+	// get extra levels.
+	Levels int
 }
+
+// voltageLadder is the descending supply-voltage menu multi-level
+// generated modules draw operating points from.
+var voltageLadder = []float64{5, 3.3, 2.4, 1.8, 1.2}
 
 func (c LibraryConfig) withDefaults() LibraryConfig {
 	if c.ModulesPerOp <= 0 {
@@ -277,13 +290,17 @@ func Library(seed int64, cfg LibraryConfig) *library.Library {
 			// Slower variants draw proportionally less power, so multi-
 			// cycle modules are the low-power/low-area end of the menu.
 			scale := 1.0 / float64(delay)
-			mods = append(mods, library.Module{
+			m := library.Module{
 				Name:  fmt.Sprintf("%s%d", op.label, i),
 				Ops:   []cdfg.Op{op.op},
 				Area:  round2(cfg.AreaMin + rng.Float64()*areaSpan*scale),
 				Delay: delay,
 				Power: round2(cfg.PowerMin + rng.Float64()*powerSpan*scale),
-			})
+			}
+			if cfg.Levels > 1 {
+				m.Levels = voltageLevels(rng, cfg.Levels, m.Delay, m.Power)
+			}
+			mods = append(mods, m)
 		}
 	}
 	if rng.Float64() < cfg.ALUChance {
@@ -304,6 +321,36 @@ func Library(seed int64, cfg LibraryConfig) *library.Library {
 		panic(fmt.Sprintf("gen: generated invalid library (seed %d): %v", seed, err))
 	}
 	return lib
+}
+
+// voltageLevels derives a module's operating-point ladder: level 0 is
+// the nominal point at the ladder's top voltage, and each lower voltage
+// stretches the delay by V0/V with a ±10% wobble (always by at least one
+// cycle) while the power scales by the ideal CMOS (V/V0)^2 and is forced
+// below the previous level (down to a 0.01 floor). Levels are therefore
+// mutually non-dominated: trading cycles for power is a real choice.
+func voltageLevels(rng *rand.Rand, n int, delay int, power float64) []library.OperatingPoint {
+	if n > len(voltageLadder) {
+		n = len(voltageLadder)
+	}
+	v0 := voltageLadder[0]
+	levels := []library.OperatingPoint{{Voltage: v0, Delay: delay, Power: power}}
+	for j := 1; j < n; j++ {
+		v := voltageLadder[j]
+		d := int(math.Ceil(float64(delay) * (v0 / v) * (0.9 + 0.2*rng.Float64())))
+		if d <= levels[j-1].Delay {
+			d = levels[j-1].Delay + 1
+		}
+		p := round2(power * (v * v) / (v0 * v0))
+		if p >= levels[j-1].Power {
+			p = round2(levels[j-1].Power * 0.8)
+		}
+		if p < 0.01 {
+			p = 0.01
+		}
+		levels = append(levels, library.OperatingPoint{Voltage: v, Delay: d, Power: p})
+	}
+	return levels
 }
 
 // Instance is one complete random synthesis problem.

@@ -20,6 +20,9 @@ func FuzzParseJSON(f *testing.F) {
 		`[{"name":"nan","ops":["+"],"area":1e999,"delay":1,"power":1}]`,
 		`{"not":"a list"}`,
 		`[{`,
+		`[{"name":"add","ops":["+"],"area":50,"delay":1,"power":8,"levels":[{"voltage":5,"delay":1,"power":8},{"voltage":3.3,"delay":2,"power":3.5}]}]`,
+		`[{"name":"add","ops":["+"],"area":50,"delay":1,"power":8,"levels":[{"voltage":0,"delay":1,"power":8}]}]`,
+		`[{"name":"add","ops":["+"],"area":50,"delay":1,"power":8,"levels":[{"voltage":5,"delay":1,"power":8},{"voltage":5,"delay":2,"power":3}]}]`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -3,7 +3,9 @@ package library
 import "testing"
 
 // FuzzParse exercises the library text parser with arbitrary input: it
-// must never panic, and anything it accepts must be a validated library.
+// must never panic, anything it accepts must be a validated library
+// (including every voltage operating point), and an accepted library
+// must round trip through its own Text() rendering unchanged.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"",
@@ -15,6 +17,10 @@ func FuzzParse(f *testing.F) {
 		"module x %% 1 1 1\n",
 		"# comment\nmodule a + 1 1 1 ; trailing\n",
 		"module dup + 1 1 1\nmodule dup - 1 1 1\n",
+		"module a + 50 1 8\nlevel a 5 1 8\nlevel a 3.3 2 3.5\n",
+		"module a + 50 1 8\nlevel ghost 3.3 2 3.5\n",
+		"module a + 50 1 8\nlevel a 0 1 8\n",
+		"module a + 50 1 8\nlevel a 5 1 8\nlevel a 5 2 3\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -32,6 +38,20 @@ func FuzzParse(f *testing.F) {
 			if m.Delay < 1 || m.Area < 0 || m.Power < 0 || len(m.Ops) == 0 {
 				t.Fatalf("parser accepted invalid module %v\ninput: %q", m, input)
 			}
+			for l := 0; l < m.NumLevels(); l++ {
+				lv := m.Level(l)
+				if !(lv.Voltage > 0) || lv.Delay < 1 || lv.Power < 0 {
+					t.Fatalf("parser accepted invalid level %v of module %v\ninput: %q", lv, m, input)
+				}
+			}
+		}
+		text := lib.Text()
+		lib2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("accepted library does not reparse: %v\ntext: %q\ninput: %q", err, text, input)
+		}
+		if lib2.Text() != text {
+			t.Fatalf("round trip is not canonical:\n%s\nvs\n%s\ninput: %q", text, lib2.Text(), input)
 		}
 	})
 }

@@ -15,12 +15,21 @@ import (
 //
 //	[{"name": "ALU", "ops": ["+", "-", ">"], "area": 97, "delay": 1, "power": 2.5}, ...]
 
+type levelJSON struct {
+	Voltage float64 `json:"voltage"`
+	Delay   int     `json:"delay"`
+	Power   float64 `json:"power"`
+}
+
 type moduleJSON struct {
 	Name  string   `json:"name"`
 	Ops   []string `json:"ops"`
 	Area  float64  `json:"area"`
 	Delay int      `json:"delay"`
 	Power float64  `json:"power"`
+	// Levels, when present, is the complete voltage operating-point set;
+	// the first entry is the nominal point Delay/Power normalize to.
+	Levels []levelJSON `json:"levels,omitempty"`
 }
 
 // MarshalJSON serializes the library as its module list in declaration
@@ -33,7 +42,11 @@ func (l *Library) MarshalJSON() ([]byte, error) {
 		for j, o := range m.Ops {
 			ops[j] = o.String()
 		}
-		out = append(out, moduleJSON{Name: m.Name, Ops: ops, Area: m.Area, Delay: m.Delay, Power: m.Power})
+		mj := moduleJSON{Name: m.Name, Ops: ops, Area: m.Area, Delay: m.Delay, Power: m.Power}
+		for _, lv := range m.Levels {
+			mj.Levels = append(mj.Levels, levelJSON{Voltage: lv.Voltage, Delay: lv.Delay, Power: lv.Power})
+		}
+		out = append(out, mj)
 	}
 	return json.Marshal(out)
 }
@@ -50,6 +63,9 @@ func (l *Library) UnmarshalJSON(data []byte) error {
 	mods := make([]Module, 0, len(raw))
 	for i, mj := range raw {
 		m := Module{Name: mj.Name, Area: mj.Area, Delay: mj.Delay, Power: mj.Power}
+		for _, lv := range mj.Levels {
+			m.Levels = append(m.Levels, OperatingPoint{Voltage: lv.Voltage, Delay: lv.Delay, Power: lv.Power})
+		}
 		for _, tok := range mj.Ops {
 			op, err := cdfg.ParseOp(tok)
 			if err != nil {

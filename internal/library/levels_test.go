@@ -1,0 +1,219 @@
+package library_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/library"
+)
+
+func multiLevelModules() []library.Module {
+	return []library.Module{
+		{Name: "add", Ops: []cdfg.Op{cdfg.Add}, Area: 50, Levels: []library.OperatingPoint{
+			{Voltage: 5, Delay: 1, Power: 8},
+			{Voltage: 3.3, Delay: 2, Power: 3.5},
+			{Voltage: 2.4, Delay: 3, Power: 1.8},
+		}},
+		{Name: "mul", Ops: []cdfg.Op{cdfg.Mul}, Area: 600, Delay: 2, Power: 25},
+		{Name: "io", Ops: []cdfg.Op{cdfg.Input, cdfg.Output}, Area: 0, Delay: 1, Power: 1},
+	}
+}
+
+// TestNewNormalizesToNominalLevel: a module with explicit Levels is
+// defined by them — New mirrors Delay/Power from Levels[0] regardless of
+// what the caller set, and defensively copies the slice.
+func TestNewNormalizesToNominalLevel(t *testing.T) {
+	mods := multiLevelModules()
+	mods[0].Delay = 99 // lies; Levels[0] is authoritative
+	mods[0].Power = 99
+	levels := mods[0].Levels
+	lib, err := library.New(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := lib.Lookup("add")
+	if m.Delay != 1 || m.Power != 8 {
+		t.Errorf("nominal delay/power = %d/%g, want 1/8 (normalized from Levels[0])", m.Delay, m.Power)
+	}
+	levels[0].Delay = 77 // caller's slice must not alias the library's
+	if m.Level(0).Delay != 1 {
+		t.Error("library aliases the caller's Levels slice")
+	}
+	if got := m.NumLevels(); got != 3 {
+		t.Errorf("NumLevels = %d, want 3", got)
+	}
+	if !m.MultiLevel() || !lib.MultiLevel() {
+		t.Error("module and library must report MultiLevel")
+	}
+	single, _ := lib.Lookup("mul")
+	if single.MultiLevel() {
+		t.Error("mul has no explicit levels but reports MultiLevel")
+	}
+	if lv := single.Level(0); lv.Voltage != 1 || lv.Delay != 2 || lv.Power != 25 {
+		t.Errorf("implicit nominal level = %+v, want {1 2 25}", lv)
+	}
+}
+
+// TestLevelSentinelErrors classifies every level-validation failure.
+func TestLevelSentinelErrors(t *testing.T) {
+	base := func() []library.Module { return multiLevelModules() }
+	cases := []struct {
+		name   string
+		mutate func([]library.Module)
+		want   error
+	}{
+		{"zero voltage", func(m []library.Module) { m[0].Levels[1].Voltage = 0 }, library.ErrBadVoltage},
+		{"negative voltage", func(m []library.Module) { m[0].Levels[2].Voltage = -2.4 }, library.ErrBadVoltage},
+		{"duplicate voltage", func(m []library.Module) { m[0].Levels[1].Voltage = 5 }, library.ErrDuplicateLevel},
+		{"zero level delay", func(m []library.Module) { m[0].Levels[1].Delay = 0 }, library.ErrBadDelay},
+		{"negative level power", func(m []library.Module) { m[0].Levels[1].Power = -1 }, library.ErrBadPower},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mods := base()
+			tc.mutate(mods)
+			if _, err := library.New(mods); !errors.Is(err, tc.want) {
+				t.Errorf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLevelTextRoundTrip: Text() emits one "level" line per explicit
+// operating point and Parse reconstructs the identical library.
+func TestLevelTextRoundTrip(t *testing.T) {
+	lib := library.MustNew(multiLevelModules())
+	text := lib.Text()
+	if got := strings.Count(text, "\nlevel add "); got != 3 {
+		t.Fatalf("%d level lines for add, want 3:\n%s", got, text)
+	}
+	back, err := library.ParseString(text)
+	if err != nil {
+		t.Fatalf("reparsing own Text(): %v\n%s", err, text)
+	}
+	if back.Text() != text {
+		t.Errorf("text round trip not a fixed point:\n%s\nvs\n%s", text, back.Text())
+	}
+	m, _ := back.Lookup("add")
+	if m.NumLevels() != 3 || m.Level(1) != (library.OperatingPoint{Voltage: 3.3, Delay: 2, Power: 3.5}) {
+		t.Errorf("levels lost in round trip: %+v", m.Levels)
+	}
+}
+
+// TestLevelJSONRoundTrip mirrors the text round trip for the JSON form
+// the server's "library" request field uses.
+func TestLevelJSONRoundTrip(t *testing.T) {
+	lib := library.MustNew(multiLevelModules())
+	data, err := lib.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"levels"`) {
+		t.Fatalf("JSON lacks levels field: %s", data)
+	}
+	back, err := library.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != string(data) {
+		t.Errorf("JSON round trip not a fixed point:\n%s\nvs\n%s", data, data2)
+	}
+	if _, err := library.ParseJSON([]byte(`[{"name":"a","ops":["+"],"area":1,"delay":1,"power":1,` +
+		`"levels":[{"voltage":0,"delay":1,"power":1}]}]`)); !errors.Is(err, library.ErrBadVoltage) {
+		t.Errorf("bad JSON voltage: got %v, want ErrBadVoltage", err)
+	}
+}
+
+// TestLevelUnknownModule: a "level" line naming an undefined module is a
+// classified parse error.
+func TestLevelUnknownModule(t *testing.T) {
+	_, err := library.ParseString("module add + 50 1 8\nlevel ghost 3.3 2 3\n")
+	if !errors.Is(err, library.ErrUnknownLevelModule) {
+		t.Errorf("got %v, want ErrUnknownLevelModule", err)
+	}
+}
+
+// TestExpandLowersLevelsToSingleLevelModules: Expand is the lowering the
+// synthesizer relies on — one module per operating point, named
+// "<name>@<voltage>V", sharing the original's ops and area; a library
+// without multi-level modules is returned unchanged (same pointer, the
+// backward-compatibility fast path).
+func TestExpandLowersLevelsToSingleLevelModules(t *testing.T) {
+	single := library.Table1()
+	if got, err := single.Expand(); err != nil || got != single {
+		t.Fatalf("single-level Expand = (%p, %v), want the receiver %p back", got, err, single)
+	}
+
+	lib := library.MustNew(multiLevelModules())
+	flat, err := lib.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.MultiLevel() {
+		t.Error("expanded library still reports MultiLevel")
+	}
+	if got, want := flat.Len(), 5; got != want { // 3 add points + mul + io
+		t.Fatalf("expanded Len = %d, want %d", got, want)
+	}
+	for _, spec := range []struct {
+		name  string
+		delay int
+		power float64
+	}{
+		{"add@5V", 1, 8}, {"add@3.3V", 2, 3.5}, {"add@2.4V", 3, 1.8},
+	} {
+		m, ok := flat.Lookup(spec.name)
+		if !ok {
+			t.Fatalf("expanded library lacks %q (have %v)", spec.name, names(flat))
+		}
+		if m.Delay != spec.delay || m.Power != spec.power || m.Area != 50 {
+			t.Errorf("%s = delay %d power %g area %g, want %d/%g/50", spec.name, m.Delay, m.Power, m.Area, spec.delay, spec.power)
+		}
+		if !m.Implements(cdfg.Add) {
+			t.Errorf("%s lost the add op", spec.name)
+		}
+	}
+	if _, ok := flat.Lookup("mul"); !ok {
+		t.Error("single-level module renamed by Expand")
+	}
+	// Idempotent: the expanded library is single-level, so a second
+	// Expand is the identity.
+	again, err := flat.Expand()
+	if err != nil || again != flat {
+		t.Errorf("Expand not idempotent: (%p, %v) vs %p", again, err, flat)
+	}
+}
+
+func names(l *library.Library) []string {
+	var out []string
+	for _, m := range l.Modules() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// TestExpandedCandidatesOrder: lowering preserves candidate order —
+// operating points of one module stay adjacent, in declaration order, so
+// the synthesizer's deterministic tie-breaks survive the lowering.
+func TestExpandedCandidatesOrder(t *testing.T) {
+	lib := library.MustNew(multiLevelModules())
+	flat, err := lib.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, i := range flat.Candidates(cdfg.Add) {
+		got = append(got, flat.Module(i).Name)
+	}
+	want := fmt.Sprintf("%v", []string{"add@5V", "add@3.3V", "add@2.4V"})
+	if fmt.Sprintf("%v", got) != want {
+		t.Errorf("candidates = %v, want %s", got, want)
+	}
+}

@@ -18,13 +18,28 @@ import (
 	"pchls/internal/cdfg"
 )
 
+// OperatingPoint is one voltage operating point of a module: running the
+// same datapath at a lower supply voltage stretches its latency and cuts
+// its dynamic power (P ~ V^2), so each point trades Delay against Power
+// at unchanged Area.
+type OperatingPoint struct {
+	// Voltage is the supply voltage in volts (> 0, finite). Voltages are
+	// labels for the points and must be distinct within one module.
+	Voltage float64
+	// Delay is the execution latency in clock cycles at this voltage (>= 1).
+	Delay int
+	// Power is the per-cycle power drawn at this voltage (finite, >= 0).
+	Power float64
+}
+
 // Module describes one functional-unit type.
 type Module struct {
 	// Name is the unique module name, e.g. "ALU" or "Mult(ser.)".
 	Name string
 	// Ops is the set of operations the module can execute.
 	Ops []cdfg.Op
-	// Area is the silicon area cost of one instance (Table 1 units).
+	// Area is the silicon area cost of one instance (Table 1 units). All
+	// voltage levels of a module share the same area.
 	Area float64
 	// Delay is the execution latency in clock cycles (>= 1). An operation
 	// bound to this module occupies it for Delay consecutive cycles.
@@ -32,6 +47,12 @@ type Module struct {
 	// Power is the power drawn in each cycle the module is executing
 	// (Table 1 units). Idle modules draw no power in this model.
 	Power float64
+	// Levels, when non-empty, is the COMPLETE set of voltage operating
+	// points of the module; Levels[0] is the nominal point and New
+	// normalizes Delay and Power to it. Empty Levels means one implicit
+	// nominal point {Voltage: 1, Delay, Power} — the classic single-level
+	// module, byte-identical to libraries that predate voltage scaling.
+	Levels []OperatingPoint
 }
 
 // Implements reports whether the module can execute op.
@@ -44,9 +65,33 @@ func (m *Module) Implements(op cdfg.Op) bool {
 	return false
 }
 
-// Energy returns the total energy one execution consumes
-// (Power x Delay cycles).
+// Energy returns the total energy one execution consumes at the nominal
+// operating point (Power x Delay cycles).
 func (m *Module) Energy() float64 { return m.Power * float64(m.Delay) }
+
+// NumLevels returns the number of voltage operating points (>= 1; a
+// module without explicit Levels has the single implicit nominal point).
+func (m *Module) NumLevels() int {
+	if len(m.Levels) == 0 {
+		return 1
+	}
+	return len(m.Levels)
+}
+
+// Level returns the i'th operating point. For a module without explicit
+// Levels, level 0 is the implicit nominal point at 1 volt.
+func (m *Module) Level(i int) OperatingPoint {
+	if len(m.Levels) == 0 {
+		if i != 0 {
+			panic(fmt.Sprintf("library: module %q has 1 level, level %d requested", m.Name, i))
+		}
+		return OperatingPoint{Voltage: 1, Delay: m.Delay, Power: m.Power}
+	}
+	return m.Levels[i]
+}
+
+// MultiLevel reports whether the module has more than one operating point.
+func (m *Module) MultiLevel() bool { return len(m.Levels) > 1 }
 
 // String returns a compact human-readable description.
 func (m *Module) String() string {
@@ -85,6 +130,22 @@ func (m *Module) validate() error {
 	if m.Power < 0 || math.IsNaN(m.Power) || math.IsInf(m.Power, 0) {
 		errs = append(errs, fmt.Errorf("library: module %q: power %v: %w", m.Name, m.Power, ErrBadPower))
 	}
+	voltages := map[float64]bool{}
+	for i, lv := range m.Levels {
+		if lv.Voltage <= 0 || math.IsNaN(lv.Voltage) || math.IsInf(lv.Voltage, 0) {
+			errs = append(errs, fmt.Errorf("library: module %q level %d: voltage %v: %w", m.Name, i, lv.Voltage, ErrBadVoltage))
+		}
+		if lv.Delay < 1 {
+			errs = append(errs, fmt.Errorf("library: module %q level %d: delay %d: %w", m.Name, i, lv.Delay, ErrBadDelay))
+		}
+		if lv.Power < 0 || math.IsNaN(lv.Power) || math.IsInf(lv.Power, 0) {
+			errs = append(errs, fmt.Errorf("library: module %q level %d: power %v: %w", m.Name, i, lv.Power, ErrBadPower))
+		}
+		if voltages[lv.Voltage] {
+			errs = append(errs, fmt.Errorf("library: module %q: voltage %v: %w", m.Name, lv.Voltage, ErrDuplicateLevel))
+		}
+		voltages[lv.Voltage] = true
+	}
 	return errors.Join(errs...)
 }
 
@@ -112,6 +173,15 @@ var (
 	ErrBadPower = errors.New("module power must be finite and non-negative")
 	// ErrDuplicateModule marks a reused module name.
 	ErrDuplicateModule = errors.New("duplicate module name")
+	// ErrBadVoltage marks an operating point whose supply voltage is not a
+	// positive finite number.
+	ErrBadVoltage = errors.New("operating-point voltage must be finite and positive")
+	// ErrDuplicateLevel marks a module listing two operating points at the
+	// same supply voltage.
+	ErrDuplicateLevel = errors.New("duplicate operating-point voltage")
+	// ErrUnknownLevelModule marks a level declaration that references a
+	// module the library does not define.
+	ErrUnknownLevelModule = errors.New("level references unknown module")
 )
 
 // New builds a validated library from the given modules. Module order is
@@ -125,6 +195,14 @@ func New(modules []Module) (*Library, error) {
 	var errs []error
 	for i := range l.modules {
 		m := &l.modules[i]
+		// A module with explicit Levels is defined by them: the top-level
+		// Delay/Power mirror the nominal point Levels[0] so every consumer
+		// that ignores voltage scaling sees the nominal behaviour.
+		if len(m.Levels) > 0 {
+			m.Levels = append([]OperatingPoint(nil), m.Levels...)
+			m.Delay = m.Levels[0].Delay
+			m.Power = m.Levels[0].Power
+		}
 		if err := m.validate(); err != nil {
 			errs = append(errs, err)
 			continue
@@ -270,15 +348,68 @@ func (l *Library) MinPowerFloor(g *cdfg.Graph) (float64, error) {
 	return floor, nil
 }
 
-// MaxDelay returns the largest module delay in the library.
+// MaxDelay returns the largest module delay in the library, over every
+// voltage operating point.
 func (l *Library) MaxDelay() int {
 	d := 1
 	for i := range l.modules {
-		if l.modules[i].Delay > d {
-			d = l.modules[i].Delay
+		m := &l.modules[i]
+		for li := 0; li < m.NumLevels(); li++ {
+			if lv := m.Level(li); lv.Delay > d {
+				d = lv.Delay
+			}
 		}
 	}
 	return d
+}
+
+// MultiLevel reports whether any module has more than one voltage
+// operating point — i.e. whether Expand would change the library.
+func (l *Library) MultiLevel() bool {
+	for i := range l.modules {
+		if l.modules[i].MultiLevel() {
+			return true
+		}
+	}
+	return false
+}
+
+// Expand lowers voltage scaling into module selection: every module with
+// k > 1 operating points becomes k single-level modules named
+// "<name>@<voltage>V", each carrying its level's delay and power at the
+// base module's area, in level order. The synthesis engine then chooses
+// an operating point exactly the way it chooses a module candidate, and
+// its flat (node x module) scratch tables gain the level dimension for
+// free. Single-level modules are kept verbatim, and a library with no
+// multi-level module returns the receiver itself — voltage-free inputs
+// are byte-identical through every downstream path by construction.
+func (l *Library) Expand() (*Library, error) {
+	if !l.MultiLevel() {
+		return l, nil
+	}
+	var mods []Module
+	for i := range l.modules {
+		m := &l.modules[i]
+		if !m.MultiLevel() {
+			mods = append(mods, *m)
+			continue
+		}
+		for _, lv := range m.Levels {
+			mods = append(mods, Module{
+				Name:   fmt.Sprintf("%s@%gV", m.Name, lv.Voltage),
+				Ops:    m.Ops,
+				Area:   m.Area,
+				Delay:  lv.Delay,
+				Power:  lv.Power,
+				Levels: []OperatingPoint{lv},
+			})
+		}
+	}
+	el, err := New(mods)
+	if err != nil {
+		return nil, fmt.Errorf("library: expanding voltage levels: %w", err)
+	}
+	return el, nil
 }
 
 // Table renders the library as an aligned text table mirroring the paper's
@@ -301,10 +432,17 @@ func (l *Library) Table() string {
 //
 //	# comment
 //	module <name> <op>[,<op>...] <area> <delay> <power>
+//	level <name> <voltage> <delay> <power>
 //
-// e.g. "module ALU +,-,> 97 1 2.5".
+// e.g. "module ALU +,-,> 97 1 2.5". Level lines declare voltage operating
+// points for a module declared elsewhere in the file (any order); when a
+// module has level lines they are its complete operating-point set in file
+// order, the first being the nominal point the module line's delay and
+// power are normalized to.
 func Parse(r io.Reader) (*Library, error) {
 	var mods []Module
+	var order []string                      // module names with levels, first-reference order
+	levels := map[string][]OperatingPoint{} // module name -> operating points in file order
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -315,6 +453,28 @@ func Parse(r io.Reader) (*Library, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "level" {
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("library: line %d: want \"level <module> <voltage> <delay> <power>\", got %q", lineNo, line)
+			}
+			voltage, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("library: line %d: bad voltage %q: %w", lineNo, fields[2], err)
+			}
+			delay, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("library: line %d: bad delay %q: %w", lineNo, fields[3], err)
+			}
+			power, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("library: line %d: bad power %q: %w", lineNo, fields[4], err)
+			}
+			if _, seen := levels[fields[1]]; !seen {
+				order = append(order, fields[1])
+			}
+			levels[fields[1]] = append(levels[fields[1]], OperatingPoint{Voltage: voltage, Delay: delay, Power: power})
 			continue
 		}
 		if fields[0] != "module" || len(fields) != 6 {
@@ -344,6 +504,19 @@ func Parse(r io.Reader) (*Library, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("library: reading input: %w", err)
+	}
+	if len(levels) > 0 {
+		byName := map[string]int{}
+		for i := range mods {
+			byName[mods[i].Name] = i
+		}
+		for _, name := range order {
+			i, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("library: level for %q: %w", name, ErrUnknownLevelModule)
+			}
+			mods[i].Levels = levels[name]
+		}
 	}
 	return New(mods)
 }

@@ -6,11 +6,13 @@ import (
 )
 
 // Text serializes the library in the line-oriented format Parse reads
-// ("module <name> <op>[,<op>...] <area> <delay> <power>"). For libraries
-// whose module names contain no whitespace or comment characters — all
-// generated and built-in libraries — the output reparses to an equal
-// library, which is what lets cdfgtool gen emit a random library that
-// pchls -lib can consume.
+// ("module <name> <op>[,<op>...] <area> <delay> <power>", with a
+// "level <name> <voltage> <delay> <power>" line per explicit operating
+// point, immediately after the owning module). For libraries whose module
+// names contain no whitespace or comment characters — all generated and
+// built-in libraries — the output reparses to an equal library, which is
+// what lets cdfgtool gen emit a random library that pchls -lib can
+// consume.
 func (l *Library) Text() string {
 	var sb strings.Builder
 	for i := range l.modules {
@@ -20,6 +22,9 @@ func (l *Library) Text() string {
 			ops[j] = o.String()
 		}
 		fmt.Fprintf(&sb, "module %s %s %g %d %g\n", m.Name, strings.Join(ops, ","), m.Area, m.Delay, m.Power)
+		for _, lv := range m.Levels {
+			fmt.Fprintf(&sb, "level %s %g %d %g\n", m.Name, lv.Voltage, lv.Delay, lv.Power)
+		}
 	}
 	return sb.String()
 }

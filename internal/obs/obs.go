@@ -78,6 +78,10 @@ var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 // means "matched the single pass" and 0.2 means 20% less area.
 var RatioBuckets = []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5}
 
+// CountBuckets are buckets for small-integer count observations — e.g.
+// the number of non-dominated points a Pareto exploration returns.
+var CountBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
+
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)

@@ -1,0 +1,116 @@
+package power_test
+
+import (
+	"testing"
+
+	"pchls/internal/power"
+)
+
+// TestLifetimePinnedPeukert pins Peukert lifetimes against hand-computed
+// traces. With exponent k, a cycle drawing current I costs I^k charge
+// units; the battery dies on the first cycle whose cost exceeds the
+// remaining charge.
+func TestLifetimePinnedPeukert(t *testing.T) {
+	cases := []struct {
+		name               string
+		capacity, exponent float64
+		profile            []float64
+		maxPeriods         int
+		periods, cycles    int
+	}{
+		// Ideal battery (k=1): charge 10, cost 3/cycle -> 10,7,4,1, then
+		// 3 > 1: three full single-cycle periods.
+		{"ideal-linear", 10, 1, []float64{3}, 1 << 20, 3, 3},
+		// k=2: [1,2] costs 1+4=5 per period; 10/5 = exactly 2 periods,
+		// dying on the first cycle of period 3 with 0 charge left.
+		{"quadratic-two-periods", 10, 2, []float64{1, 2}, 1 << 20, 2, 4},
+		// k=2: a single cycle at 3 costs 9 of 10; the second costs 9 > 1.
+		{"quadratic-spike", 10, 2, []float64{3}, 1 << 20, 1, 1},
+		// At the 1-unit reference current the exponent is irrelevant:
+		// capacity 10 lasts exactly 10 cycles for any k.
+		{"reference-current-k1", 10, 1, []float64{1}, 1 << 20, 10, 10},
+		{"reference-current-k2", 10, 2, []float64{1}, 1 << 20, 10, 10},
+		// maxPeriods caps the simulation before the battery dies.
+		{"capped", 100, 1, []float64{1}, 5, 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := power.NewPeukert(tc.capacity, tc.exponent)
+			if err != nil {
+				t.Fatalf("NewPeukert: %v", err)
+			}
+			periods, cycles := b.Lifetime(tc.profile, tc.maxPeriods)
+			if periods != tc.periods || cycles != tc.cycles {
+				t.Fatalf("Lifetime = (%d periods, %d cycles), want (%d, %d)",
+					periods, cycles, tc.periods, tc.cycles)
+			}
+		})
+	}
+}
+
+// TestLifetimePinnedKiBaM pins KiBaM lifetimes against hand-computed
+// traces with exactly representable parameters (capacity 10, split 0.5,
+// rate 1): avail = bound = 5, and after a draw the wells exchange
+// flow = (h2-h1)*0.25 with h1 = avail/0.5, h2 = bound/0.5.
+func TestLifetimePinnedKiBaM(t *testing.T) {
+	cases := []struct {
+		name            string
+		profile         []float64
+		maxPeriods      int
+		periods, cycles int
+	}{
+		// Draw 4: avail 5->1, heads 2 vs 10, flow 2 -> wells 3/3; the
+		// second cycle's 4 > 3 kills it after one period.
+		{"spike-dies-fast", []float64{4}, 1 << 20, 1, 1},
+		// Draw 2 per cycle: avail/bound trace (4,4),(3,3),(2,2),(1,1),
+		// then 2 > 1 on cycle 5 — four periods, having delivered only 8
+		// of the 10 units (the rate-capacity effect).
+		{"flat-lasts-longer", []float64{2}, 1 << 20, 4, 4},
+		// Same trace viewed as two-cycle periods: dies on cycle 5, which
+		// is mid-period 3, so only 2 whole periods count.
+		{"two-cycle-period", []float64{2, 2}, 1 << 20, 2, 4},
+		{"capped", []float64{1}, 3, 3, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := power.NewKiBaM(10, 0.5, 1)
+			if err != nil {
+				t.Fatalf("NewKiBaM: %v", err)
+			}
+			periods, cycles := b.Lifetime(tc.profile, tc.maxPeriods)
+			if periods != tc.periods || cycles != tc.cycles {
+				t.Fatalf("Lifetime = (%d periods, %d cycles), want (%d, %d)",
+					periods, cycles, tc.periods, tc.cycles)
+			}
+		})
+	}
+}
+
+// TestCompareReportsModel verifies Compare records which battery model
+// produced the lifetimes.
+func TestCompareReportsModel(t *testing.T) {
+	pk, err := power.NewPeukert(10, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := power.NewKiBaM(10, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := []float64{1, 2}
+	for _, tc := range []struct {
+		b    power.Battery
+		want string
+	}{
+		{pk, "peukert"},
+		{kb, "kibam"},
+	} {
+		cmp, err := power.Compare(tc.b, profile, profile, 100)
+		if err != nil {
+			t.Fatalf("Compare(%s): %v", tc.want, err)
+		}
+		if cmp.Model != tc.want {
+			t.Fatalf("Comparison.Model = %q, want %q", cmp.Model, tc.want)
+		}
+	}
+}

@@ -64,6 +64,9 @@ type Battery interface {
 	// number of cycles survived (including a partial final period).
 	// maxPeriods bounds the simulation.
 	Lifetime(profile []float64, maxPeriods int) (periods int, cycles int)
+	// Model names the battery model ("peukert", "kibam"), so results
+	// derived from a Battery value can report which model produced them.
+	Model() string
 }
 
 // Peukert models the rate-capacity effect with Peukert's law: a constant
@@ -73,8 +76,13 @@ type Peukert struct {
 	// Capacity is the nominal charge in (current-unit x cycles) at 1 unit
 	// of current.
 	Capacity float64
-	// Exponent is Peukert's constant k (1.0 = ideal battery; real
-	// lead-acid cells are 1.1-1.3, low-cost cells higher).
+	// Exponent is Peukert's constant k. It is dimensionless: each cycle
+	// drawing current I (in the same current units Capacity is quoted at)
+	// costs I^k charge units, so at I = 1 the battery lasts exactly
+	// Capacity cycles regardless of k, and k only shapes how sharply the
+	// cost grows away from the 1-unit reference current. 1.0 is an ideal
+	// (energy-only) battery; real lead-acid cells are 1.1-1.3, low-cost
+	// cells higher.
 	Exponent float64
 }
 
@@ -88,6 +96,9 @@ func NewPeukert(capacity, exponent float64) (*Peukert, error) {
 	}
 	return &Peukert{Capacity: capacity, Exponent: exponent}, nil
 }
+
+// Model implements Battery.
+func (b *Peukert) Model() string { return "peukert" }
 
 // Lifetime implements Battery.
 func (b *Peukert) Lifetime(profile []float64, maxPeriods int) (int, int) {
@@ -140,6 +151,9 @@ func NewKiBaM(capacity, c, k float64) (*KiBaM, error) {
 	return &KiBaM{CapacityAvailable: c * capacity, CapacityBound: (1 - c) * capacity, Rate: k}, nil
 }
 
+// Model implements Battery.
+func (b *KiBaM) Model() string { return "kibam" }
+
 // Lifetime implements Battery: per cycle, the profile current is drawn
 // from the available well, then the wells equalize by Rate times the
 // normalized head difference. The battery dies when a cycle's demand
@@ -176,6 +190,10 @@ func (b *KiBaM) Lifetime(profile []float64, maxPeriods int) (int, int) {
 
 // Comparison reports the lifetime of two profiles on the same battery.
 type Comparison struct {
+	// Model names the battery model that produced the lifetimes
+	// ("peukert" or "kibam"); before it was recorded here, a sweep over
+	// several models could no longer tell its own results apart.
+	Model string
 	// PeriodsA and PeriodsB are whole profile repetitions sustained.
 	PeriodsA, PeriodsB int
 	// CyclesA and CyclesB are total cycles survived.
@@ -207,5 +225,5 @@ func Compare(b Battery, profileA, profileB []float64, maxPeriods int) (Compariso
 	}
 	pa, ca := b.Lifetime(profileA, maxPeriods)
 	pb, cb := b.Lifetime(profileB, maxPeriods)
-	return Comparison{PeriodsA: pa, PeriodsB: pb, CyclesA: ca, CyclesB: cb}, nil
+	return Comparison{Model: b.Model(), PeriodsA: pa, PeriodsB: pb, CyclesA: ca, CyclesB: cb}, nil
 }

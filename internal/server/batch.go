@@ -10,7 +10,7 @@ import (
 	"pchls/internal/runner"
 )
 
-// POST /v1/batch: a list of synthesize/portfolio/sweep/surface requests
+// POST /v1/batch: a list of synthesize/portfolio/sweep/surface/pareto requests
 // evaluated with bounded fan-out, answered as index-ordered results.
 // Each item routes through the same exec core as its standalone
 // endpoint — same cache key, same admission slots, same engine or
@@ -26,11 +26,12 @@ type batchItem struct {
 	Portfolio  *portfolioRequest  `json:"portfolio,omitempty"`
 	Sweep      *sweepRequest      `json:"sweep,omitempty"`
 	Surface    *surfaceRequest    `json:"surface,omitempty"`
+	Pareto     *paretoRequest     `json:"pareto,omitempty"`
 }
 
 func (it batchItem) kinds() int {
 	n := 0
-	for _, set := range []bool{it.Synthesize != nil, it.Portfolio != nil, it.Sweep != nil, it.Surface != nil} {
+	for _, set := range []bool{it.Synthesize != nil, it.Portfolio != nil, it.Sweep != nil, it.Surface != nil, it.Pareto != nil} {
 		if set {
 			n++
 		}
@@ -77,6 +78,8 @@ func (s *Server) execBatchItem(parent context.Context, it batchItem) batchItemJS
 		res, outcome, err = s.execSweep(ctx, it.Sweep)
 	case it.Surface != nil:
 		res, outcome, err = s.execSurface(ctx, it.Surface)
+	case it.Pareto != nil:
+		res, outcome, err = s.execPareto(ctx, it.Pareto)
 	}
 	if err != nil {
 		if isRequestError(err) {
@@ -106,7 +109,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, it := range req.Requests {
 		if it.kinds() != 1 {
 			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf(`request %d must set exactly one of "synthesize", "portfolio", "sweep", "surface"`, i))
+				fmt.Sprintf(`request %d must set exactly one of "synthesize", "portfolio", "sweep", "surface", "pareto"`, i))
 			return
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"pchls/internal/core"
 	"pchls/internal/explore"
 	"pchls/internal/portfolio"
+	"pchls/internal/power"
 )
 
 // Response headers carrying per-request observability: the cache outcome
@@ -519,6 +520,135 @@ func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	res, outcome, err := s.execSurface(ctx, &req)
+	if err != nil {
+		if isRequestError(err) {
+			writeRequestError(w, err)
+			return
+		}
+		writeComputeError(w, err)
+		return
+	}
+	writeResult(w, res, outcome)
+}
+
+type paretoPointJSON struct {
+	Deadline int             `json:"deadline"`
+	Power    float64         `json:"power"`
+	Area     float64         `json:"area"`
+	Latency  int             `json:"latency"`
+	Peak     float64         `json:"peak_power"`
+	Lifetime int             `json:"lifetime"`
+	Design   json.RawMessage `json:"design"`
+}
+
+type paretoJSON struct {
+	Benchmark string            `json:"benchmark"`
+	Battery   string            `json:"battery"`
+	Evaluated int               `json:"evaluated"`
+	Feasible  int               `json:"feasible"`
+	Points    []paretoPointJSON `json:"points"`
+}
+
+// paretoMaxPeriods bounds the battery simulation of /v1/pareto; it is
+// part of the content address because the lifetime objective — and with
+// it the front membership — depends on it.
+const paretoMaxPeriods = 1 << 20
+
+// execPareto is the pareto endpoint's core. Like the portfolio, the
+// front cannot be decomposed into independently cacheable grid points
+// (domination is a cross-cell property), so a coordinator proxies the
+// whole request to the worker owning its content address.
+func (s *Server) execPareto(ctx context.Context, req *paretoRequest) (*result, cache.Outcome, error) {
+	g, lib, err := req.validate()
+	if err != nil {
+		return nil, 0, err
+	}
+	model, capacity := req.batteryModel()
+	key := cache.ParetoKey(g, lib, req.Deadlines, req.Powers, model, capacity, paretoMaxPeriods, req.SinglePass)
+	return s.cache.Do(ctx, key, func(ctx context.Context) (*result, error) {
+		if pool := s.cfg.Pool; pool != nil {
+			return s.compute(ctx, func(ctx context.Context) (*result, error) {
+				body, err := json.Marshal(req)
+				if err != nil {
+					return nil, err
+				}
+				status, respBody, err := pool.Proxy(ctx, key, "/v1/pareto", body)
+				if err != nil {
+					return nil, err
+				}
+				if status != http.StatusOK && status != http.StatusUnprocessableEntity {
+					return nil, &proxyError{status: status, body: respBody}
+				}
+				return &result{status: status, body: respBody}, nil
+			})
+		}
+		return s.compute(ctx, func(ctx context.Context) (*result, error) {
+			var battery power.Battery
+			var berr error
+			if capacity > 0 {
+				battery, berr = explore.NewBattery(model, capacity)
+			} else {
+				battery, berr = explore.DefaultBattery(g, lib, model)
+			}
+			if berr != nil {
+				return nil, berr
+			}
+			front, err := explore.ExploreParetoContext(ctx, g, lib, explore.ParetoConfig{
+				Deadlines:  req.Deadlines,
+				Powers:     req.Powers,
+				Battery:    battery,
+				MaxPeriods: paretoMaxPeriods,
+				SinglePass: req.SinglePass,
+				Workers:    s.cfg.ExploreWorkers,
+				InFlight:   s.runnerInflight,
+				Config:     core.Config{Workers: 1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			var total core.Stats
+			out := paretoJSON{
+				Benchmark: front.Benchmark,
+				Battery:   battery.Model(),
+				Evaluated: front.Evaluated,
+				Feasible:  front.Feasible,
+				Points:    make([]paretoPointJSON, 0, len(front.Points)),
+			}
+			for _, p := range front.Points {
+				if err := s.validateDesign(p.Design); err != nil {
+					return nil, err
+				}
+				total = total.Add(p.Design.Stats)
+				design, err := p.Design.JSON()
+				if err != nil {
+					return nil, err
+				}
+				out.Points = append(out.Points, paretoPointJSON{
+					Deadline: p.Deadline, Power: p.PowerMax,
+					Area: p.Area, Latency: p.Latency, Peak: p.Peak, Lifetime: p.Lifetime,
+					Design: design,
+				})
+			}
+			s.noteStats(total)
+			s.paretoPoints.Observe(float64(len(front.Points)))
+			body, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			return &result{status: http.StatusOK, body: body, stats: total}, nil
+		})
+	})
+}
+
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req paretoRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, outcome, err := s.execPareto(ctx, &req)
 	if err != nil {
 		if isRequestError(err) {
 			writeRequestError(w, err)

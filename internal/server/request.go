@@ -87,6 +87,29 @@ type surfaceRequest struct {
 	SinglePass bool             `json:"single_pass,omitempty"`
 }
 
+// batteryRequest selects and sizes the lifetime model of a pareto
+// request.
+type batteryRequest struct {
+	// Model is "kibam" (default) or "peukert".
+	Model string `json:"model,omitempty"`
+	// Capacity overrides the default sizing — 50x the energy of one
+	// unconstrained ASAP schedule period. 0 keeps the default.
+	Capacity float64 `json:"capacity,omitempty"`
+}
+
+// paretoRequest is the body of POST /v1/pareto: a (deadline x power)
+// grid exploration reduced to the non-dominated set over (area, latency,
+// peak power, battery lifetime).
+type paretoRequest struct {
+	Benchmark  string           `json:"benchmark,omitempty"`
+	Graph      *cdfg.Graph      `json:"graph,omitempty"`
+	Library    *library.Library `json:"library,omitempty"`
+	Deadlines  []int            `json:"deadlines"`
+	Powers     []float64        `json:"powers"`
+	SinglePass bool             `json:"single_pass,omitempty"`
+	Battery    *batteryRequest  `json:"battery,omitempty"`
+}
+
 // requestError is a client-side fault mapped to 400 Bad Request.
 type requestError struct {
 	msg string
@@ -245,6 +268,53 @@ func (req *surfaceRequest) validate() (*cdfg.Graph, *library.Library, error) {
 	return g, resolveLibrary(req.Library), nil
 }
 
-// maxGridPoints bounds sweep and surface request grids: a single request
-// may not fan out into more synthesis runs than this.
+// batteryModel returns the request's normalized battery model name and
+// explicit capacity (0 = derive the default).
+func (req *paretoRequest) batteryModel() (model string, capacity float64) {
+	model = "kibam"
+	if req.Battery != nil {
+		if req.Battery.Model != "" {
+			model = req.Battery.Model
+		}
+		capacity = req.Battery.Capacity
+	}
+	return model, capacity
+}
+
+func (req *paretoRequest) validate() (*cdfg.Graph, *library.Library, error) {
+	g, err := resolveGraph(req.Benchmark, req.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(req.Deadlines) == 0 || len(req.Powers) == 0 {
+		return nil, nil, badRequest(`"deadlines" and "powers" must be non-empty`, nil)
+	}
+	if len(req.Deadlines)*len(req.Powers) > maxGridPoints {
+		return nil, nil, badRequest(fmt.Sprintf("pareto grid has more than %d cells", maxGridPoints), nil)
+	}
+	for _, d := range req.Deadlines {
+		if d <= 0 {
+			return nil, nil, badRequest(`every "deadlines" entry must be positive`, nil)
+		}
+	}
+	for _, p := range req.Powers {
+		if err := checkPower("powers", p); err != nil {
+			return nil, nil, err
+		}
+	}
+	if req.Battery != nil {
+		switch req.Battery.Model {
+		case "", "kibam", "peukert":
+		default:
+			return nil, nil, badRequest(`"battery.model" must be "kibam" or "peukert"`, nil)
+		}
+		if err := checkPower("battery.capacity", req.Battery.Capacity); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, resolveLibrary(req.Library), nil
+}
+
+// maxGridPoints bounds sweep, surface and pareto request grids: a single
+// request may not fan out into more synthesis runs than this.
 const maxGridPoints = 4096

@@ -10,6 +10,7 @@
 //	POST /v1/portfolio    anytime portfolio synthesis (body: portfolioRequest)
 //	POST /v1/sweep        area-versus-power sweep at fixed T
 //	POST /v1/surface      (deadline x power) grid exploration
+//	POST /v1/pareto       multi-objective (area, latency, peak, lifetime) front
 //	POST /v1/batch        a list of the above, fanned out, index-ordered results
 //	GET  /v1/benchmarks   the built-in benchmark CDFGs
 //	GET  /healthz         liveness probe
@@ -175,6 +176,9 @@ type Server struct {
 	// single-pass baseline.
 	portfolioImprovements *obs.Counter
 	portfolioGap          *obs.Histogram
+
+	// paretoPoints tracks the non-dominated front sizes /v1/pareto returns.
+	paretoPoints *obs.Histogram
 }
 
 // New builds a Server with its routes and metrics registered.
@@ -209,6 +213,7 @@ func New(cfg Config) *Server {
 	s.validationFails = s.reg.Counter("pchls_validation_failures_total", "designs the independent validator rejected (served as 500, never cached)")
 	s.portfolioImprovements = s.reg.Counter("pchls_portfolio_improvements_total", "incumbent adoptions (pass or splice) across portfolio runs")
 	s.portfolioGap = s.reg.Histogram("pchls_portfolio_gap", "relative area improvement of portfolio runs over the single-pass baseline", obs.RatioBuckets)
+	s.paretoPoints = s.reg.Histogram("pchls_pareto_points", "non-dominated front sizes returned by /v1/pareto", obs.CountBuckets)
 	s.inflight = s.reg.Gauge("pchls_http_inflight", "requests currently being served")
 	s.runnerInflight = s.reg.Gauge("pchls_runner_inflight", "exploration worker-pool items currently executing")
 	s.reg.GaugeFunc("pchls_queue_waiting", "admitted requests waiting for a worker slot",
@@ -246,6 +251,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/portfolio", s.instrument("/v1/portfolio", s.handlePortfolio))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("POST /v1/surface", s.instrument("/v1/surface", s.handleSurface))
+	s.mux.HandleFunc("POST /v1/pareto", s.instrument("/v1/pareto", s.handlePareto))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.handleBenchmarks))
 	if cfg.Worker {

@@ -42,20 +42,24 @@ type BruteResult struct {
 	// FUArea is the provably minimal functional-unit area over the whole
 	// space (meaningful only when Feasible).
 	FUArea float64
-	// Start, Module and FU describe one optimal solution: per-node start
-	// cycle, library module index, and instance index.
-	Start, Module, FU []int
+	// Start, Module, Level and FU describe one optimal solution: per-node
+	// start cycle, library module index, voltage operating-point index
+	// within that module, and instance index.
+	Start, Module, Level, FU []int
 	// Expansions counts visited search-tree nodes, for reporting.
 	Expansions int
 }
 
 // BruteForce exhaustively solves the joint scheduling/allocation/binding
 // problem the heuristic approximates: over every combination of module
-// selection, power- and latency-feasible schedule, and binding onto
-// instances, it finds the minimum total functional-unit area. It shares
-// nothing with the engine — the only pruning is against its own best
-// solution found so far (plain branch-and-bound, still exact) — and is
-// the differential oracle for tiny graphs.
+// selection, voltage operating point, power- and latency-feasible
+// schedule, and binding onto instances, it finds the minimum total
+// functional-unit area. Two operations may share an instance only when
+// they agree on both the module and the operating point (an instance is
+// fixed at one supply voltage). It shares nothing with the engine — the
+// only pruning is against its own best solution found so far (plain
+// branch-and-bound, still exact) — and is the differential oracle for
+// tiny graphs.
 //
 // The objective is functional-unit area only, matching the primary term
 // of the paper's cost function; registers and interconnect are secondary
@@ -83,16 +87,19 @@ func BruteForce(g *cdfg.Graph, lib *library.Library, deadline int, powerMax floa
 	var (
 		start    = make([]int, n)
 		moduleOf = make([]int, n)
+		levelOf  = make([]int, n)
 		fuOf     = make([]int, n)
 		profile  = make([]float64, deadline)
-		// instances[f] is the module index of instance f; its occupancy is
-		// recovered by walking the already-placed prefix of the order.
-		instances []int
-		fuArea    float64
-		best      *BruteResult
-		bestArea  = 1e18
-		exps      int
-		over      bool
+		// instModule[f]/instLevel[f] identify instance f's module and fixed
+		// operating point; its occupancy is recovered by walking the
+		// already-placed prefix of the order.
+		instModule []int
+		instLevel  []int
+		fuArea     float64
+		best       *BruteResult
+		bestArea   = 1e18
+		exps       int
+		over       bool
 	)
 
 	// occupied reports whether instance f already executes during [s, e).
@@ -102,8 +109,8 @@ func BruteForce(g *cdfg.Graph, lib *library.Library, deadline int, powerMax floa
 			if fuOf[v] != f {
 				continue
 			}
-			m := lib.Module(moduleOf[v])
-			if start[v] < e && s < start[v]+m.Delay {
+			d := lib.Module(moduleOf[v]).Level(levelOf[v]).Delay
+			if start[v] < e && s < start[v]+d {
 				return true
 			}
 		}
@@ -127,6 +134,7 @@ func BruteForce(g *cdfg.Graph, lib *library.Library, deadline int, powerMax floa
 				FUArea:   fuArea,
 				Start:    append([]int(nil), start...),
 				Module:   append([]int(nil), moduleOf...),
+				Level:    append([]int(nil), levelOf...),
 				FU:       append([]int(nil), fuOf...),
 			}
 			return
@@ -135,55 +143,62 @@ func BruteForce(g *cdfg.Graph, lib *library.Library, deadline int, powerMax floa
 		node := g.Node(v)
 		earliest := 0
 		for _, p := range g.Preds(v) {
-			if e := start[p] + lib.Module(moduleOf[p]).Delay; e > earliest {
+			if e := start[p] + lib.Module(moduleOf[p]).Level(levelOf[p]).Delay; e > earliest {
 				earliest = e
 			}
 		}
 		for _, mi := range lib.Candidates(node.Op) {
 			m := lib.Module(mi)
-			if powerMax > 0 && m.Power > powerMax+powerEps {
-				continue
-			}
 			moduleOf[v] = mi
-			for t := earliest; t+m.Delay <= deadline; t++ {
-				if over {
-					return
-				}
-				ok := true
-				if powerMax > 0 {
-					for c := t; c < t+m.Delay; c++ {
-						if profile[c]+m.Power > powerMax+powerEps {
-							ok = false
-							break
-						}
-					}
-				}
-				if !ok {
+			for li := 0; li < m.NumLevels(); li++ {
+				lv := m.Level(li)
+				if powerMax > 0 && lv.Power > powerMax+powerEps {
 					continue
 				}
-				start[v] = t
-				for c := t; c < t+m.Delay; c++ {
-					profile[c] += m.Power
-				}
-				// Share an existing instance of the same module.
-				for f, fm := range instances {
-					if fm != mi || occupied(f, t, t+m.Delay, k) {
+				levelOf[v] = li
+				for t := earliest; t+lv.Delay <= deadline; t++ {
+					if over {
+						return
+					}
+					ok := true
+					if powerMax > 0 {
+						for c := t; c < t+lv.Delay; c++ {
+							if profile[c]+lv.Power > powerMax+powerEps {
+								ok = false
+								break
+							}
+						}
+					}
+					if !ok {
 						continue
 					}
-					fuOf[v] = f
-					rec(k + 1)
-				}
-				// Allocate a fresh instance.
-				if fuArea+m.Area < bestArea {
-					instances = append(instances, mi)
-					fuOf[v] = len(instances) - 1
-					fuArea += m.Area
-					rec(k + 1)
-					fuArea -= m.Area
-					instances = instances[:len(instances)-1]
-				}
-				for c := t; c < t+m.Delay; c++ {
-					profile[c] -= m.Power
+					start[v] = t
+					for c := t; c < t+lv.Delay; c++ {
+						profile[c] += lv.Power
+					}
+					// Share an existing instance of the same module at the
+					// same operating point.
+					for f, fm := range instModule {
+						if fm != mi || instLevel[f] != li || occupied(f, t, t+lv.Delay, k) {
+							continue
+						}
+						fuOf[v] = f
+						rec(k + 1)
+					}
+					// Allocate a fresh instance.
+					if fuArea+m.Area < bestArea {
+						instModule = append(instModule, mi)
+						instLevel = append(instLevel, li)
+						fuOf[v] = len(instModule) - 1
+						fuArea += m.Area
+						rec(k + 1)
+						fuArea -= m.Area
+						instModule = instModule[:len(instModule)-1]
+						instLevel = instLevel[:len(instLevel)-1]
+					}
+					for c := t; c < t+lv.Delay; c++ {
+						profile[c] -= lv.Power
+					}
 				}
 			}
 		}

@@ -1,0 +1,481 @@
+package verify_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pchls/internal/cdfg"
+	"pchls/internal/core"
+	"pchls/internal/explore"
+	"pchls/internal/gen"
+	"pchls/internal/library"
+	"pchls/internal/power"
+	"pchls/internal/sched"
+	"pchls/internal/verify"
+)
+
+// frontMaxPeriods caps every battery simulation in this file. It bounds
+// the per-leaf lifetime cost of the exhaustive searches while staying far
+// above the ~50-period lifetimes the default battery sizing produces.
+const frontMaxPeriods = 4096
+
+// tinyDVSInstance derives a small random synthesis problem whose library
+// carries two voltage operating points per computation module, sized for
+// the exhaustive front oracle.
+func tinyDVSInstance(seed int64, nodes int) gen.Instance {
+	return gen.NewInstance(seed, gen.InstanceConfig{
+		Graph:          gen.GraphConfig{Nodes: nodes, MaxWidth: 2},
+		Library:        gen.LibraryConfig{ModulesPerOp: 2, DelayMax: 2, Levels: 2},
+		SlackMin:       1.2,
+		SlackMax:       2.2,
+		PowerFactorMin: 1.0,
+		PowerFactorMax: 2.5,
+	})
+}
+
+// frontBattery builds the battery model an instance's lifetime objective
+// uses, plus the profile->periods closure both the production search and
+// the oracle score with. Capacity is 8x the energy of one fastest-ASAP
+// period — small enough that per-leaf lifetime simulations stay cheap
+// across millions of enumerated schedules, large enough that different
+// profiles still earn different lifetimes.
+func frontBattery(t *testing.T, inst gen.Instance, model string) (power.Battery, func([]float64) int) {
+	t.Helper()
+	base, err := sched.ASAP(inst.Graph, sched.UniformFastest(inst.Library))
+	if err != nil {
+		t.Fatalf("seed %d: asap: %v", inst.Seed, err)
+	}
+	energy := 0.0
+	for _, p := range base.Profile() {
+		energy += p
+	}
+	b, err := explore.NewBattery(model, energy*8)
+	if err != nil {
+		t.Fatalf("seed %d: battery: %v", inst.Seed, err)
+	}
+	return b, func(profile []float64) int {
+		periods, _ := b.Lifetime(profile, frontMaxPeriods)
+		return periods
+	}
+}
+
+// frontDeadline caps the exhaustive search at two cycles past the
+// fastest-module critical path. The instance's own (slack-derived)
+// deadline can make the (module, level, start) space explode; both
+// sides of every differential below search the same capped space, so
+// the comparison stays exact.
+func frontDeadline(t *testing.T, inst gen.Instance) int {
+	t.Helper()
+	base, err := sched.ASAP(inst.Graph, sched.UniformFastest(inst.Library))
+	if err != nil {
+		t.Fatalf("seed %d: asap: %v", inst.Seed, err)
+	}
+	maxD := base.Length() + 2
+	if maxD > inst.Deadline {
+		maxD = inst.Deadline
+	}
+	return maxD
+}
+
+// oracleFrontCSV recomputes the exact Pareto front with an independent
+// implementation and renders it in verify.FrontCSV's format. It walks the
+// same (module, level, start) space as verify.BruteFront — the space IS
+// the specification — but everything derived from a complete schedule is
+// coded differently: per-candidate precomputed tables instead of library
+// lookups in the hot loop, difference-array occupancy counting instead of
+// per-cycle membership scans for the minimal instance count, string-keyed
+// tuple dedup, and a sort-then-prefix-scan non-dominated filter (after
+// the lexicographic sort a dominator always precedes its victim, so only
+// earlier tuples need checking). Float sums follow the same operand order
+// as the production code so matching fronts compare byte-identical.
+func oracleFrontCSV(g *cdfg.Graph, lib *library.Library, maxDeadline int, powerMax float64, life func([]float64) int) (string, int) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	n := g.N()
+	type cand struct {
+		mi, li int
+		delay  int
+		power  float64
+	}
+	cands := make([][]cand, n)
+	for v := 0; v < n; v++ {
+		for _, mi := range lib.Candidates(g.Node(cdfg.NodeID(v)).Op) {
+			m := lib.Module(mi)
+			for li := 0; li < m.NumLevels(); li++ {
+				lv := m.Level(li)
+				if powerMax > 0 && lv.Power > powerMax+1e-9 {
+					continue
+				}
+				cands[v] = append(cands[v], cand{mi: mi, li: li, delay: lv.Delay, power: lv.Power})
+			}
+		}
+	}
+	type tuple struct {
+		area float64
+		lat  int
+		peak float64
+		life int
+	}
+	var (
+		pick   = make([]int, n)
+		at     = make([]int, n)
+		prof   = make([]float64, maxDeadline)
+		uniq   = map[string]tuple{}
+		memo   = map[string]int{}
+		leaves int
+	)
+	score := func() {
+		leaves++
+		lat := 0
+		for v := 0; v < n; v++ {
+			if end := at[v] + cands[v][pick[v]].delay; end > lat {
+				lat = end
+			}
+		}
+		peak := 0.0
+		for c := 0; c < lat; c++ {
+			if prof[c] > peak {
+				peak = prof[c]
+			}
+		}
+		// Minimal functional-unit area: per (module, level) group the
+		// peak of a +1/-1 difference array over the members' execution
+		// intervals, times the module area. Groups accumulate in node-
+		// index first-seen order (the production code's order) so the
+		// float sum is bit-identical when the fronts agree.
+		area := 0.0
+		grouped := map[[2]int][]int{}
+		var gorder [][2]int
+		for v := 0; v < n; v++ {
+			k := [2]int{cands[v][pick[v]].mi, cands[v][pick[v]].li}
+			if _, ok := grouped[k]; !ok {
+				gorder = append(gorder, k)
+			}
+			grouped[k] = append(grouped[k], v)
+		}
+		for _, k := range gorder {
+			d := lib.Module(k[0]).Level(k[1]).Delay
+			diff := make([]int, lat+1)
+			for _, v := range grouped[k] {
+				diff[at[v]]++
+				diff[at[v]+d]--
+			}
+			need, run := 0, 0
+			for _, step := range diff {
+				run += step
+				if run > need {
+					need = run
+				}
+			}
+			area += float64(need) * lib.Module(k[0]).Area
+		}
+		lt := 0
+		if life != nil {
+			pk := fmt.Sprintf("%x", prof[:lat])
+			v, ok := memo[pk]
+			if !ok {
+				v = life(append([]float64(nil), prof[:lat]...))
+				memo[pk] = v
+			}
+			lt = v
+		}
+		key := fmt.Sprintf("%g,%d,%g,%d", area, lat, peak, lt)
+		if _, ok := uniq[key]; !ok {
+			uniq[key] = tuple{area: area, lat: lat, peak: peak, life: lt}
+		}
+	}
+	var walk func(step int)
+	walk = func(step int) {
+		if step == n {
+			score()
+			return
+		}
+		v := order[step]
+		earliest := 0
+		for _, p := range g.Preds(v) {
+			if end := at[p] + cands[p][pick[p]].delay; end > earliest {
+				earliest = end
+			}
+		}
+		for ci, c := range cands[v] {
+			pick[v] = ci
+			for t := earliest; t+c.delay <= maxDeadline; t++ {
+				fits := true
+				if powerMax > 0 {
+					for cc := t; cc < t+c.delay; cc++ {
+						if prof[cc]+c.power > powerMax+1e-9 {
+							fits = false
+							break
+						}
+					}
+				}
+				if !fits {
+					continue
+				}
+				at[v] = t
+				window := append([]float64(nil), prof[t:t+c.delay]...)
+				for cc := t; cc < t+c.delay; cc++ {
+					prof[cc] += c.power
+				}
+				walk(step + 1)
+				copy(prof[t:t+c.delay], window)
+			}
+		}
+	}
+	walk(0)
+
+	tuples := make([]tuple, 0, len(uniq))
+	for _, tu := range uniq {
+		tuples = append(tuples, tu)
+	}
+	sort.Slice(tuples, func(i, j int) bool {
+		a, b := tuples[i], tuples[j]
+		if a.area != b.area {
+			return a.area < b.area
+		}
+		if a.lat != b.lat {
+			return a.lat < b.lat
+		}
+		if a.peak != b.peak {
+			return a.peak < b.peak
+		}
+		return a.life > b.life
+	})
+	var sb strings.Builder
+	sb.WriteString("fu_area,latency,peak_power,lifetime\n")
+	for i, p := range tuples {
+		dominated := false
+		for j := 0; j < i; j++ {
+			q := tuples[j]
+			// Tuples are unique, so weak domination here is always
+			// strict somewhere.
+			if q.area <= p.area && q.lat <= p.lat && q.peak <= p.peak && q.life >= p.life {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			fmt.Fprintf(&sb, "%g,%d,%g,%d\n", p.area, p.lat, p.peak, p.life)
+		}
+	}
+	return sb.String(), leaves
+}
+
+// TestFrontDifferentialVsOracle cross-checks verify.BruteFront against
+// the independently-coded oracle above on 200 random multi-level
+// instances: the two exact searches must render byte-identical fronts
+// (no dominated point reported, no non-dominated point missed, no tuple
+// mis-scored), and every witness design BruteFront returns must pass the
+// independent validator under the point's own latency as deadline.
+func TestFrontDifferentialVsOracle(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 40
+	}
+	multiPoint, totalPoints := 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		inst := tinyDVSInstance(seed, 3)
+		if !inst.Library.MultiLevel() {
+			t.Fatalf("seed %d: generator produced a single-level library despite Levels: 2", seed)
+		}
+		_, life := frontBattery(t, inst, "kibam")
+		maxD := frontDeadline(t, inst)
+		front, err := verify.BruteFront(inst.Graph, inst.Library, maxD, inst.PowerMax, life,
+			verify.BruteOptions{MaxNodes: 16})
+		if err != nil {
+			t.Fatalf("seed %d: brute front: %v", seed, err)
+		}
+		got := verify.FrontCSV(front)
+		want, leaves := oracleFrontCSV(inst.Graph, inst.Library, maxD, inst.PowerMax, life)
+		if got != want {
+			t.Errorf("seed %d (T=%d, P<=%g): BruteFront disagrees with the independent oracle\nbrute:\n%s\noracle (%d schedules):\n%s",
+				seed, maxD, inst.PowerMax, got, leaves, want)
+		}
+		for i, p := range front {
+			if err := verify.Check(p.VerifyInput(inst.Graph, inst.Library, inst.PowerMax)); err != nil {
+				t.Errorf("seed %d: front point %d witness fails the validator: %v", seed, i, err)
+			}
+		}
+		totalPoints += len(front)
+		if len(front) > 1 {
+			multiPoint++
+		}
+	}
+	if multiPoint == 0 {
+		t.Fatalf("distribution degenerate: no instance produced a multi-point front — the differential test exercised no trade-offs")
+	}
+	t.Logf("%d instances: %d front points total, %d fronts with a genuine trade-off", seeds, totalPoints, multiPoint)
+}
+
+// dominatedLevelLibrary returns a copy of lib where every module gains
+// one extra operating point that is strictly worse than the module's
+// nominal point in both delay and power. Such a point can contribute no
+// new non-dominated tuple: any schedule using it is weakly dominated by
+// the same schedule running those operations at the nominal point.
+func dominatedLevelLibrary(t *testing.T, lib *library.Library) *library.Library {
+	t.Helper()
+	mods := lib.Modules()
+	for i := range mods {
+		m := &mods[i]
+		worstDelay, worstPower, maxVolt := 0, 0.0, 0.0
+		for li := 0; li < m.NumLevels(); li++ {
+			lv := m.Level(li)
+			if lv.Delay > worstDelay {
+				worstDelay = lv.Delay
+			}
+			if lv.Power > worstPower {
+				worstPower = lv.Power
+			}
+			if lv.Voltage > maxVolt {
+				maxVolt = lv.Voltage
+			}
+		}
+		if len(m.Levels) == 0 {
+			m.Levels = []library.OperatingPoint{m.Level(0)}
+		}
+		m.Levels = append(m.Levels, library.OperatingPoint{
+			Voltage: maxVolt + 1, Delay: worstDelay + 2, Power: worstPower + 3.5,
+		})
+	}
+	out, err := library.New(mods)
+	if err != nil {
+		t.Fatalf("dominated-level library rejected: %v", err)
+	}
+	return out
+}
+
+// TestFrontMetamorphicDominatedLevel: adding a strictly-dominated
+// operating point to every module must leave the exact front
+// byte-identical — the search space grows, but no new schedule can reach
+// a tuple the original space did not already weakly dominate. The
+// battery is Peukert because its lifetime is provably monotone in the
+// power profile (per-period charge is a sum of per-cycle terms), so a
+// pointwise-lower, shorter profile can never shorten the lifetime.
+func TestFrontMetamorphicDominatedLevel(t *testing.T) {
+	seeds := int64(80)
+	if testing.Short() {
+		seeds = 20
+	}
+	nonEmpty := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		inst := tinyDVSInstance(seed, 3)
+		_, life := frontBattery(t, inst, "peukert")
+		maxD := frontDeadline(t, inst)
+		base, err := verify.BruteFront(inst.Graph, inst.Library, maxD, inst.PowerMax, life,
+			verify.BruteOptions{MaxNodes: 16})
+		if err != nil {
+			t.Fatalf("seed %d: brute front: %v", seed, err)
+		}
+		padded, err := verify.BruteFront(inst.Graph, dominatedLevelLibrary(t, inst.Library), maxD, inst.PowerMax, life,
+			verify.BruteOptions{MaxNodes: 16})
+		if err != nil {
+			t.Fatalf("seed %d: brute front on padded library: %v", seed, err)
+		}
+		if got, want := verify.FrontCSV(padded), verify.FrontCSV(base); got != want {
+			t.Errorf("seed %d: a strictly-dominated level changed the front\nwithout:\n%s\nwith:\n%s", seed, want, got)
+		}
+		if len(base) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("distribution degenerate: every instance was infeasible")
+	}
+	t.Logf("%d instances (%d with non-empty fronts): dominated levels never moved a front", seeds, nonEmpty)
+}
+
+// TestParetoHeuristicNeverUnsound locks the heuristic explorer to the
+// exact front on 200 random multi-level instances. The heuristic samples
+// a (deadline, power) grid and cannot promise completeness — the exact
+// front can refine peak power and lifetime beyond what an area-minimizing
+// synthesizer at fixed constraints expresses — but it must never be
+// UNSOUND:
+//
+//   - every reported design passes the independent validator,
+//   - every reported point is weakly dominated by (or ties) a point of
+//     the exhaustive front — a heuristic point beating the proven-exact
+//     front would mean one of the two searches is wrong.
+//
+// Exact tuple-set matches are counted and logged; completeness itself is
+// guaranteed oracle-vs-oracle by TestFrontDifferentialVsOracle.
+func TestParetoHeuristicNeverUnsound(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 40
+	}
+	matched, fronts := 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		inst := tinyDVSInstance(seed, 3)
+		b, life := frontBattery(t, inst, "kibam")
+		maxD := frontDeadline(t, inst)
+		exact, err := verify.BruteFront(inst.Graph, inst.Library, maxD, inst.PowerMax, life,
+			verify.BruteOptions{MaxNodes: 16})
+		if err != nil {
+			t.Fatalf("seed %d: brute front: %v", seed, err)
+		}
+		deadlines := make([]int, maxD)
+		for i := range deadlines {
+			deadlines[i] = i + 1
+		}
+		front, err := explore.ExplorePareto(inst.Graph, inst.Library, explore.ParetoConfig{
+			Deadlines:  deadlines,
+			Powers:     []float64{inst.PowerMax},
+			Battery:    b,
+			MaxPeriods: frontMaxPeriods,
+			Workers:    1,
+			Config:     core.Config{Workers: 1},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: explore pareto: %v", seed, err)
+		}
+		if len(front.Points) > 0 {
+			fronts++
+		}
+		exactMatch := len(front.Points) == len(exact)
+		for _, p := range front.Points {
+			if err := verify.Check(core.VerifyInput(p.Design)); err != nil {
+				t.Errorf("seed %d: heuristic front design (T=%d) rejected by the validator: %v", seed, p.Deadline, err)
+			}
+			fuArea := p.Design.Datapath.FUArea
+			covered, tied := false, false
+			for _, e := range exact {
+				if e.FUArea <= fuArea+1e-6 && e.Latency <= p.Latency && e.Peak <= p.Peak+1e-6 && e.Lifetime >= p.Lifetime {
+					covered = true
+					if e.FUArea >= fuArea-1e-6 && e.Latency == p.Latency && e.Peak >= p.Peak-1e-6 && e.Lifetime == p.Lifetime {
+						tied = true
+					}
+				}
+			}
+			if !covered {
+				t.Errorf("seed %d: UNSOUND: heuristic point (fu_area %.2f, latency %d, peak %.4g, lifetime %d) beats the exhaustive front",
+					seed, fuArea, p.Latency, p.Peak, p.Lifetime)
+			}
+			if !tied {
+				exactMatch = false
+			}
+		}
+		if exactMatch {
+			matched++
+		}
+		// Infeasibility must agree: a non-empty exact front means some
+		// design fits the bounds, and the loosest grid cell asks for
+		// exactly those bounds under a complete-on-tiny-instances
+		// portfolio; an empty heuristic front there is a missed design.
+		if len(exact) > 0 && len(front.Points) == 0 {
+			t.Errorf("seed %d: exact front has %d points but the heuristic found none (T=%d, P<=%g)",
+				seed, len(exact), maxD, inst.PowerMax)
+		}
+		if len(exact) == 0 && len(front.Points) > 0 {
+			t.Errorf("seed %d: UNSOUND: heuristic reports %d points on an instance the exhaustive search proves infeasible",
+				seed, len(front.Points))
+		}
+	}
+	if fronts == 0 {
+		t.Fatal("distribution degenerate: every instance was infeasible")
+	}
+	t.Logf("%d instances: heuristic front sound on all; exact tuple-set match on %d (completeness is oracle-guaranteed, not heuristic-guaranteed)", seeds, matched)
+}

@@ -199,3 +199,125 @@ func TestMutationsAreCaught(t *testing.T) {
 		t.Fatalf("baseline was mutated by a test case: %v", err)
 	}
 }
+
+// levelInput hand-builds a valid voltage-scaled design: a1 -> a2 share an
+// instance at the slow 3.3V point (delay 2), an independent a3 runs at
+// the nominal 5V point on its own instance. Every value below is chosen
+// so that a validator using nominal delays/powers instead of the claimed
+// level's would reach a different verdict on the mutations.
+func levelInput(t *testing.T) verify.Input {
+	t.Helper()
+	g := cdfg.New("levels")
+	a1 := g.MustAddNode("a1", cdfg.Add)
+	a2 := g.MustAddNode("a2", cdfg.Add)
+	g.MustAddNode("a3", cdfg.Add)
+	g.MustAddEdge(a1, a2)
+	lib := library.MustNew([]library.Module{{
+		Name: "add", Ops: []cdfg.Op{cdfg.Add}, Area: 50,
+		Levels: []library.OperatingPoint{
+			{Voltage: 5, Delay: 1, Power: 8},
+			{Voltage: 3.3, Delay: 2, Power: 3.5},
+		},
+	}})
+	return verify.Input{
+		Graph:          g,
+		Library:        lib,
+		Deadline:       4,
+		PowerMax:       12, // cycle 0 draws 3.5 + 8 = 11.5; nominal-for-all would be 16
+		Start:          []int{0, 2, 0},
+		Module:         []string{"add", "add", "add"},
+		Level:          []int{1, 1, 0},
+		FU:             []int{0, 0, 1},
+		FUModules:      []string{"add", "add"},
+		ReportedFUArea: 100,
+	}
+}
+
+// TestLevelMutationsAreCaught extends the validator self-test to the
+// voltage-level invariants: level indices must be in range, operations
+// sharing an instance must agree on the level, and the precedence,
+// deadline and overlap checks must use the claimed level's delay — a
+// validator falling back to nominal delays would pass every "level-aware"
+// case below.
+func TestLevelMutationsAreCaught(t *testing.T) {
+	base := levelInput(t)
+	if err := verify.Check(base); err != nil {
+		t.Fatalf("baseline voltage-scaled design must be valid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(in *verify.Input)
+		want   error
+	}{
+		{
+			name:   "level index past the module's operating points",
+			mutate: func(in *verify.Input) { in.Level[0] = 2 },
+			want:   verify.ErrLevel,
+		},
+		{
+			name:   "negative level index",
+			mutate: func(in *verify.Input) { in.Level[0] = -1 },
+			want:   verify.ErrLevel,
+		},
+		{
+			name: "operations sharing an instance disagree on the voltage",
+			// a2 alone drops to nominal: its own schedule stays legal
+			// (starts at 2, ends at 3), so only the per-instance voltage
+			// consistency check can catch it.
+			mutate: func(in *verify.Input) { in.Level[1] = 0 },
+			want:   verify.ErrLevel,
+		},
+		{
+			name:   "level assignment truncated",
+			mutate: func(in *verify.Input) { in.Level = in.Level[:2] },
+			want:   verify.ErrShape,
+		},
+		{
+			name: "level-aware precedence: consumer inside the slow producer",
+			// a1 at 3.3V runs cycles 0-1; starting a2 at cycle 1 is only
+			// illegal if the validator uses the level delay (nominal delay
+			// 1 would have a1 done by then).
+			mutate: func(in *verify.Input) { in.Start[1] = 1 },
+			want:   verify.ErrPrecedence,
+		},
+		{
+			name: "level-aware deadline: makespan counted at the slow level",
+			// a2 ends at cycle 4 under its claimed level; at nominal delay
+			// it would end at 3 and T = 3 would look satisfied.
+			mutate: func(in *verify.Input) { in.Deadline = 3 },
+			want:   verify.ErrDeadline,
+		},
+		{
+			name: "level-aware occupancy: slow operations overlap on one instance",
+			// a3 joins instance 0 at the instance's level, starting inside
+			// a1's 2-cycle execution. At nominal delays the intervals
+			// [0,1) and [1,2) would be disjoint. Instance 1 going unused
+			// additionally trips the area accounting, which is fine: the
+			// occupancy violation must still be attributed.
+			mutate: func(in *verify.Input) {
+				in.FU[2] = 0
+				in.Level[2] = 1
+				in.Start[2] = 1
+			},
+			want: verify.ErrOverlap,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := base.Clone()
+			c.mutate(&in)
+			err := verify.Check(in)
+			if err == nil {
+				t.Fatal("corrupted voltage-scaled design passed the validator")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("corruption attributed to the wrong class:\n got: %v\nwant: %v", err, c.want)
+			}
+		})
+	}
+
+	if err := verify.Check(base); err != nil {
+		t.Fatalf("baseline was mutated by a test case: %v", err)
+	}
+}

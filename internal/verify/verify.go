@@ -54,6 +54,11 @@ var (
 	// ErrArea indicates the reported functional-unit area does not equal
 	// the sum of the allocated instances' module areas.
 	ErrArea = errors.New("verify: area accounting mismatch")
+	// ErrLevel indicates a voltage-assignment violation: a node claims an
+	// operating point its module does not define, or two operations bound
+	// to the same instance run at different operating points (an instance
+	// is fixed at one supply voltage).
+	ErrLevel = errors.New("verify: voltage-level violation")
 )
 
 // powerEps absorbs float rounding when comparing per-cycle power sums
@@ -82,6 +87,13 @@ type Input struct {
 	Start []int
 	// Module[v] names the library module executing node v.
 	Module []string
+	// Level[v] is the voltage operating-point index node v's module runs
+	// at (library.Module.Level). Nil means every node runs at the nominal
+	// point (level 0) — the pre-voltage-scaling design shape. When
+	// non-nil, every delay/power invariant is checked against the chosen
+	// level's values, and operations sharing an instance must agree on the
+	// level (an instance is fixed at one supply voltage).
+	Level []int
 	// FU[v] is the functional-unit instance index node v is bound to.
 	FU []int
 	// FUModules[f] names the module of allocated instance f.
@@ -97,6 +109,7 @@ func (in Input) Clone() Input {
 	out := in
 	out.Start = append([]int(nil), in.Start...)
 	out.Module = append([]string(nil), in.Module...)
+	out.Level = append([]int(nil), in.Level...)
 	out.FU = append([]int(nil), in.FU...)
 	out.FUModules = append([]string(nil), in.FUModules...)
 	return out
@@ -115,6 +128,7 @@ func Check(in Input) error {
 	}
 	return errors.Join(
 		checkBinding(in),
+		checkLevels(in),
 		checkPrecedence(in),
 		checkDeadline(in),
 		checkPower(in),
@@ -142,13 +156,22 @@ func checkShape(in Input) error {
 			errs = append(errs, fmt.Errorf("%w: %s has %d entries for %d nodes", ErrShape, name, l, n))
 		}
 	}
+	if in.Level != nil && len(in.Level) != n {
+		errs = append(errs, fmt.Errorf("%w: Level has %d entries for %d nodes", ErrShape, len(in.Level), n))
+	}
 	if len(errs) > 0 {
 		return errors.Join(errs...)
 	}
 	for v := 0; v < n; v++ {
-		if _, ok := in.Library.Lookup(in.Module[v]); !ok {
+		if m, ok := in.Library.Lookup(in.Module[v]); !ok {
 			errs = append(errs, fmt.Errorf("%w: node %q names unknown module %q",
 				ErrShape, in.Graph.Node(cdfg.NodeID(v)).Name, in.Module[v]))
+		} else if in.Level != nil && (in.Level[v] < 0 || in.Level[v] >= m.NumLevels()) {
+			// Reported as a shape error: the invariant checks below index
+			// into the chosen level, so an out-of-range index would panic
+			// them, exactly like an unknown module name.
+			errs = append(errs, fmt.Errorf("%w: node %q claims level %d of module %q's %d: %w",
+				ErrShape, in.Graph.Node(cdfg.NodeID(v)).Name, in.Level[v], in.Module[v], m.NumLevels(), ErrLevel))
 		}
 		if in.FU[v] < 0 || in.FU[v] >= len(in.FUModules) {
 			errs = append(errs, fmt.Errorf("%w: node %q bound to instance %d of %d",
@@ -163,11 +186,21 @@ func checkShape(in Input) error {
 	return errors.Join(errs...)
 }
 
-// delayOf returns the execution delay of node v under its claimed module.
-// Shape has been checked, so the lookup cannot fail.
-func delayOf(in Input, v int) int {
+// levelOf returns the operating point node v runs at: the claimed level
+// of its module, or the nominal point (level 0) when no level assignment
+// is present. Shape has been checked, so neither lookup can fail.
+func levelOf(in Input, v int) library.OperatingPoint {
 	m, _ := in.Library.Lookup(in.Module[v])
-	return m.Delay
+	if in.Level == nil {
+		return m.Level(0)
+	}
+	return m.Level(in.Level[v])
+}
+
+// delayOf returns the execution delay of node v under its claimed module
+// at its claimed operating point.
+func delayOf(in Input, v int) int {
+	return levelOf(in, v).Delay
 }
 
 // checkBinding verifies type compatibility: every node's module
@@ -184,6 +217,32 @@ func checkBinding(in Input) error {
 		if have := in.FUModules[in.FU[node.ID]]; have != in.Module[node.ID] {
 			errs = append(errs, fmt.Errorf("%w: node %q scheduled on module %q but bound to instance %d of module %q",
 				ErrBinding, node.Name, in.Module[node.ID], in.FU[node.ID], have))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkLevels verifies per-instance voltage consistency: an instance is a
+// physical unit supplied at one voltage, so every operation bound to it
+// must claim the same operating-point index. With no level assignment
+// every node is nominal and the check is vacuous.
+func checkLevels(in Input) error {
+	if in.Level == nil {
+		return nil
+	}
+	var errs []error
+	levelAt := make(map[int]int, len(in.FUModules))
+	firstAt := make(map[int]int, len(in.FUModules))
+	for v := range in.FU {
+		f := in.FU[v]
+		if lv, seen := levelAt[f]; !seen {
+			levelAt[f] = in.Level[v]
+			firstAt[f] = v
+		} else if lv != in.Level[v] {
+			errs = append(errs, fmt.Errorf("%w: instance %d runs %q at level %d and %q at level %d",
+				ErrLevel, f,
+				in.Graph.Node(cdfg.NodeID(firstAt[f])).Name, lv,
+				in.Graph.Node(cdfg.NodeID(v)).Name, in.Level[v]))
 		}
 	}
 	return errors.Join(errs...)
@@ -242,8 +301,7 @@ func checkPower(in Input) error {
 		total := 0.0
 		for v := range in.Start {
 			if in.Start[v] <= cycle && cycle < in.Start[v]+delayOf(in, v) {
-				m, _ := in.Library.Lookup(in.Module[v])
-				total += m.Power
+				total += levelOf(in, v).Power
 			}
 		}
 		if total > in.PowerMax+powerEps {

@@ -91,6 +91,10 @@ type (
 	Library = library.Library
 	// Module describes one functional-unit type.
 	Module = library.Module
+	// OperatingPoint is one voltage operating point of a module: the
+	// delay and per-cycle power the module exhibits at that supply
+	// voltage.
+	OperatingPoint = library.OperatingPoint
 )
 
 // Table1 returns the paper's functional-unit library (Table 1): add, sub,
@@ -209,6 +213,13 @@ var (
 	ErrBadPower = library.ErrBadPower
 	// ErrDuplicateModule marks a reused library module name.
 	ErrDuplicateModule = library.ErrDuplicateModule
+	// ErrBadVoltage marks an operating point with a non-positive or
+	// non-finite supply voltage.
+	ErrBadVoltage = library.ErrBadVoltage
+	// ErrDuplicateLevel marks a module declaring the same voltage twice.
+	ErrDuplicateLevel = library.ErrDuplicateLevel
+	// ErrUnknownLevelModule marks a level line naming an undefined module.
+	ErrUnknownLevelModule = library.ErrUnknownLevelModule
 )
 
 // Synthesize runs the paper's one-pass combined scheduling/allocation/
@@ -411,6 +422,40 @@ func ExploreSurfaceContext(ctx context.Context, g *Graph, lib *Library, cfg Surf
 	return explore.ExploreSurfaceContext(ctx, g, lib, cfg)
 }
 
+// Multi-objective Pareto exploration.
+type (
+	// ParetoFront is the non-dominated set over (area, latency, peak
+	// power, battery lifetime).
+	ParetoFront = explore.ParetoFront
+	// ParetoConfig parameterizes a multi-objective exploration.
+	ParetoConfig = explore.ParetoConfig
+	// ParetoPoint is one non-dominated design with its objectives.
+	ParetoPoint = explore.ParetoPoint
+)
+
+// SynthesizePareto sweeps the constraint grid and returns the
+// non-dominated designs over (functional-unit area, latency, peak
+// per-cycle power, battery lifetime). With a voltage-scaling library the
+// synthesizer picks operating points per operation, exposing the trades
+// dynamic voltage scaling opens up; cfg.Battery (default: KiBaM sized at
+// 50x one unconstrained schedule period) scores the lifetime objective.
+func SynthesizePareto(g *Graph, lib *Library, cfg ParetoConfig) (ParetoFront, error) {
+	return explore.ExplorePareto(g, lib, cfg)
+}
+
+// SynthesizeParetoContext is SynthesizePareto with cancellation: ctx
+// aborts the exploration between synthesis runs.
+func SynthesizeParetoContext(ctx context.Context, g *Graph, lib *Library, cfg ParetoConfig) (ParetoFront, error) {
+	return explore.ExploreParetoContext(ctx, g, lib, cfg)
+}
+
+// DefaultBattery builds the battery model SynthesizePareto uses when the
+// config carries none: model "kibam" (or "") or "peukert", with capacity
+// 50x the energy of one unconstrained ASAP schedule period.
+func DefaultBattery(g *Graph, lib *Library, model string) (Battery, error) {
+	return explore.DefaultBattery(g, lib, model)
+}
+
 // Pipelined (loop-folded) implementations — an extension beyond the paper.
 type (
 	// PipelineResult is one modulo-scheduled pipelined implementation.
@@ -488,6 +533,9 @@ var (
 	ErrVerifyBinding = verify.ErrBinding
 	// ErrVerifyArea: reported FU area disagrees with the allocation.
 	ErrVerifyArea = verify.ErrArea
+	// ErrVerifyLevel: a voltage-level violation — an undefined operating
+	// point, or one instance claimed at two supply voltages.
+	ErrVerifyLevel = verify.ErrLevel
 )
 
 // Random-instance generation (property testing and cdfgtool gen).

@@ -47,6 +47,11 @@ func propertyInstance(seed int64) gen.Instance {
 			ModulesPerOp: 1 + int(seed%3),
 			DelayMax:     1 + int(seed%4),
 			ALUChance:    float64(seed%2) * 0.5,
+			// Two thirds of the instances carry voltage-scaling libraries
+			// (2 or 3 operating points per computation module); seed%3==0
+			// keeps the classic single-level coverage, with libraries
+			// bit-identical to the pre-DVS sweep.
+			Levels: 1 + int(seed%3),
 		},
 		// Include the over-tight regime: infeasible verdicts are part of
 		// the property (they must be reported as ErrInfeasible, never as
@@ -70,7 +75,7 @@ func TestPropertySynthesizeVerify(t *testing.T) {
 	}
 	per := (total + shards - 1) / shards
 
-	var synthesized, infeasible [8]int64 // per-shard, summed in cleanup
+	var synthesized, infeasible, fronts [8]int64 // per-shard, summed in cleanup
 	for shard := 0; shard < shards; shard++ {
 		shard := shard
 		lo := int64(shard*per + 1)
@@ -111,15 +116,43 @@ func TestPropertySynthesizeVerify(t *testing.T) {
 						t.Errorf("seed %d: portfolio design rejected by the independent validator: %v", seed, verr)
 					}
 				}
+				// Every 32nd instance also sweeps a small Pareto grid so the
+				// multi-objective entry point stays under the validator: every
+				// front point's design must pass verify.Check, DVS or not.
+				if seed%32 == 0 {
+					lo := inst.Deadline - 1
+					if lo < 1 {
+						lo = 1
+					}
+					front, ferr := pchls.SynthesizePareto(inst.Graph, inst.Library, pchls.ParetoConfig{
+						Deadlines:  []int{lo, inst.Deadline},
+						Powers:     []float64{inst.PowerMax},
+						SinglePass: true,
+						Workers:    1,
+						Config:     pchls.Config{Workers: 1},
+					})
+					if ferr != nil {
+						t.Errorf("seed %d: pareto sweep failed: %v", seed, ferr)
+						continue
+					}
+					for i, p := range front.Points {
+						if verr := pchls.Verify(p.Design); verr != nil {
+							t.Errorf("seed %d: pareto front point %d (T=%d) rejected by the independent validator: %v",
+								seed, i, p.Deadline, verr)
+						}
+					}
+					fronts[shard] += int64(len(front.Points))
+				}
 			}
 		})
 	}
 	t.Cleanup(func() {
-		var s, i int64
+		var s, i, f int64
 		for shard := 0; shard < shards; shard++ {
 			s += synthesized[shard]
 			i += infeasible[shard]
+			f += fronts[shard]
 		}
-		t.Logf("%d instances: %d designs verified, %d infeasible verdicts", total, s, i)
+		t.Logf("%d instances: %d designs verified, %d infeasible verdicts, %d pareto front points verified", total, s, i, f)
 	})
 }

@@ -5,7 +5,7 @@
 # BENCH_TOLERANCE (fractional, default 0.20).
 #
 # Lanes (BENCH_LANES, space-separated, default all): synth server
-# portfolio scaling cluster. The scaling lane gates the n=100/300 tiers of
+# portfolio pareto scaling cluster. The scaling lane gates the n=100/300 tiers of
 # BenchmarkScaling by default; with PCHLS_SCALING_FULL=1 it also runs
 # the n=1000 tiers — including two ~20-minute legacy passes — and enforces
 # the legacy-over-scale speedup floors (make bench-scaling).
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOL="${BENCH_TOLERANCE:-0.20}"
-LANES="${BENCH_LANES:-synth server portfolio scaling cluster}"
+LANES="${BENCH_LANES:-synth server portfolio pareto scaling cluster}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
@@ -41,6 +41,12 @@ if has_lane portfolio; then
     echo "== BenchmarkAnytimePortfolio (-benchtime 10x -benchmem -count 2)"
     go test -run '^$' -bench 'BenchmarkAnytimePortfolio' -benchtime 10x -benchmem -count 2 . | tee "$OUT/portfolio.txt"
     ARGS+=(-portfolio results/BENCH_portfolio.json -portfolioout "$OUT/portfolio.txt")
+fi
+
+if has_lane pareto; then
+    echo "== BenchmarkPareto (-benchtime 20x -benchmem -count 2)"
+    go test -run '^$' -bench 'BenchmarkPareto$' -benchtime 20x -benchmem -count 2 ./internal/explore | tee "$OUT/pareto.txt"
+    ARGS+=(-pareto results/BENCH_pareto.json -paretoout "$OUT/pareto.txt")
 fi
 
 if has_lane scaling; then

@@ -32,15 +32,18 @@ type metrics struct {
 	ns     float64
 	allocs float64
 	area   float64
+	points float64
 }
 
 type modeEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	// Area is a deterministic QoR pin (portfolio baselines only): when
-	// recorded, the fresh run's custom "area" metric must match exactly —
-	// the tolerance never applies to solution quality.
+	// Area is a deterministic QoR pin (portfolio and pareto baselines):
+	// when recorded, the fresh run's custom "area" metric must match
+	// exactly — the tolerance never applies to solution quality.
 	Area float64 `json:"area"`
+	// Points pins the Pareto front size the same way.
+	Points float64 `json:"points"`
 }
 
 type synthBaseline struct {
@@ -52,6 +55,13 @@ type serverBaseline struct {
 }
 
 type portfolioBaseline struct {
+	Benchmarks map[string]modeEntry `json:"benchmarks"`
+}
+
+// paretoBaseline gates the multi-objective exploration lane
+// (BenchmarkPareto): ns/op and allocs/op within tolerance, front size and
+// minimum front area pinned exactly.
+type paretoBaseline struct {
 	Benchmarks map[string]modeEntry `json:"benchmarks"`
 }
 
@@ -108,6 +118,8 @@ func parseBench(r io.Reader) (map[string]metrics, error) {
 				m.allocs = v
 			case "area":
 				m.area = v
+			case "points":
+				m.points = v
 			}
 		}
 		out[name] = m
@@ -185,6 +197,7 @@ func compare(w io.Writer, fails *int, got map[string]metrics, name string, base 
 	check(w, fails, name, "ns/op    ", cur.ns, base.NsPerOp, tol)
 	check(w, fails, name, "allocs/op", cur.allocs, base.AllocsPerOp, tol)
 	checkExact(w, fails, name, "area     ", cur.area, base.Area)
+	checkExact(w, fails, name, "points   ", cur.points, base.Points)
 }
 
 // checkExact gates a deterministic QoR metric: any deviation from the
@@ -234,6 +247,8 @@ func main() {
 	synthOut := flag.String("synthout", "", "go-bench output for BenchmarkSynthesize")
 	serverOut := flag.String("serverout", "", "go-bench output for BenchmarkServerSynthesize")
 	portfolioOut := flag.String("portfolioout", "", "go-bench output for BenchmarkAnytimePortfolio")
+	paretoJSON := flag.String("pareto", "results/BENCH_pareto.json", "pareto baseline JSON")
+	paretoOut := flag.String("paretoout", "", "go-bench output for BenchmarkPareto")
 	scalingJSON := flag.String("scaling", "results/BENCH_scaling.json", "scaling baseline JSON")
 	scalingOut := flag.String("scalingout", "", "go-bench output for BenchmarkScaling")
 	clusterJSON := flag.String("cluster", "results/BENCH_cluster.json", "cluster baseline JSON")
@@ -267,6 +282,14 @@ func main() {
 		got := loadBenchOutput(*portfolioOut)
 		for _, name := range sortedKeys(base.Benchmarks) {
 			compare(os.Stdout, &fails, got, "BenchmarkAnytimePortfolio/"+name, base.Benchmarks[name], *tol)
+		}
+	}
+	if *paretoOut != "" {
+		var base paretoBaseline
+		loadBaseline(*paretoJSON, &base)
+		got := loadBenchOutput(*paretoOut)
+		for _, name := range sortedKeys(base.Benchmarks) {
+			compare(os.Stdout, &fails, got, "BenchmarkPareto/"+name, base.Benchmarks[name], *tol)
 		}
 	}
 	if *scalingOut != "" {
